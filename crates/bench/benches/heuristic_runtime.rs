@@ -1,0 +1,32 @@
+//! §6.4 runtime claim: "the solution is obtained in 24 ms for XYI, and in
+//! 38 ms for PR" (authors' hardware). This bench times each policy on
+//! campaign-distribution instances (8×8 CMP, mixed weights).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pamr_bench::{mesh8, model, uniform_instance};
+use pamr_routing::HeuristicKind;
+use std::hint::black_box;
+
+fn heuristic_runtime(c: &mut Criterion) {
+    let mesh = mesh8();
+    let model = model();
+    let mut group = c.benchmark_group("heuristic_runtime");
+    for n in [20usize, 40, 80] {
+        let cs = uniform_instance(&mesh, n, 100.0, 2500.0, 0xBEEF + n as u64);
+        for kind in HeuristicKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &cs,
+                |b, cs| b.iter(|| black_box(kind.route(black_box(cs), &model))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = pamr_bench::quick();
+    targets = heuristic_runtime
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Packet-simulator throughput: events processed per second as the horizon
+//! and the flow count grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pamr_bench::{mesh8, model, uniform_instance};
+use pamr_nocsim::{simulate, SimConfig};
+use pamr_routing::{Heuristic, PathRemover};
+use std::hint::black_box;
+
+fn nocsim_throughput(c: &mut Criterion) {
+    let mesh = mesh8();
+    let model = model();
+    let mut group = c.benchmark_group("nocsim");
+    for n in [10usize, 40] {
+        let cs = uniform_instance(&mesh, n, 100.0, 1500.0, 17 + n as u64);
+        let routing = PathRemover.route(&cs, &model);
+        for horizon in [100.0f64, 400.0] {
+            let cfg = SimConfig {
+                horizon_us: horizon,
+                packet_bits: 512.0,
+            };
+            // Approximate packet count for throughput accounting.
+            let packets: u64 = cs
+                .comms()
+                .iter()
+                .map(|cm| (cm.weight * horizon / cfg.packet_bits) as u64)
+                .sum();
+            group.throughput(Throughput::Elements(packets));
+            group.bench_with_input(
+                BenchmarkId::new(format!("flows{n}"), format!("h{horizon}")),
+                &cfg,
+                |b, cfg| b.iter(|| black_box(simulate(&cs, &routing, &model, cfg))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = pamr_bench::quick();
+    targets = nocsim_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Theorem 1 / Lemma 2 bench: cost of building and evaluating the Section 4
+//! worst-case constructions as the mesh grows (their *values* are printed by
+//! `cargo run -p pamr-sim --release --bin theory`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pamr_power::PowerModel;
+use pamr_theory::{fig4_pattern, lemma2_ratio, manhattan_path_count};
+use std::hint::black_box;
+
+fn theory(c: &mut Criterion) {
+    let model = PowerModel::theory(3.0);
+    let mut group = c.benchmark_group("theory");
+    for p_prime in [4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("fig4_pattern", p_prime),
+            &p_prime,
+            |b, &pp| {
+                b.iter(|| {
+                    let pat = fig4_pattern(black_box(pp), 1.0);
+                    black_box(pat.power(&model))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lemma2_ratio", p_prime),
+            &p_prime,
+            |b, &pp| b.iter(|| black_box(lemma2_ratio(black_box(pp), &model))),
+        );
+    }
+    group.bench_function("lemma1_count_64x64", |b| {
+        b.iter(|| black_box(manhattan_path_count(black_box(64), black_box(64))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = pamr_bench::quick();
+    targets = theory
+}
+criterion_main!(benches);

@@ -1,0 +1,223 @@
+//! The staircase *band* of a communication: every link usable by at least
+//! one of its Manhattan paths, grouped by diagonal crossing.
+//!
+//! The "ideal sharing" of Figure 3 of the paper distributes a
+//! communication's traffic equally over all the links between two successive
+//! diagonals that its Manhattan paths can use. Both the IG and PR heuristics
+//! build on this fractional pre-routing, so the band is computed here once
+//! and shared.
+
+use crate::coord::{Coord, Rect};
+use crate::diag::Quadrant;
+use crate::link::LinkId;
+use crate::Mesh;
+
+/// All links reachable by Manhattan paths of a communication, grouped by
+/// the (relative) diagonal they cross.
+///
+/// For a communication of length `ℓ` the band has `ℓ` groups; group `t`
+/// holds the links leading from relative diagonal `t` to `t + 1` inside the
+/// bounding box. Every link of a group lies on at least one Manhattan path
+/// (monotone staircase connectivity inside a rectangle), and every Manhattan
+/// path crosses exactly one link of each group.
+#[derive(Debug, Clone)]
+pub struct Band {
+    src: Coord,
+    snk: Coord,
+    quadrant: Quadrant,
+    rect: Rect,
+    k_src: usize,
+    groups: Vec<Vec<LinkId>>,
+}
+
+impl Band {
+    /// Computes the band of the communication `src → snk` on `mesh`.
+    pub fn new(mesh: &Mesh, src: Coord, snk: Coord) -> Self {
+        assert!(mesh.contains(src) && mesh.contains(snk));
+        let quadrant = Quadrant::of(src, snk);
+        let rect = Rect::spanning(src, snk);
+        let k_src = mesh.diag_index(src, quadrant);
+        let len = mesh.manhattan(src, snk);
+        let mut groups = vec![Vec::new(); len];
+        let (sv, sh) = quadrant.steps();
+        for c in rect.cores() {
+            let t = mesh.diag_index(c, quadrant) - k_src;
+            // `t` can equal `len` (the sink's diagonal); no group for it.
+            if t >= len {
+                continue;
+            }
+            for s in [sv, sh] {
+                if let Some(n) = mesh.step(c, s) {
+                    if rect.contains(n) {
+                        groups[t].push(mesh.link_id(c, s).unwrap());
+                    }
+                }
+            }
+        }
+        debug_assert!(groups.iter().all(|g| !g.is_empty()));
+        Band {
+            src,
+            snk,
+            quadrant,
+            rect,
+            k_src,
+            groups,
+        }
+    }
+
+    /// Source core of the communication.
+    #[inline]
+    pub fn src(&self) -> Coord {
+        self.src
+    }
+
+    /// Sink core of the communication.
+    #[inline]
+    pub fn snk(&self) -> Coord {
+        self.snk
+    }
+
+    /// The communication's quadrant (direction `d`).
+    #[inline]
+    pub fn quadrant(&self) -> Quadrant {
+        self.quadrant
+    }
+
+    /// Bounding box of the communication.
+    #[inline]
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// Absolute diagonal index (direction `d`) of the source.
+    #[inline]
+    pub fn k_src(&self) -> usize {
+        self.k_src
+    }
+
+    /// Path length `ℓ` = number of diagonal crossings = number of groups.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True for a zero-length communication (source == sink).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The links crossing from relative diagonal `t` to `t + 1`.
+    #[inline]
+    pub fn group(&self, t: usize) -> &[LinkId] {
+        &self.groups[t]
+    }
+
+    /// All groups, in diagonal order.
+    #[inline]
+    pub fn groups(&self) -> &[Vec<LinkId>] {
+        &self.groups
+    }
+
+    /// Iterates over every link of the band.
+    pub fn links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.groups.iter().flatten().copied()
+    }
+
+    /// Relative diagonal (group index) a band link belongs to.
+    pub fn group_of(&self, mesh: &Mesh, link: LinkId) -> usize {
+        let (from, _) = mesh.link_endpoints(link);
+        mesh.diag_index(from, self.quadrant) - self.k_src
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::Path;
+
+    #[test]
+    fn band_of_square_box() {
+        let mesh = Mesh::new(4, 4);
+        let band = Band::new(&mesh, Coord::new(0, 0), Coord::new(2, 2));
+        assert_eq!(band.len(), 4);
+        // Group sizes inside a 3×3 box: diag 0 has 1 core × 2 links; diag 1
+        // has 2 cores × 2 links; on later diagonals the border cores lose
+        // their out-of-box move. Total 2+4+4+2 = 12 = a(b−1) + (a−1)b.
+        assert_eq!(band.group(0).len(), 2);
+        assert_eq!(band.group(1).len(), 4);
+        assert_eq!(band.group(2).len(), 4);
+        assert_eq!(band.group(3).len(), 2);
+    }
+
+    #[test]
+    fn band_of_straight_line() {
+        let mesh = Mesh::new(4, 4);
+        let band = Band::new(&mesh, Coord::new(1, 0), Coord::new(1, 3));
+        assert_eq!(band.len(), 3);
+        for t in 0..3 {
+            assert_eq!(band.group(t).len(), 1, "straight band groups are singletons");
+        }
+    }
+
+    #[test]
+    fn band_degenerate() {
+        let mesh = Mesh::new(3, 3);
+        let band = Band::new(&mesh, Coord::new(1, 1), Coord::new(1, 1));
+        assert!(band.is_empty());
+        assert_eq!(band.links().count(), 0);
+    }
+
+    #[test]
+    fn every_manhattan_path_crosses_one_link_per_group() {
+        let mesh = Mesh::new(4, 5);
+        let src = Coord::new(3, 4);
+        let snk = Coord::new(1, 1); // up-left
+        let band = Band::new(&mesh, src, snk);
+        for path in Path::enumerate_all(&mesh, src, snk) {
+            let links: Vec<_> = path.links(&mesh).collect();
+            assert_eq!(links.len(), band.len());
+            for (t, l) in links.iter().enumerate() {
+                assert!(
+                    band.group(t).contains(l),
+                    "path {path} link {l} not in group {t}"
+                );
+                assert_eq!(band.group_of(&mesh, *l), t);
+            }
+        }
+    }
+
+    #[test]
+    fn band_links_all_lie_on_some_path() {
+        let mesh = Mesh::new(5, 5);
+        let src = Coord::new(0, 4);
+        let snk = Coord::new(3, 1); // down-left
+        let band = Band::new(&mesh, src, snk);
+        let paths = Path::enumerate_all(&mesh, src, snk);
+        for l in band.links() {
+            assert!(
+                paths.iter().any(|p| p.crosses(&mesh, l)),
+                "band link {l} unused by every Manhattan path"
+            );
+        }
+        // Conversely no path uses a non-band link.
+        let band_set: std::collections::HashSet<_> = band.links().collect();
+        for p in &paths {
+            for l in p.links(&mesh) {
+                assert!(band_set.contains(&l));
+            }
+        }
+    }
+
+    #[test]
+    fn group_sizes_sum_to_band_size() {
+        let mesh = Mesh::new(6, 6);
+        let band = Band::new(&mesh, Coord::new(5, 0), Coord::new(2, 3)); // up-right
+        let total: usize = band.groups().iter().map(|g| g.len()).sum();
+        assert_eq!(total, band.links().count());
+        // In-box link count: for an a×b box there are a*(b-1) horizontal and
+        // (a-1)*b vertical monotone links.
+        let (a, b) = (band.rect().height(), band.rect().width());
+        assert_eq!(total, a * (b - 1) + (a - 1) * b);
+    }
+}

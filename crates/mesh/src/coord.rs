@@ -1,0 +1,159 @@
+//! Core coordinates and axis-aligned rectangles.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coordinate of a core on the mesh: row `u` (grows downwards) and column
+/// `v` (grows rightwards), both 0-based.
+///
+/// The paper's 1-based core `C_{u,v}` is `Coord::new(u - 1, v - 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Coord {
+    /// Row index, `0 ≤ u < p`.
+    pub u: usize,
+    /// Column index, `0 ≤ v < q`.
+    pub v: usize,
+}
+
+impl Coord {
+    /// Creates a coordinate from a `(row, column)` pair.
+    #[inline]
+    pub const fn new(u: usize, v: usize) -> Self {
+        Coord { u, v }
+    }
+
+    /// Convenience constructor from the paper's **1-based** `(u, v)` pair.
+    ///
+    /// # Panics
+    /// Panics if either index is zero.
+    pub fn paper(u: usize, v: usize) -> Self {
+        assert!(u >= 1 && v >= 1, "paper coordinates are 1-based");
+        Coord::new(u - 1, v - 1)
+    }
+
+    /// Manhattan distance to `other`.
+    #[inline]
+    pub fn manhattan(&self, other: Coord) -> usize {
+        self.u.abs_diff(other.u) + self.v.abs_diff(other.v)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.u, self.v)
+    }
+}
+
+impl From<(usize, usize)> for Coord {
+    fn from((u, v): (usize, usize)) -> Self {
+        Coord::new(u, v)
+    }
+}
+
+/// An axis-aligned rectangle of cores (inclusive on both ends): the bounding
+/// box of a communication, which contains exactly the cores reachable by its
+/// Manhattan paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    /// Smallest row index.
+    pub u_min: usize,
+    /// Largest row index (inclusive).
+    pub u_max: usize,
+    /// Smallest column index.
+    pub v_min: usize,
+    /// Largest column index (inclusive).
+    pub v_max: usize,
+}
+
+impl Rect {
+    /// Bounding box spanned by two corners (in any relative position).
+    pub fn spanning(a: Coord, b: Coord) -> Self {
+        Rect {
+            u_min: a.u.min(b.u),
+            u_max: a.u.max(b.u),
+            v_min: a.v.min(b.v),
+            v_max: a.v.max(b.v),
+        }
+    }
+
+    /// True iff `c` lies inside the rectangle.
+    #[inline]
+    pub fn contains(&self, c: Coord) -> bool {
+        (self.u_min..=self.u_max).contains(&c.u) && (self.v_min..=self.v_max).contains(&c.v)
+    }
+
+    /// Number of rows spanned.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.u_max - self.u_min + 1
+    }
+
+    /// Number of columns spanned.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.v_max - self.v_min + 1
+    }
+
+    /// Number of cores inside.
+    #[inline]
+    pub fn area(&self) -> usize {
+        self.height() * self.width()
+    }
+
+    /// Iterates over all cores inside, row-major.
+    pub fn cores(&self) -> impl Iterator<Item = Coord> + '_ {
+        let r = *self;
+        (r.u_min..=r.u_max).flat_map(move |u| (r.v_min..=r.v_max).map(move |v| Coord::new(u, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_coords_are_one_based() {
+        assert_eq!(Coord::paper(1, 1), Coord::new(0, 0));
+        assert_eq!(Coord::paper(2, 3), Coord::new(1, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn paper_coord_zero_panics() {
+        let _ = Coord::paper(0, 1);
+    }
+
+    #[test]
+    fn manhattan_symmetry() {
+        let a = Coord::new(2, 7);
+        let b = Coord::new(5, 3);
+        assert_eq!(a.manhattan(b), 7);
+        assert_eq!(b.manhattan(a), 7);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn rect_spanning_any_corner_order() {
+        let r1 = Rect::spanning(Coord::new(1, 5), Coord::new(3, 2));
+        let r2 = Rect::spanning(Coord::new(3, 2), Coord::new(1, 5));
+        assert_eq!(r1, r2);
+        assert_eq!(r1.height(), 3);
+        assert_eq!(r1.width(), 4);
+        assert_eq!(r1.area(), 12);
+        assert_eq!(r1.cores().count(), 12);
+        assert!(r1.contains(Coord::new(2, 3)));
+        assert!(!r1.contains(Coord::new(0, 3)));
+    }
+
+    #[test]
+    fn degenerate_rect() {
+        let r = Rect::spanning(Coord::new(2, 2), Coord::new(2, 2));
+        assert_eq!(r.area(), 1);
+        assert_eq!(r.cores().count(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Coord::new(3, 4).to_string(), "(3,4)");
+    }
+}

@@ -1,0 +1,138 @@
+//! The four diagonal directions (paper §3.3).
+//!
+//! A communication whose source/sink relative position puts it in quadrant
+//! `d` only ever uses the two unit moves of that quadrant, and every such
+//! move advances the diagonal index `k` of direction `d` by exactly one.
+
+use crate::link::Step;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Direction of travel of a communication — the paper's `d ∈ {1, 2, 3, 4}`.
+///
+/// `d` is determined by the relative position of sink vs source
+/// (ties go to the quadrants that the paper's definition picks, i.e. the
+/// `≤` comparisons of §3.3):
+///
+/// * `DownRight` (d=1): `u_src ≤ u_snk` and `v_src ≤ v_snk`;
+/// * `DownLeft`  (d=2): `u_src ≤ u_snk` and `v_src > v_snk`;
+/// * `UpLeft`    (d=3): `u_src > u_snk` and `v_src > v_snk`;
+/// * `UpRight`   (d=4): `u_src > u_snk` and `v_src ≤ v_snk`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Quadrant {
+    /// d = 1: rows and columns both non-decreasing.
+    DownRight,
+    /// d = 2: rows non-decreasing, columns decreasing.
+    DownLeft,
+    /// d = 3: rows decreasing, columns decreasing.
+    UpLeft,
+    /// d = 4: rows decreasing, columns non-decreasing.
+    UpRight,
+}
+
+impl Quadrant {
+    /// All four quadrants in paper order d = 1..4.
+    pub const ALL: [Quadrant; 4] = [
+        Quadrant::DownRight,
+        Quadrant::DownLeft,
+        Quadrant::UpLeft,
+        Quadrant::UpRight,
+    ];
+
+    /// The paper's 1-based direction number `d`.
+    #[inline]
+    pub fn paper_d(&self) -> usize {
+        match self {
+            Quadrant::DownRight => 1,
+            Quadrant::DownLeft => 2,
+            Quadrant::UpLeft => 3,
+            Quadrant::UpRight => 4,
+        }
+    }
+
+    /// Quadrant of the communication going from `src` towards `snk`,
+    /// following the paper's tie-breaking (`≤` on both axes for d = 1).
+    pub fn of(src: crate::Coord, snk: crate::Coord) -> Quadrant {
+        match (src.u <= snk.u, src.v <= snk.v) {
+            (true, true) => Quadrant::DownRight,
+            (true, false) => Quadrant::DownLeft,
+            (false, false) => Quadrant::UpLeft,
+            (false, true) => Quadrant::UpRight,
+        }
+    }
+
+    /// The `(vertical, horizontal)` unit moves a Manhattan path of this
+    /// quadrant may use.
+    #[inline]
+    pub fn steps(&self) -> (Step, Step) {
+        match self {
+            Quadrant::DownRight => (Step::Down, Step::Right),
+            Quadrant::DownLeft => (Step::Down, Step::Left),
+            Quadrant::UpLeft => (Step::Up, Step::Left),
+            Quadrant::UpRight => (Step::Up, Step::Right),
+        }
+    }
+
+    /// True iff `s` is one of this quadrant's two allowed moves.
+    #[inline]
+    pub fn allows(&self, s: Step) -> bool {
+        let (sv, sh) = self.steps();
+        s == sv || s == sh
+    }
+}
+
+impl fmt::Display for Quadrant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.paper_d())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coord;
+
+    #[test]
+    fn quadrant_of_matches_paper_cases() {
+        let o = Coord::new(3, 3);
+        assert_eq!(Quadrant::of(o, Coord::new(5, 5)), Quadrant::DownRight);
+        assert_eq!(Quadrant::of(o, Coord::new(5, 1)), Quadrant::DownLeft);
+        assert_eq!(Quadrant::of(o, Coord::new(1, 1)), Quadrant::UpLeft);
+        assert_eq!(Quadrant::of(o, Coord::new(1, 5)), Quadrant::UpRight);
+    }
+
+    #[test]
+    fn quadrant_ties_follow_paper() {
+        let o = Coord::new(3, 3);
+        // Same core: u_src ≤ u_snk and v_src ≤ v_snk → d = 1.
+        assert_eq!(Quadrant::of(o, o), Quadrant::DownRight);
+        // Horizontal right: d = 1. Horizontal left: v_src > v_snk, u ≤ → d = 2.
+        assert_eq!(Quadrant::of(o, Coord::new(3, 5)), Quadrant::DownRight);
+        assert_eq!(Quadrant::of(o, Coord::new(3, 1)), Quadrant::DownLeft);
+        // Vertical down: d = 1. Vertical up: u_src > u_snk, v ≤ → d = 4.
+        assert_eq!(Quadrant::of(o, Coord::new(5, 3)), Quadrant::DownRight);
+        assert_eq!(Quadrant::of(o, Coord::new(1, 3)), Quadrant::UpRight);
+    }
+
+    #[test]
+    fn steps_move_into_quadrant() {
+        for d in Quadrant::ALL {
+            let (sv, sh) = d.steps();
+            assert!(sv.is_vertical());
+            assert!(sh.is_horizontal());
+            assert!(d.allows(sv));
+            assert!(d.allows(sh));
+            assert!(!d.allows(sv.opposite()));
+            assert!(!d.allows(sh.opposite()));
+        }
+    }
+
+    #[test]
+    fn paper_d_numbers() {
+        assert_eq!(
+            Quadrant::ALL.map(|d| d.paper_d()),
+            [1, 2, 3, 4]
+        );
+        assert_eq!(Quadrant::DownLeft.to_string(), "d2");
+    }
+}

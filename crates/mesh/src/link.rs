@@ -1,0 +1,162 @@
+//! Unit moves ([`Step`]) and dense link identifiers ([`LinkId`]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the four unit moves on the mesh.
+///
+/// The discriminant doubles as the port slot in the dense [`LinkId`]
+/// encoding: `LinkId = core_index * 4 + step as usize`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum Step {
+    /// Towards larger row index (`u + 1`).
+    Down = 0,
+    /// Towards smaller row index (`u − 1`).
+    Up = 1,
+    /// Towards larger column index (`v + 1`).
+    Right = 2,
+    /// Towards smaller column index (`v − 1`).
+    Left = 3,
+}
+
+impl Step {
+    /// All four steps, in discriminant order.
+    pub const ALL: [Step; 4] = [Step::Down, Step::Up, Step::Right, Step::Left];
+
+    /// Step with discriminant `i` (inverse of `as usize`).
+    ///
+    /// # Panics
+    /// Panics if `i ≥ 4`.
+    #[inline]
+    pub fn from_index(i: usize) -> Step {
+        match i {
+            0 => Step::Down,
+            1 => Step::Up,
+            2 => Step::Right,
+            3 => Step::Left,
+            _ => panic!("invalid step index {i}"),
+        }
+    }
+
+    /// True for `Down`/`Up`.
+    #[inline]
+    pub fn is_vertical(&self) -> bool {
+        matches!(self, Step::Down | Step::Up)
+    }
+
+    /// True for `Right`/`Left`.
+    #[inline]
+    pub fn is_horizontal(&self) -> bool {
+        !self.is_vertical()
+    }
+
+    /// The step going the other way along the same axis.
+    #[inline]
+    pub fn opposite(&self) -> Step {
+        match self {
+            Step::Down => Step::Up,
+            Step::Up => Step::Down,
+            Step::Right => Step::Left,
+            Step::Left => Step::Right,
+        }
+    }
+
+    /// Signed `(du, dv)` displacement of this step.
+    #[inline]
+    pub fn delta(&self) -> (isize, isize) {
+        match self {
+            Step::Down => (1, 0),
+            Step::Up => (-1, 0),
+            Step::Right => (0, 1),
+            Step::Left => (0, -1),
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Step::Down => 'D',
+            Step::Up => 'U',
+            Step::Right => 'R',
+            Step::Left => 'L',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// Dense identifier of a unidirectional link.
+///
+/// Encodes `(source core, outgoing direction)` as
+/// `core_index * 4 + step as usize`, so a `Vec` of length
+/// [`crate::Mesh::num_link_slots`] indexes any link in O(1). Slots whose
+/// direction leaves the mesh are never produced by
+/// [`crate::Mesh::link_id`] and simply stay unused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub usize);
+
+impl LinkId {
+    /// The raw dense index.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_roundtrip() {
+        for s in Step::ALL {
+            assert_eq!(Step::from_index(s as usize), s);
+        }
+    }
+
+    #[test]
+    fn opposites() {
+        for s in Step::ALL {
+            assert_ne!(s, s.opposite());
+            assert_eq!(s.opposite().opposite(), s);
+            assert_eq!(s.is_vertical(), s.opposite().is_vertical());
+        }
+    }
+
+    #[test]
+    fn axis_predicates() {
+        assert!(Step::Down.is_vertical());
+        assert!(Step::Up.is_vertical());
+        assert!(Step::Right.is_horizontal());
+        assert!(Step::Left.is_horizontal());
+    }
+
+    #[test]
+    fn deltas_sum_to_zero_with_opposite() {
+        for s in Step::ALL {
+            let (du, dv) = s.delta();
+            let (ou, ov) = s.opposite().delta();
+            assert_eq!(du + ou, 0);
+            assert_eq!(dv + ov, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_step_index_panics() {
+        let _ = Step::from_index(4);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Step::Down.to_string(), "D");
+        assert_eq!(LinkId(17).to_string(), "L17");
+    }
+}

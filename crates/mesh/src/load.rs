@@ -1,0 +1,163 @@
+//! Dense per-link load accounting.
+
+use crate::link::LinkId;
+use crate::path::Path;
+use crate::Mesh;
+use serde::{Deserialize, Serialize};
+
+/// Per-link traffic accumulator, indexed by [`LinkId`] in O(1).
+///
+/// Loads are in the same unit as communication weights (bytes/s in the
+/// paper's model, Mb/s in the simulation campaign). The paper's bandwidth
+/// constraint is `Σ δ_i,j ≤ f · BW ≤ BW` per link, i.e. `load ≤ BW`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadMap {
+    loads: Vec<f64>,
+}
+
+impl LoadMap {
+    /// An all-zero load map for `mesh`.
+    pub fn new(mesh: &Mesh) -> Self {
+        LoadMap {
+            loads: vec![0.0; mesh.num_link_slots()],
+        }
+    }
+
+    /// Load currently on `link`.
+    #[inline]
+    pub fn get(&self, link: LinkId) -> f64 {
+        self.loads[link.0]
+    }
+
+    /// Adds `amount` (may be negative) to `link`, clamping tiny negative
+    /// residue from floating-point cancellation back to zero.
+    #[inline]
+    pub fn add(&mut self, link: LinkId, amount: f64) {
+        let l = &mut self.loads[link.0];
+        *l += amount;
+        if *l < 0.0 {
+            debug_assert!(*l > -1e-6, "load went significantly negative: {l}");
+            *l = 0.0;
+        }
+    }
+
+    /// Adds `amount` along every link of `path`.
+    pub fn add_path(&mut self, mesh: &Mesh, path: &Path, amount: f64) {
+        for l in path.links(mesh) {
+            self.add(l, amount);
+        }
+    }
+
+    /// Largest single-link load.
+    pub fn max_load(&self) -> f64 {
+        self.loads.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Sum of all link loads (total traffic × hops).
+    pub fn total(&self) -> f64 {
+        self.loads.iter().sum()
+    }
+
+    /// Number of links carrying strictly positive load.
+    pub fn active_links(&self) -> usize {
+        self.loads.iter().filter(|&&l| l > 0.0).count()
+    }
+
+    /// Iterates over `(link, load)` for links with strictly positive load.
+    pub fn iter_active(&self) -> impl Iterator<Item = (LinkId, f64)> + '_ {
+        self.loads
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l > 0.0)
+            .map(|(i, &l)| (LinkId(i), l))
+    }
+
+    /// True iff every link load is at most `capacity` (+ `eps` slack for
+    /// floating-point accumulation).
+    pub fn within_capacity(&self, capacity: f64, eps: f64) -> bool {
+        self.loads.iter().all(|&l| l <= capacity + eps)
+    }
+
+    /// Resets every load to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.loads.iter_mut().for_each(|l| *l = 0.0);
+    }
+
+    /// Element-wise sum with another load map of the same mesh.
+    pub fn merge(&mut self, other: &LoadMap) {
+        assert_eq!(self.loads.len(), other.loads.len());
+        for (a, b) in self.loads.iter_mut().zip(&other.loads) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coord;
+
+    #[test]
+    fn add_and_get() {
+        let mesh = Mesh::new(3, 3);
+        let mut lm = LoadMap::new(&mesh);
+        let l = mesh.link_id(Coord::new(0, 0), crate::Step::Right).unwrap();
+        lm.add(l, 2.5);
+        lm.add(l, 1.5);
+        assert_eq!(lm.get(l), 4.0);
+        assert_eq!(lm.max_load(), 4.0);
+        assert_eq!(lm.active_links(), 1);
+        lm.add(l, -4.0);
+        assert_eq!(lm.get(l), 0.0);
+        assert_eq!(lm.active_links(), 0);
+    }
+
+    #[test]
+    fn add_path_hits_every_link_once() {
+        let mesh = Mesh::new(4, 4);
+        let mut lm = LoadMap::new(&mesh);
+        let p = Path::xy(Coord::new(0, 0), Coord::new(3, 3));
+        lm.add_path(&mesh, &p, 1.0);
+        assert_eq!(lm.active_links(), 6);
+        assert!((lm.total() - 6.0).abs() < 1e-12);
+        for l in p.links(&mesh) {
+            assert_eq!(lm.get(l), 1.0);
+        }
+    }
+
+    #[test]
+    fn capacity_check() {
+        let mesh = Mesh::new(2, 2);
+        let mut lm = LoadMap::new(&mesh);
+        let l = mesh.link_id(Coord::new(0, 0), crate::Step::Down).unwrap();
+        lm.add(l, 3.0);
+        assert!(lm.within_capacity(3.0, 1e-9));
+        assert!(!lm.within_capacity(2.9, 1e-9));
+    }
+
+    #[test]
+    fn merge_and_clear() {
+        let mesh = Mesh::new(3, 3);
+        let mut a = LoadMap::new(&mesh);
+        let mut b = LoadMap::new(&mesh);
+        let p = Path::yx(Coord::new(0, 0), Coord::new(2, 2));
+        a.add_path(&mesh, &p, 1.0);
+        b.add_path(&mesh, &p, 2.0);
+        a.merge(&b);
+        assert!((a.total() - 12.0).abs() < 1e-12);
+        a.clear();
+        assert_eq!(a.total(), 0.0);
+        assert_eq!(a.active_links(), 0);
+    }
+
+    #[test]
+    fn iter_active_matches() {
+        let mesh = Mesh::new(3, 3);
+        let mut lm = LoadMap::new(&mesh);
+        let p = Path::xy(Coord::new(0, 0), Coord::new(1, 2));
+        lm.add_path(&mesh, &p, 1.5);
+        let v: Vec<_> = lm.iter_active().collect();
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|&(_, l)| l == 1.5));
+    }
+}

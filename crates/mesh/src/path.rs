@@ -1,0 +1,426 @@
+//! Manhattan (shortest) paths on the mesh.
+
+use crate::coord::Coord;
+use crate::diag::Quadrant;
+use crate::link::{LinkId, Step};
+use crate::Mesh;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A path on the mesh: a source core plus a sequence of unit moves.
+///
+/// All constructors of this type produce *Manhattan* paths — shortest paths
+/// whose every move stays within the communication's quadrant — but the
+/// struct itself can represent any walk; use [`Path::is_manhattan`] to
+/// check the invariant (property tests do).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Path {
+    src: Coord,
+    moves: Vec<Step>,
+}
+
+impl Path {
+    /// Builds a path from raw parts (not checked; see [`Path::is_manhattan`]).
+    pub fn from_moves(src: Coord, moves: Vec<Step>) -> Self {
+        Path { src, moves }
+    }
+
+    /// The XY path: **horizontal first, then vertical** (the paper's
+    /// baseline routing, §1).
+    pub fn xy(src: Coord, snk: Coord) -> Self {
+        let d = Quadrant::of(src, snk);
+        let (sv, sh) = d.steps();
+        let dv = src.v.abs_diff(snk.v);
+        let du = src.u.abs_diff(snk.u);
+        let mut moves = Vec::with_capacity(du + dv);
+        moves.extend(std::iter::repeat_n(sh, dv));
+        moves.extend(std::iter::repeat_n(sv, du));
+        Path { src, moves }
+    }
+
+    /// The YX path: vertical first, then horizontal.
+    pub fn yx(src: Coord, snk: Coord) -> Self {
+        let d = Quadrant::of(src, snk);
+        let (sv, sh) = d.steps();
+        let dv = src.v.abs_diff(snk.v);
+        let du = src.u.abs_diff(snk.u);
+        let mut moves = Vec::with_capacity(du + dv);
+        moves.extend(std::iter::repeat_n(sv, du));
+        moves.extend(std::iter::repeat_n(sh, dv));
+        Path { src, moves }
+    }
+
+    /// Source core.
+    #[inline]
+    pub fn src(&self) -> Coord {
+        self.src
+    }
+
+    /// Destination core (source displaced by all moves).
+    pub fn snk(&self) -> Coord {
+        let mut u = self.src.u as isize;
+        let mut v = self.src.v as isize;
+        for s in &self.moves {
+            let (du, dv) = s.delta();
+            u += du;
+            v += dv;
+        }
+        Coord::new(u as usize, v as usize)
+    }
+
+    /// Number of links traversed.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// True iff the path has no moves (source == sink).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// The move sequence.
+    #[inline]
+    pub fn moves(&self) -> &[Step] {
+        &self.moves
+    }
+
+    /// Iterates over the `len() + 1` cores visited, starting at the source.
+    pub fn cores(&self) -> impl Iterator<Item = Coord> + '_ {
+        let mut cur = self.src;
+        std::iter::once(self.src).chain(self.moves.iter().map(move |s| {
+            let (du, dv) = s.delta();
+            cur = Coord::new(
+                (cur.u as isize + du) as usize,
+                (cur.v as isize + dv) as usize,
+            );
+            cur
+        }))
+    }
+
+    /// Iterates over the dense ids of the links traversed.
+    ///
+    /// # Panics
+    /// Panics (in the returned iterator) if the path leaves the mesh.
+    pub fn links<'a>(&'a self, mesh: &'a Mesh) -> impl Iterator<Item = LinkId> + 'a {
+        let mut cur = self.src;
+        self.moves.iter().map(move |&s| {
+            let id = mesh
+                .link_id(cur, s)
+                .expect("path leaves the mesh");
+            cur = mesh.step(cur, s).unwrap();
+            id
+        })
+    }
+
+    /// True iff the path stays on the mesh and is a Manhattan path: every
+    /// move belongs to the quadrant spanned by its endpoints, which makes it
+    /// a shortest path.
+    pub fn is_manhattan(&self, mesh: &Mesh) -> bool {
+        if !mesh.contains(self.src) {
+            return false;
+        }
+        // Walk once to find the endpoint, validating mesh bounds.
+        let mut cur = self.src;
+        for &s in &self.moves {
+            match mesh.step(cur, s) {
+                Some(n) => cur = n,
+                None => return false,
+            }
+        }
+        let snk = cur;
+        let d = Quadrant::of(self.src, snk);
+        self.moves.iter().all(|&s| d.allows(s)) && self.len() == mesh.manhattan(self.src, snk)
+    }
+
+    /// Number of bends (adjacent move pairs along different axes).
+    pub fn bends(&self) -> usize {
+        self.moves
+            .windows(2)
+            .filter(|w| w[0].is_vertical() != w[1].is_vertical())
+            .count()
+    }
+
+    /// True iff the path traverses `link`.
+    pub fn crosses(&self, mesh: &Mesh, link: LinkId) -> bool {
+        self.links(mesh).any(|l| l == link)
+    }
+
+    /// Number of Manhattan paths between `src` and `snk`:
+    /// `C(du + dv, du)` — Lemma 1 of the paper (stated there for the full
+    /// mesh diagonal: `C(p+q−2, p−1)` paths from `C_{1,1}` to `C_{p,q}`).
+    pub fn count(src: Coord, snk: Coord) -> u128 {
+        let du = src.u.abs_diff(snk.u) as u128;
+        let dv = src.v.abs_diff(snk.v) as u128;
+        binomial(du + dv, du.min(dv))
+    }
+
+    /// Enumerates **all** Manhattan paths from `src` to `snk`.
+    ///
+    /// The number of paths is `C(du+dv, du)`; callers should bound the
+    /// instance size (used by the exact solver and by tests).
+    pub fn enumerate_all(mesh: &Mesh, src: Coord, snk: Coord) -> Vec<Path> {
+        assert!(mesh.contains(src) && mesh.contains(snk));
+        let d = Quadrant::of(src, snk);
+        let (sv, sh) = d.steps();
+        let du = src.u.abs_diff(snk.u);
+        let dv = src.v.abs_diff(snk.v);
+        let mut out = Vec::new();
+        let mut moves = Vec::with_capacity(du + dv);
+        enumerate_rec(sv, sh, du, dv, &mut moves, &mut |m| {
+            out.push(Path::from_moves(src, m.to_vec()));
+        });
+        out
+    }
+
+    /// Enumerates the **two-bend** Manhattan paths from `src` to `snk`
+    /// (paths with at most two direction changes), as considered by the TB
+    /// heuristic (§5.3). There are at most `du + dv` of them (`|Δu| + |Δv|`,
+    /// exactly matching the paper's bound) when both spans are positive,
+    /// and exactly one when the endpoints share a row or column.
+    pub fn two_bend(mesh: &Mesh, src: Coord, snk: Coord) -> Vec<Path> {
+        assert!(mesh.contains(src) && mesh.contains(snk));
+        let d = Quadrant::of(src, snk);
+        let (sv, sh) = d.steps();
+        let du = src.u.abs_diff(snk.u);
+        let dv = src.v.abs_diff(snk.v);
+        if du == 0 || dv == 0 {
+            return vec![Path::xy(src, snk)];
+        }
+        let mut out = Vec::with_capacity(du + dv);
+        // H-V-H: right^i, down^du, right^(dv-i). i = dv is XY, i = 0 is YX.
+        for i in 0..=dv {
+            let mut m = Vec::with_capacity(du + dv);
+            m.extend(std::iter::repeat_n(sh, i));
+            m.extend(std::iter::repeat_n(sv, du));
+            m.extend(std::iter::repeat_n(sh, dv - i));
+            out.push(Path::from_moves(src, m));
+        }
+        // V-H-V: down^j, right^dv, down^(du-j); j = 0 and j = du duplicate
+        // the XY/YX paths already generated above.
+        for j in 1..du {
+            let mut m = Vec::with_capacity(du + dv);
+            m.extend(std::iter::repeat_n(sv, j));
+            m.extend(std::iter::repeat_n(sh, dv));
+            m.extend(std::iter::repeat_n(sv, du - j));
+            out.push(Path::from_moves(src, m));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.src)?;
+        for s in &self.moves {
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+fn enumerate_rec(
+    sv: Step,
+    sh: Step,
+    du: usize,
+    dv: usize,
+    moves: &mut Vec<Step>,
+    emit: &mut impl FnMut(&[Step]),
+) {
+    if du == 0 && dv == 0 {
+        emit(moves);
+        return;
+    }
+    if du > 0 {
+        moves.push(sv);
+        enumerate_rec(sv, sh, du - 1, dv, moves, emit);
+        moves.pop();
+    }
+    if dv > 0 {
+        moves.push(sh);
+        enumerate_rec(sv, sh, du, dv - 1, moves, emit);
+        moves.pop();
+    }
+}
+
+/// Exact binomial coefficient `C(n, k)` in `u128`.
+///
+/// Denominators are cancelled by gcd *before* multiplying, so every
+/// intermediate value equals a smaller binomial coefficient and the
+/// function succeeds whenever the final result fits in `u128` (e.g.
+/// `C(126, 63)` for a 64×64 mesh).
+///
+/// # Panics
+/// Panics only when the result itself overflows `u128`.
+pub fn binomial(n: u128, k: u128) -> u128 {
+    fn gcd(mut a: u128, mut b: u128) -> u128 {
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a
+    }
+    let k = k.min(n - k.min(n));
+    let mut num: u128 = 1;
+    for i in 0..k {
+        let mut mul = n - i;
+        let mut den = i + 1;
+        // num·mul/den is exactly C(n, i+1); cancel den fully first so the
+        // product never exceeds that coefficient.
+        let g = gcd(num, den);
+        num /= g;
+        den /= g;
+        let g = gcd(mul, den);
+        mul /= g;
+        den /= g;
+        debug_assert_eq!(den, 1, "denominator must cancel in an exact binomial");
+        num = num.checked_mul(mul).expect("binomial overflow");
+    }
+    num
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomials() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(14, 7), 3432); // 8×8 corner-to-corner (Lemma 1)
+        // A 64×64 mesh: the result fits u128 even though the naive
+        // multiply-then-divide intermediates would overflow.
+        assert_eq!(
+            binomial(126, 63),
+            6_034_934_435_761_406_706_427_864_636_568_328_000
+        );
+    }
+
+    #[test]
+    fn lemma1_count_matches_enumeration() {
+        // Lemma 1: C(p+q-2, p-1) paths from C_{1,1} to C_{p,q}.
+        for (p, q) in [(2, 2), (3, 3), (3, 4), (4, 4), (2, 6)] {
+            let mesh = Mesh::new(p, q);
+            let src = Coord::new(0, 0);
+            let snk = Coord::new(p - 1, q - 1);
+            let expected = binomial((p + q - 2) as u128, (p - 1) as u128);
+            assert_eq!(Path::count(src, snk), expected);
+            let all = Path::enumerate_all(&mesh, src, snk);
+            assert_eq!(all.len() as u128, expected);
+            for path in &all {
+                assert!(path.is_manhattan(&mesh));
+                assert_eq!(path.snk(), snk);
+            }
+            // All enumerated paths are distinct.
+            let set: std::collections::HashSet<_> =
+                all.iter().map(|p| p.moves().to_vec()).collect();
+            assert_eq!(set.len(), all.len());
+        }
+    }
+
+    #[test]
+    fn xy_goes_horizontal_first() {
+        let src = Coord::new(0, 0);
+        let snk = Coord::new(2, 3);
+        let p = Path::xy(src, snk);
+        assert_eq!(
+            p.moves(),
+            &[Step::Right, Step::Right, Step::Right, Step::Down, Step::Down]
+        );
+        assert_eq!(p.snk(), snk);
+        assert!(p.bends() <= 1);
+    }
+
+    #[test]
+    fn yx_goes_vertical_first() {
+        let src = Coord::new(0, 3);
+        let snk = Coord::new(2, 0); // down-left quadrant
+        let p = Path::yx(src, snk);
+        assert_eq!(
+            p.moves(),
+            &[Step::Down, Step::Down, Step::Left, Step::Left, Step::Left]
+        );
+        assert_eq!(p.snk(), snk);
+    }
+
+    #[test]
+    fn degenerate_paths() {
+        let c = Coord::new(1, 1);
+        let p = Path::xy(c, c);
+        assert!(p.is_empty());
+        assert_eq!(p.snk(), c);
+        assert_eq!(p.bends(), 0);
+        let mesh = Mesh::new(3, 3);
+        assert!(p.is_manhattan(&mesh));
+        assert_eq!(p.links(&mesh).count(), 0);
+        assert_eq!(p.cores().count(), 1);
+    }
+
+    #[test]
+    fn links_and_cores_are_consistent() {
+        let mesh = Mesh::new(4, 4);
+        let p = Path::xy(Coord::new(0, 0), Coord::new(3, 3));
+        let cores: Vec<_> = p.cores().collect();
+        assert_eq!(cores.len(), p.len() + 1);
+        let links: Vec<_> = p.links(&mesh).collect();
+        assert_eq!(links.len(), p.len());
+        for (i, l) in links.iter().enumerate() {
+            let (from, to) = mesh.link_endpoints(*l);
+            assert_eq!(from, cores[i]);
+            assert_eq!(to, cores[i + 1]);
+        }
+    }
+
+    #[test]
+    fn non_manhattan_detected() {
+        let mesh = Mesh::new(3, 3);
+        // Down then back up: a walk, not a shortest path.
+        let p = Path::from_moves(Coord::new(0, 0), vec![Step::Down, Step::Up]);
+        assert!(!p.is_manhattan(&mesh));
+        // Walking off the mesh.
+        let p = Path::from_moves(Coord::new(0, 0), vec![Step::Up]);
+        assert!(!p.is_manhattan(&mesh));
+    }
+
+    #[test]
+    fn two_bend_counts() {
+        let mesh = Mesh::new(5, 6);
+        let src = Coord::new(0, 0);
+        let snk = Coord::new(3, 4); // du=3, dv=4
+        let tb = Path::two_bend(&mesh, src, snk);
+        assert_eq!(tb.len(), 3 + 4); // |Δu| + |Δv| per the paper
+        for p in &tb {
+            assert!(p.is_manhattan(&mesh), "{p}");
+            assert!(p.bends() <= 2, "{p} has {} bends", p.bends());
+            assert_eq!(p.snk(), snk);
+        }
+        let set: std::collections::HashSet<_> = tb.iter().map(|p| p.moves().to_vec()).collect();
+        assert_eq!(set.len(), tb.len(), "two-bend paths must be distinct");
+    }
+
+    #[test]
+    fn two_bend_straight_line() {
+        let mesh = Mesh::new(5, 6);
+        let tb = Path::two_bend(&mesh, Coord::new(1, 1), Coord::new(1, 4));
+        assert_eq!(tb.len(), 1);
+        assert_eq!(tb[0].bends(), 0);
+    }
+
+    #[test]
+    fn two_bend_includes_xy_and_yx() {
+        let mesh = Mesh::new(5, 5);
+        let src = Coord::new(4, 4);
+        let snk = Coord::new(1, 0); // up-left quadrant
+        let tb = Path::two_bend(&mesh, src, snk);
+        assert!(tb.contains(&Path::xy(src, snk)));
+        assert!(tb.contains(&Path::yx(src, snk)));
+    }
+
+    #[test]
+    fn display() {
+        let p = Path::xy(Coord::new(0, 0), Coord::new(1, 1));
+        assert_eq!(p.to_string(), "(0,0)RD");
+    }
+}

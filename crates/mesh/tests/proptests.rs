@@ -1,0 +1,108 @@
+//! Property-based tests for the mesh substrate.
+
+use pamr_mesh::{Band, Coord, LoadMap, Mesh, Path, Quadrant};
+use proptest::prelude::*;
+
+/// Strategy: a mesh (≤ 6×6) and two cores on it.
+fn mesh_and_pair() -> impl Strategy<Value = (Mesh, Coord, Coord)> {
+    (1usize..=6, 1usize..=6)
+        .prop_flat_map(|(p, q)| {
+            ((Just(p), Just(q)), (0..p, 0..q), (0..p, 0..q))
+        })
+        .prop_map(|((p, q), (au, av), (bu, bv))| {
+            (Mesh::new(p, q), Coord::new(au, av), Coord::new(bu, bv))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn xy_and_yx_are_manhattan((mesh, a, b) in mesh_and_pair()) {
+        for p in [Path::xy(a, b), Path::yx(a, b)] {
+            prop_assert!(p.is_manhattan(&mesh));
+            prop_assert_eq!(p.len(), mesh.manhattan(a, b));
+            prop_assert_eq!(p.snk(), b);
+            prop_assert!(p.bends() <= 1);
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_count_and_is_unique((mesh, a, b) in mesh_and_pair()) {
+        // Keep the blow-up bounded.
+        prop_assume!(Path::count(a, b) <= 256);
+        let all = Path::enumerate_all(&mesh, a, b);
+        prop_assert_eq!(all.len() as u128, Path::count(a, b));
+        let set: std::collections::HashSet<Vec<_>> =
+            all.iter().map(|p| p.moves().to_vec()).collect();
+        prop_assert_eq!(set.len(), all.len());
+        for p in &all {
+            prop_assert!(p.is_manhattan(&mesh));
+            prop_assert_eq!(p.snk(), b);
+        }
+    }
+
+    #[test]
+    fn two_bend_paths_are_a_subset_of_all_paths((mesh, a, b) in mesh_and_pair()) {
+        prop_assume!(a != b);
+        let tb = Path::two_bend(&mesh, a, b);
+        let du = a.u.abs_diff(b.u);
+        let dv = a.v.abs_diff(b.v);
+        if du == 0 || dv == 0 {
+            prop_assert_eq!(tb.len(), 1);
+        } else {
+            prop_assert_eq!(tb.len(), du + dv);
+        }
+        for p in &tb {
+            prop_assert!(p.bends() <= 2);
+            prop_assert!(p.is_manhattan(&mesh));
+        }
+    }
+
+    #[test]
+    fn band_groups_partition_every_path((mesh, a, b) in mesh_and_pair()) {
+        prop_assume!(a != b && Path::count(a, b) <= 128);
+        let band = Band::new(&mesh, a, b);
+        prop_assert_eq!(band.len(), mesh.manhattan(a, b));
+        for path in Path::enumerate_all(&mesh, a, b) {
+            for (t, l) in path.links(&mesh).enumerate() {
+                prop_assert!(band.group(t).contains(&l));
+            }
+        }
+    }
+
+    #[test]
+    fn quadrant_is_consistent_with_moves((mesh, a, b) in mesh_and_pair()) {
+        prop_assume!(a != b);
+        let d = Quadrant::of(a, b);
+        let p = Path::xy(a, b);
+        for s in p.moves() {
+            prop_assert!(d.allows(*s), "XY move {s} outside quadrant {d}");
+        }
+        let _ = mesh;
+    }
+
+    #[test]
+    fn loadmap_add_remove_is_identity((mesh, a, b) in mesh_and_pair(), w in 1.0f64..1e6) {
+        let mut lm = LoadMap::new(&mesh);
+        let p = Path::xy(a, b);
+        lm.add_path(&mesh, &p, w);
+        prop_assert!((lm.total() - w * p.len() as f64).abs() < 1e-9 * w.max(1.0));
+        lm.add_path(&mesh, &p, -w);
+        prop_assert_eq!(lm.active_links(), 0);
+    }
+
+    #[test]
+    fn diag_indices_advance_by_one_along_any_manhattan_path((mesh, a, b) in mesh_and_pair()) {
+        prop_assume!(a != b);
+        let d = Quadrant::of(a, b);
+        let p = Path::yx(a, b);
+        let cores: Vec<Coord> = p.cores().collect();
+        for w in cores.windows(2) {
+            prop_assert_eq!(
+                mesh.diag_index(w[1], d),
+                mesh.diag_index(w[0], d) + 1
+            );
+        }
+    }
+}

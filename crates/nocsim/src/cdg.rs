@@ -1,0 +1,215 @@
+//! Channel-dependency-graph (CDG) deadlock analysis.
+//!
+//! The paper notes (§1) that it "assumes a deadlock avoidance technique is
+//! used (such as resource ordering or escape channels)" because arbitrary
+//! Manhattan routings are not deadlock-free under wormhole switching. This
+//! module makes that assumption checkable:
+//!
+//! * [`channel_dependency_graph`] builds the CDG of a routing — a node per
+//!   link, an edge whenever some path enters a link directly after another;
+//! * [`has_cycle`] detects cyclic dependencies (Dally–Seitz: a routing is
+//!   deadlock-free under wormhole switching iff its CDG is acyclic);
+//! * [`escape_channels_needed`] reports whether a routing needs the escape
+//!   mechanism the paper assumes, or is already safe as-is.
+//!
+//! XY routing is the classic acyclic case (no south/north→east/west turn is
+//! ever followed by the forbidden ones); general Manhattan routings can
+//! close turn cycles, which the tests demonstrate.
+
+use pamr_mesh::LinkId;
+use pamr_routing::{CommSet, Routing};
+
+/// Adjacency list of the channel dependency graph, indexed by the dense
+/// link-id space (`mesh.num_link_slots()` entries; unused slots are empty).
+#[derive(Debug, Clone)]
+pub struct ChannelDependencyGraph {
+    adj: Vec<Vec<usize>>,
+}
+
+/// Builds the CDG of a routing: link `a → b` is an edge iff some flow
+/// traverses `a` and immediately then `b`.
+pub fn channel_dependency_graph(cs: &CommSet, routing: &Routing) -> ChannelDependencyGraph {
+    let mesh = cs.mesh();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); mesh.num_link_slots()];
+    for i in 0..cs.len() {
+        for (path, _) in routing.flows(i) {
+            let links: Vec<LinkId> = path.links(mesh).collect();
+            for w in links.windows(2) {
+                let (a, b) = (w[0].index(), w[1].index());
+                if !adj[a].contains(&b) {
+                    adj[a].push(b);
+                }
+            }
+        }
+    }
+    ChannelDependencyGraph { adj }
+}
+
+impl ChannelDependencyGraph {
+    /// Number of dependency edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// The dependencies of a link.
+    pub fn successors(&self, link: LinkId) -> &[usize] {
+        &self.adj[link.index()]
+    }
+}
+
+/// True iff the CDG contains a cycle (iterative three-colour DFS).
+pub fn has_cycle(g: &ChannelDependencyGraph) -> bool {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let n = g.adj.len();
+    let mut colour = vec![Colour::White; n];
+    for start in 0..n {
+        if colour[start] != Colour::White || g.adj[start].is_empty() {
+            continue;
+        }
+        // Stack of (node, next child index).
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        colour[start] = Colour::Grey;
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            if *idx < g.adj[node].len() {
+                let child = g.adj[node][*idx];
+                *idx += 1;
+                match colour[child] {
+                    Colour::Grey => return true,
+                    Colour::White => {
+                        colour[child] = Colour::Grey;
+                        stack.push((child, 0));
+                    }
+                    Colour::Black => {}
+                }
+            } else {
+                colour[node] = Colour::Black;
+                stack.pop();
+            }
+        }
+    }
+    false
+}
+
+/// True iff the routing needs the paper's assumed deadlock-avoidance
+/// mechanism (escape channels / resource ordering) under wormhole
+/// switching — i.e. its channel dependency graph is cyclic.
+pub fn escape_channels_needed(cs: &CommSet, routing: &Routing) -> bool {
+    has_cycle(&channel_dependency_graph(cs, routing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pamr_mesh::{Coord, Mesh, Path, Step};
+    use pamr_power::PowerModel;
+    use pamr_routing::{xy_routing, Comm, HeuristicKind};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(seed: u64, n: usize) -> CommSet {
+        let mesh = Mesh::new(6, 6);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let comms = (0..n)
+            .map(|_| loop {
+                let a = Coord::new(rng.gen_range(0..6), rng.gen_range(0..6));
+                let b = Coord::new(rng.gen_range(0..6), rng.gen_range(0..6));
+                if a != b {
+                    break Comm::new(a, b, rng.gen_range(100.0..1000.0));
+                }
+            })
+            .collect();
+        CommSet::new(mesh, comms)
+    }
+
+    #[test]
+    fn xy_routing_is_always_deadlock_free() {
+        // Dimension-order routing never closes a turn cycle.
+        for seed in 0..10u64 {
+            let cs = random_instance(seed, 25);
+            let r = xy_routing(&cs);
+            assert!(
+                !escape_channels_needed(&cs, &r),
+                "seed {seed}: XY CDG must be acyclic"
+            );
+        }
+    }
+
+    #[test]
+    fn yx_routing_is_also_deadlock_free() {
+        for seed in 0..5u64 {
+            let cs = random_instance(seed, 25);
+            let r = pamr_routing::yx_routing(&cs);
+            assert!(!escape_channels_needed(&cs, &r));
+        }
+    }
+
+    #[test]
+    fn crafted_turn_cycle_is_detected() {
+        // Four L-shaped flows around a unit square: E→S, S→W, W→N, N→E —
+        // the canonical wormhole deadlock cycle.
+        let mesh = Mesh::new(2, 2);
+        let c = |u, v| Coord::new(u, v);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(c(0, 0), c(1, 1), 1.0), // via (0,1): E then S
+                Comm::new(c(0, 1), c(1, 0), 1.0), // via (1,1): S then W
+                Comm::new(c(1, 1), c(0, 0), 1.0), // via (1,0): W then N
+                Comm::new(c(1, 0), c(0, 1), 1.0), // via (0,0): N then E
+            ],
+        );
+        let paths = vec![
+            Path::from_moves(c(0, 0), vec![Step::Right, Step::Down]),
+            Path::from_moves(c(0, 1), vec![Step::Down, Step::Left]),
+            Path::from_moves(c(1, 1), vec![Step::Left, Step::Up]),
+            Path::from_moves(c(1, 0), vec![Step::Up, Step::Right]),
+        ];
+        let r = pamr_routing::Routing::single(&cs, paths);
+        assert!(r.is_structurally_valid(&cs, 1));
+        assert!(escape_channels_needed(&cs, &r), "the 4-flow turn cycle must be detected");
+    }
+
+    #[test]
+    fn heuristics_sometimes_need_escape_channels() {
+        // Over many random instances the Manhattan heuristics produce at
+        // least one cyclic CDG (this is exactly why the paper assumes a
+        // deadlock-avoidance mechanism) — while XY never does.
+        let model = PowerModel::kim_horowitz();
+        let mut any_cyclic = false;
+        for seed in 0..20u64 {
+            let cs = random_instance(seed, 30);
+            for kind in [HeuristicKind::Pr, HeuristicKind::Sg, HeuristicKind::Xyi] {
+                let r = kind.route(&cs, &model);
+                if escape_channels_needed(&cs, &r) {
+                    any_cyclic = true;
+                }
+            }
+        }
+        assert!(
+            any_cyclic,
+            "expected at least one cyclic CDG from free-form Manhattan routing"
+        );
+    }
+
+    #[test]
+    fn cdg_edges_follow_paths() {
+        let mesh = Mesh::new(3, 3);
+        let cs = CommSet::new(
+            mesh,
+            vec![Comm::new(Coord::new(0, 0), Coord::new(2, 2), 1.0)],
+        );
+        let r = xy_routing(&cs);
+        let g = channel_dependency_graph(&cs, &r);
+        // A single 4-hop path yields exactly 3 dependency edges.
+        assert_eq!(g.num_edges(), 3);
+        let links: Vec<LinkId> = r.path(0).links(&mesh).collect();
+        for w in links.windows(2) {
+            assert!(g.successors(w[0]).contains(&w[1].index()));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # pamr-nocsim — packet-level mesh NoC simulator substrate
+//!
+//! The paper evaluates routings at the *flow* level (bytes per second per
+//! link). This crate adds the substrate a systems reader would expect from
+//! an open-source release: a packet-level discrete-event simulator that
+//! **executes** a routing produced by `pamr-routing` on the mesh and
+//! reports what the flow-level model promises — per-flow latency, per-link
+//! utilisation, energy, and divergence (growing backlogs) when a routing
+//! exceeds link bandwidths.
+//!
+//! ## Model
+//!
+//! * Table-based source routing: each flow follows exactly the Manhattan
+//!   path(s) chosen by the routing (multi-path routings become several
+//!   flows with proportional rates).
+//! * Store-and-forward links with FIFO service and **unbounded** queues —
+//!   deadlock-free by construction, standing in for the paper's assumption
+//!   that "a deadlock avoidance technique is used (such as resource
+//!   ordering or escape channels)".
+//! * Per-link DVFS: a link serves at the effective bandwidth the power
+//!   model selects for its aggregate load (the smallest discrete frequency
+//!   level at or above the load); a link whose load exceeds the top level is
+//!   clamped to the top level, which is precisely how an *infeasible*
+//!   routing manifests as unbounded queue growth.
+//! * Time unit: **microseconds**; a link at `f` Mb/s serves `f` bits/µs.
+//!   Energy in nanojoules (mW × µs).
+//!
+//! Packets are injected CBR (constant bit-rate) per flow with a
+//! flow-dependent phase to avoid lock-step artefacts, and drained to
+//! completion after the injection horizon so latency statistics are exact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdg;
+pub mod sim;
+
+pub use cdg::{channel_dependency_graph, escape_channels_needed, has_cycle};
+pub use sim::{simulate, FlowStats, SimConfig, SimReport};

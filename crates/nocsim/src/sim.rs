@@ -1,0 +1,427 @@
+//! The discrete-event packet simulator.
+
+use pamr_mesh::LinkId;
+use pamr_power::PowerModel;
+use pamr_routing::{CommSet, Routing};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Injection horizon in microseconds: packets are injected in
+    /// `[0, horizon_us)`, then the network drains.
+    pub horizon_us: f64,
+    /// Packet size in bits (all flows use the same packet size).
+    pub packet_bits: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            horizon_us: 100.0,
+            packet_bits: 512.0,
+        }
+    }
+}
+
+/// Per-flow delivery statistics. A "flow" is one `(communication, path)`
+/// pair of the routing; `comm` maps it back to its communication.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowStats {
+    /// Index of the communication this flow belongs to.
+    pub comm: usize,
+    /// Rate carried by this flow (same unit as the weights, Mb/s).
+    pub rate: f64,
+    /// Packets injected (= delivered; the network is drained).
+    pub delivered: usize,
+    /// Mean end-to-end packet latency in µs.
+    pub mean_latency_us: f64,
+    /// Worst packet latency in µs.
+    pub max_latency_us: f64,
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-flow statistics, in routing order (communication by
+    /// communication, path by path).
+    pub flows: Vec<FlowStats>,
+    /// Per-link busy-time / horizon (can exceed 1.0 on clamped links).
+    pub utilization: Vec<(LinkId, f64)>,
+    /// Largest link backlog at the end of injection, in µs of service.
+    pub max_backlog_us: f64,
+    /// Total link energy over the horizon, in nanojoules: Σ active links
+    /// `P(link) × horizon`.
+    pub energy_nj: f64,
+    /// True iff some link's demanded load exceeded its top frequency level
+    /// (the flow-level model calls such a routing *infeasible*).
+    pub clamped: bool,
+    /// All delivered-packet latencies, sorted ascending (for percentiles).
+    pub latencies: Vec<f64>,
+}
+
+impl SimReport {
+    /// Mean latency over all delivered packets, in µs.
+    pub fn mean_latency_us(&self) -> f64 {
+        let (mut n, mut sum) = (0usize, 0.0);
+        for f in &self.flows {
+            n += f.delivered;
+            sum += f.mean_latency_us * f.delivered as f64;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// A routing *sustains* its rates when no link was clamped and no
+    /// backlog longer than `tol_us` remains after the injection horizon.
+    pub fn sustains(&self, tol_us: f64) -> bool {
+        !self.clamped && self.max_backlog_us <= tol_us
+    }
+
+    /// Latency percentile in `[0, 1]` (e.g. `0.99` for p99), or 0 when
+    /// nothing was delivered.
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.latencies.len() - 1) as f64 * q).round() as usize;
+        self.latencies[idx]
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Packet {
+    flow: usize,
+    injected_us: f64,
+}
+
+/// Heap event: packet `pkt` becomes ready to start service at hop `hop` of
+/// its path at time `time`.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    pkt: usize,
+    hop: usize,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Runs the routing on the packet simulator. See the crate docs for the
+/// model; deterministic for a given input.
+///
+/// # Panics
+/// Panics if the routing is not structurally valid for `cs`.
+pub fn simulate(cs: &CommSet, routing: &Routing, model: &PowerModel, cfg: &SimConfig) -> SimReport {
+    assert!(
+        routing.is_structurally_valid(cs, usize::MAX),
+        "routing does not cover the communication set"
+    );
+    let mesh = cs.mesh();
+    // Flatten the routing into flows.
+    struct Flow {
+        comm: usize,
+        rate: f64,
+        links: Vec<LinkId>,
+    }
+    let mut flows: Vec<Flow> = Vec::new();
+    for i in 0..cs.len() {
+        for (path, rate) in routing.flows(i) {
+            flows.push(Flow {
+                comm: i,
+                rate: *rate,
+                links: path.links(mesh).collect(),
+            });
+        }
+    }
+    // Aggregate load per link decides the DVFS level (service rate).
+    let loads = routing.loads(cs);
+    let mut service = vec![0.0f64; mesh.num_link_slots()]; // bits per µs
+    let mut clamped = false;
+    let mut energy_nj = 0.0;
+    for (l, load) in loads.iter_active() {
+        let eff = match model.effective_bandwidth(load) {
+            Some(b) => b,
+            None => {
+                clamped = true;
+                // Run at the top level anyway: queues will grow.
+                model.max_bandwidth()
+            }
+        };
+        service[l.index()] = eff;
+        // Energy at the level actually run (clamped links burn top power).
+        energy_nj += (model.p_leak
+            + model.p0 * (eff * model.load_unit).powf(model.alpha))
+            * cfg.horizon_us;
+    }
+
+    // Inject CBR packets per flow with a deterministic per-flow phase.
+    let mut packets: Vec<Packet> = Vec::new();
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (fi, f) in flows.iter().enumerate() {
+        if f.rate <= 0.0 {
+            continue;
+        }
+        let interval = cfg.packet_bits / f.rate; // µs between packets
+        let phase = interval * (fi as f64 * 0.618_033_988_75).fract();
+        let mut t = phase;
+        while t < cfg.horizon_us {
+            let pkt = packets.len();
+            packets.push(Packet {
+                flow: fi,
+                injected_us: t,
+            });
+            heap.push(Reverse(Event {
+                time: t,
+                seq,
+                pkt,
+                hop: 0,
+            }));
+            seq += 1;
+            t += interval;
+        }
+    }
+
+    // FIFO single-server links: next free time per link.
+    let mut link_free = vec![0.0f64; mesh.num_link_slots()];
+    let mut busy = vec![0.0f64; mesh.num_link_slots()];
+    let mut stats: Vec<(usize, f64, f64)> = vec![(0, 0.0, 0.0); flows.len()]; // (count, sum, max)
+    let mut latencies: Vec<f64> = Vec::with_capacity(packets.len());
+    while let Some(Reverse(ev)) = heap.pop() {
+        let flow = &flows[packets[ev.pkt].flow];
+        if ev.hop == flow.links.len() {
+            // Delivered.
+            let lat = ev.time - packets[ev.pkt].injected_us;
+            latencies.push(lat);
+            let s = &mut stats[packets[ev.pkt].flow];
+            s.0 += 1;
+            s.1 += lat;
+            s.2 = s.2.max(lat);
+            continue;
+        }
+        let l = flow.links[ev.hop].index();
+        let start = ev.time.max(link_free[l]);
+        let dt = cfg.packet_bits / service[l];
+        link_free[l] = start + dt;
+        busy[l] += dt;
+        heap.push(Reverse(Event {
+            time: start + dt,
+            seq: ev.seq, // keep FIFO order stable per packet
+            pkt: ev.pkt,
+            hop: ev.hop + 1,
+        }));
+    }
+
+    let utilization: Vec<(LinkId, f64)> = mesh
+        .links()
+        .filter(|l| busy[l.index()] > 0.0)
+        .map(|l| (l, busy[l.index()] / cfg.horizon_us))
+        .collect();
+    let max_backlog_us = mesh
+        .links()
+        .map(|l| (link_free[l.index()] - cfg.horizon_us).max(0.0))
+        .fold(0.0, f64::max);
+    let flow_stats = flows
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| {
+            let (n, sum, max) = stats[fi];
+            FlowStats {
+                comm: f.comm,
+                rate: f.rate,
+                delivered: n,
+                mean_latency_us: if n == 0 { 0.0 } else { sum / n as f64 },
+                max_latency_us: max,
+            }
+        })
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+    SimReport {
+        flows: flow_stats,
+        utilization,
+        max_backlog_us,
+        energy_nj,
+        clamped,
+        latencies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pamr_mesh::{Coord, Mesh};
+    use pamr_routing::{xy_routing, Comm, Heuristic, PathRemover};
+
+    fn single_flow_instance(rate: f64) -> CommSet {
+        CommSet::new(
+            Mesh::new(2, 3),
+            vec![Comm::new(Coord::new(0, 0), Coord::new(1, 2), rate)],
+        )
+    }
+
+    #[test]
+    fn single_flow_latency_is_sum_of_hop_times() {
+        // 1000 Mb/s load on an uncongested path: each link runs at the
+        // 1000 Mb/s level → 512 bits take 0.512 µs per hop, 3 hops.
+        let cs = single_flow_instance(1000.0);
+        let model = PowerModel::kim_horowitz();
+        let r = xy_routing(&cs);
+        let rep = simulate(&cs, &r, &model, &SimConfig::default());
+        assert!(!rep.clamped);
+        let f = &rep.flows[0];
+        assert!(f.delivered > 0);
+        // CBR at exactly the service rate: no queueing, latency = 3 hops.
+        let expected = 3.0 * 512.0 / 1000.0;
+        assert!(
+            (f.mean_latency_us - expected).abs() < 1e-6,
+            "mean {} vs {expected}",
+            f.mean_latency_us
+        );
+        // At exactly 100% utilisation the final in-flight packets drain just
+        // past the horizon; a couple of packet times is not divergence.
+        assert!(rep.sustains(2.0), "backlog {}", rep.max_backlog_us);
+    }
+
+    #[test]
+    fn all_injected_packets_are_delivered() {
+        let cs = single_flow_instance(900.0);
+        let model = PowerModel::kim_horowitz();
+        let r = xy_routing(&cs);
+        let cfg = SimConfig {
+            horizon_us: 50.0,
+            packet_bits: 256.0,
+        };
+        let rep = simulate(&cs, &r, &model, &cfg);
+        // 900 Mb/s × 50 µs / 256 bits ≈ 175 packets.
+        let expected = (900.0 * 50.0 / 256.0) as usize;
+        assert!(rep.flows[0].delivered.abs_diff(expected) <= 1);
+    }
+
+    #[test]
+    fn overloaded_link_is_clamped_and_backlogs() {
+        // 5000 Mb/s > 3500 top level: the simulator clamps and the queue
+        // grows roughly (5000−3500)/3500 of the horizon.
+        let cs = single_flow_instance(5000.0);
+        let model = PowerModel::kim_horowitz();
+        let r = xy_routing(&cs);
+        let rep = simulate(&cs, &r, &model, &SimConfig::default());
+        assert!(rep.clamped);
+        assert!(!rep.sustains(1.0));
+        assert!(rep.max_backlog_us > 10.0, "backlog {}", rep.max_backlog_us);
+    }
+
+    #[test]
+    fn contention_queues_but_sustains_within_capacity() {
+        // Two 1700 Mb/s flows forced onto one 3500 Mb/s link by XY.
+        let mesh = Mesh::new(2, 2);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 1700.0),
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 1700.0),
+            ],
+        );
+        let model = PowerModel::kim_horowitz();
+        let rep = simulate(&cs, &xy_routing(&cs), &model, &SimConfig::default());
+        assert!(!rep.clamped);
+        // Shared-link utilisation ≈ 3400/3500.
+        let max_util = rep
+            .utilization
+            .iter()
+            .map(|&(_, u)| u)
+            .fold(0.0, f64::max);
+        assert!((max_util - 3400.0 / 3500.0).abs() < 0.05, "util {max_util}");
+        assert!(rep.sustains(2.0), "backlog {}", rep.max_backlog_us);
+    }
+
+    #[test]
+    fn manhattan_routing_beats_xy_on_contention() {
+        // Two heavy flows: XY stacks them (clamped); PR separates them.
+        let mesh = Mesh::new(2, 2);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 2500.0),
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 2500.0),
+            ],
+        );
+        let model = PowerModel::kim_horowitz();
+        let xy_rep = simulate(&cs, &xy_routing(&cs), &model, &SimConfig::default());
+        assert!(xy_rep.clamped);
+        let pr = PathRemover.route(&cs, &model);
+        let pr_rep = simulate(&cs, &pr, &model, &SimConfig::default());
+        assert!(!pr_rep.clamped);
+        assert!(pr_rep.sustains(2.0));
+        assert!(pr_rep.mean_latency_us() < xy_rep.mean_latency_us());
+    }
+
+    #[test]
+    fn multipath_flows_split_packets() {
+        use pamr_mesh::Path;
+        use pamr_routing::Routing;
+        let mesh = Mesh::new(2, 2);
+        let cs = CommSet::new(
+            mesh,
+            vec![Comm::new(Coord::new(0, 0), Coord::new(1, 1), 2000.0)],
+        );
+        let src = Coord::new(0, 0);
+        let snk = Coord::new(1, 1);
+        let r = Routing::multi(vec![vec![
+            (Path::xy(src, snk), 1000.0),
+            (Path::yx(src, snk), 1000.0),
+        ]]);
+        let model = PowerModel::kim_horowitz();
+        let rep = simulate(&cs, &r, &model, &SimConfig::default());
+        assert_eq!(rep.flows.len(), 2);
+        assert!(rep.flows.iter().all(|f| f.delivered > 0));
+        assert!(rep.sustains(1.0));
+    }
+
+    #[test]
+    fn energy_scales_with_active_links() {
+        let model = PowerModel::kim_horowitz();
+        let cs = single_flow_instance(800.0);
+        let rep = simulate(&cs, &xy_routing(&cs), &model, &SimConfig::default());
+        // 3 links at the 1 Gb/s level for 100 µs: 3 × 22.31 mW × 100 µs.
+        let expected = 3.0 * (16.9 + 5.41) * 100.0;
+        assert!((rep.energy_nj - expected).abs() < 1e-6, "{}", rep.energy_nj);
+    }
+
+    #[test]
+    fn local_comms_are_free() {
+        let mesh = Mesh::new(2, 2);
+        let cs = CommSet::new(
+            mesh,
+            vec![Comm::new(Coord::new(0, 0), Coord::new(0, 0), 1000.0)],
+        );
+        let model = PowerModel::kim_horowitz();
+        let rep = simulate(&cs, &xy_routing(&cs), &model, &SimConfig::default());
+        assert_eq!(rep.energy_nj, 0.0);
+        assert!(rep.sustains(0.0));
+        // Packets "arrive" instantly.
+        assert!(rep.flows[0].max_latency_us == 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the packet simulator.
+
+use pamr_mesh::{Coord, Mesh};
+use pamr_power::PowerModel;
+use pamr_routing::{xy_routing, Comm, CommSet, Heuristic, PathRemover};
+use pamr_nocsim::{simulate, SimConfig};
+use proptest::prelude::*;
+
+fn instance() -> impl Strategy<Value = CommSet> {
+    prop::collection::vec(
+        ((0usize..4, 0usize..4), (0usize..4, 0usize..4), 100u32..1200),
+        1..=6,
+    )
+    .prop_map(|comms| {
+        let mesh = Mesh::new(4, 4);
+        CommSet::new(
+            mesh,
+            comms
+                .into_iter()
+                .map(|((a, b), (c, d), w)| {
+                    Comm::new(Coord::new(a, b), Coord::new(c, d), w as f64)
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_injected_packet_is_delivered(cs in instance()) {
+        let model = PowerModel::kim_horowitz();
+        let cfg = SimConfig { horizon_us: 40.0, packet_bits: 512.0 };
+        let rep = simulate(&cs, &xy_routing(&cs), &model, &cfg);
+        // Drained network: delivered counts match the CBR injection counts.
+        for f in &rep.flows {
+            if f.rate > 0.0 {
+                let interval = cfg.packet_bits / f.rate;
+                let expected = (cfg.horizon_us / interval).ceil() as usize;
+                prop_assert!(f.delivered.abs_diff(expected) <= 1,
+                    "delivered {} vs expected {}", f.delivered, expected);
+            }
+        }
+        // Percentiles are ordered and bounded by the max.
+        let p50 = rep.latency_percentile(0.5);
+        let p99 = rep.latency_percentile(0.99);
+        prop_assert!(p50 <= p99 + 1e-12);
+        let max = rep.flows.iter().map(|f| f.max_latency_us).fold(0.0, f64::max);
+        prop_assert!(p99 <= max + 1e-9);
+    }
+
+    #[test]
+    fn latency_at_least_ideal_hop_time(cs in instance()) {
+        let model = PowerModel::kim_horowitz();
+        let cfg = SimConfig::default();
+        let rep = simulate(&cs, &xy_routing(&cs), &model, &cfg);
+        // Every packet's latency is at least its path length × fastest
+        // per-hop service time.
+        let fastest_hop = cfg.packet_bits / model.max_bandwidth();
+        let r = xy_routing(&cs);
+        for f in &rep.flows {
+            if f.delivered > 0 {
+                let hops = r.path(f.comm).len() as f64;
+                prop_assert!(f.mean_latency_us + 1e-9 >= hops * fastest_hop);
+            }
+        }
+    }
+
+    #[test]
+    fn energy_matches_active_link_count_bounds(cs in instance()) {
+        let model = PowerModel::kim_horowitz();
+        let cfg = SimConfig::default();
+        let routing = PathRemover.route(&cs, &model);
+        let rep = simulate(&cs, &routing, &model, &cfg);
+        let active = routing.loads(&cs).active_links() as f64;
+        if active > 0.0 {
+            // Energy between all-links-at-min and all-links-at-max power.
+            let min_p = model.power_at_level(1000.0);
+            let max_p = model.power_at_level(3500.0);
+            prop_assert!(rep.energy_nj + 1e-9 >= active * min_p * cfg.horizon_us * 0.999);
+            prop_assert!(rep.energy_nj <= active * max_p * cfg.horizon_us * 1.001);
+        } else {
+            prop_assert_eq!(rep.energy_nj, 0.0);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Frank–Wolfe convex multi-commodity-flow solver: an approximately
+//! optimal **max-MP** routing under continuous frequency scaling.
+//!
+//! The paper leaves "a bound on the optimal solution" as future work
+//! (§7). With `P_leak = 0` and continuous frequencies the multi-path
+//! problem is a convex min-cost multi-commodity flow over per-communication
+//! DAGs (the staircase bands), which Frank–Wolfe solves to arbitrary
+//! precision: each iteration routes every communication entirely on its
+//! cheapest path under the *marginal* link costs and moves a shrinking step
+//! towards that assignment. The duality gap gives a certified lower bound
+//! on the optimal dynamic power of **any** Manhattan routing (single- or
+//! multi-path), which the simulation harness uses to situate the heuristics
+//! in absolute terms.
+
+use crate::comm::CommSet;
+use crate::routing::Routing;
+use pamr_mesh::{Band, Coord, LoadMap, Mesh, Path, Step};
+use pamr_power::PowerModel;
+use std::collections::HashMap;
+
+/// Result of a Frank–Wolfe run.
+#[derive(Debug, Clone)]
+pub struct FrankWolfeResult {
+    /// The fractional multi-path routing found.
+    pub routing: Routing,
+    /// Its per-link loads.
+    pub loads: LoadMap,
+    /// Its dynamic power (the objective; leakage ignored).
+    pub dynamic_power: f64,
+    /// Certified lower bound on the optimal dynamic power of any
+    /// Manhattan routing (from the final duality gap).
+    pub lower_bound: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Marginal dynamic cost of a link at the given load, under continuous
+/// scaling: `d/dload [P_0 · (load · unit)^α] = α·P_0·unit^α·load^(α−1)`.
+fn marginal(model: &PowerModel, load: f64) -> f64 {
+    model.alpha * model.p0 * model.load_unit.powf(model.alpha) * load.powf(model.alpha - 1.0)
+}
+
+/// Dynamic power of a load map under continuous scaling (no capacity).
+fn dynamic_power(model: &PowerModel, loads: &LoadMap) -> f64 {
+    loads
+        .iter_active()
+        .map(|(_, l)| model.p0 * (l * model.load_unit).powf(model.alpha))
+        .sum()
+}
+
+/// Cheapest Manhattan path for `src → snk` under per-link costs, by dynamic
+/// programming over the band (diagonal order).
+fn cheapest_path(
+    mesh: &Mesh,
+    costs: &LoadMap,
+    model: &PowerModel,
+    src: Coord,
+    snk: Coord,
+) -> Path {
+    if src == snk {
+        return Path::from_moves(src, vec![]);
+    }
+    let band = Band::new(mesh, src, snk);
+    // dist[core] = cheapest marginal cost from src; pred[core] = best step.
+    let mut dist: HashMap<usize, f64> = HashMap::new();
+    let mut pred: HashMap<usize, (usize, Step)> = HashMap::new();
+    dist.insert(mesh.core_index(src), 0.0);
+    for g in band.groups() {
+        for &l in g {
+            let (from, to) = mesh.link_endpoints(l);
+            let (fi, ti) = (mesh.core_index(from), mesh.core_index(to));
+            if let Some(&df) = dist.get(&fi) {
+                let cand = df + marginal(model, costs.get(l));
+                if dist.get(&ti).is_none_or(|&dt| cand < dt) {
+                    dist.insert(ti, cand);
+                    pred.insert(ti, (fi, mesh.link_step(l)));
+                }
+            }
+        }
+    }
+    // Reconstruct the move sequence backwards from the sink.
+    let mut moves: Vec<Step> = Vec::with_capacity(band.len());
+    let mut cur = mesh.core_index(snk);
+    while cur != mesh.core_index(src) {
+        let (prev, step) = pred[&cur];
+        moves.push(step);
+        cur = prev;
+    }
+    moves.reverse();
+    Path::from_moves(src, moves)
+}
+
+/// Runs Frank–Wolfe for `iterations` steps (the classic `2/(k+2)` step
+/// size) and returns the fractional multi-path routing, its dynamic power
+/// and a certified lower bound on the optimum.
+///
+/// Only meaningful under **continuous** frequency scaling with negligible
+/// leakage; the solver ignores capacities and the discrete levels (it is a
+/// bound/ablation tool, not one of the paper's heuristics).
+pub fn frank_wolfe(cs: &CommSet, model: &PowerModel, iterations: usize) -> FrankWolfeResult {
+    let mesh = cs.mesh();
+    // flows[i]: move-sequence → rate.
+    let mut flows: Vec<HashMap<Vec<Step>, f64>> = vec![HashMap::new(); cs.len()];
+    let mut loads = LoadMap::new(mesh);
+    // Initial all-or-nothing assignment on XY paths.
+    for (i, c) in cs.comms().iter().enumerate() {
+        let p = Path::xy(c.src, c.snk);
+        loads.add_path(mesh, &p, c.weight);
+        flows[i].insert(p.moves().to_vec(), c.weight);
+    }
+    let mut lower_bound: f64 = 0.0;
+    let mut iters_done = 0;
+    for k in 0..iterations {
+        // All-or-nothing target under current marginal costs.
+        let mut target = LoadMap::new(mesh);
+        let mut target_paths: Vec<Path> = Vec::with_capacity(cs.len());
+        for c in cs.comms() {
+            let p = cheapest_path(mesh, &loads, model, c.src, c.snk);
+            target.add_path(mesh, &p, c.weight);
+            target_paths.push(p);
+        }
+        // Duality-gap lower bound: f(x) + ∇f(x)·(y − x) ≤ f(x*).
+        let f = dynamic_power(model, &loads);
+        let mut gap = 0.0;
+        for id in mesh.links() {
+            let g = marginal(model, loads.get(id));
+            gap += g * (target.get(id) - loads.get(id));
+        }
+        lower_bound = lower_bound.max(f + gap);
+        iters_done = k + 1;
+        if -gap <= 1e-12 * f.max(1.0) {
+            break; // converged
+        }
+        let gamma = 2.0 / (k as f64 + 2.0);
+        // loads ← (1−γ)·loads + γ·target, and likewise for the flows.
+        let mut next = LoadMap::new(mesh);
+        for id in mesh.links() {
+            let v = (1.0 - gamma) * loads.get(id) + gamma * target.get(id);
+            if v > 0.0 {
+                next.add(id, v);
+            }
+        }
+        loads = next;
+        for (i, c) in cs.comms().iter().enumerate() {
+            for rate in flows[i].values_mut() {
+                *rate *= 1.0 - gamma;
+            }
+            *flows[i]
+                .entry(target_paths[i].moves().to_vec())
+                .or_insert(0.0) += gamma * c.weight;
+            // Drop numerically dead flows to keep the support small.
+            flows[i].retain(|_, r| *r > 1e-12 * c.weight);
+            // Renormalise the surviving rates to sum exactly to δ.
+            let sum: f64 = flows[i].values().sum();
+            let scale = c.weight / sum;
+            for rate in flows[i].values_mut() {
+                *rate *= scale;
+            }
+        }
+    }
+    let routing = Routing::multi(
+        flows
+            .iter()
+            .zip(cs.comms())
+            .map(|(fl, c)| {
+                let mut v: Vec<(Path, f64)> = fl
+                    .iter()
+                    .map(|(m, &r)| (Path::from_moves(c.src, m.clone()), r))
+                    .collect();
+                v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                v
+            })
+            .collect(),
+    );
+    let dynamic = dynamic_power(model, &loads);
+    FrankWolfeResult {
+        routing,
+        loads,
+        dynamic_power: dynamic,
+        lower_bound,
+        iterations: iters_done,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Comm;
+    use pamr_mesh::Mesh;
+
+    #[test]
+    fn fw_converges_to_even_split_on_fig2() {
+        // One communication of weight 4 on a 2×2 mesh: the multi-path
+        // optimum splits 2/2 over XY and YX, giving 4·2³ = 32 (with
+        // δ = 4 = γ1 + γ2 merged, this is the Fig. 2(c) bound).
+        let mesh = Mesh::new(2, 2);
+        let cs = CommSet::new(
+            mesh,
+            vec![Comm::new(Coord::new(0, 0), Coord::new(1, 1), 4.0)],
+        );
+        let model = PowerModel::theory(3.0);
+        let res = frank_wolfe(&cs, &model, 400);
+        assert!(
+            (res.dynamic_power - 32.0).abs() < 0.5,
+            "FW power {} far from optimum 32",
+            res.dynamic_power
+        );
+        assert!(res.lower_bound <= res.dynamic_power + 1e-9);
+        assert!(res.lower_bound > 31.0, "lower bound {} too loose", res.lower_bound);
+        assert!(res.routing.is_structurally_valid(&cs, usize::MAX));
+    }
+
+    #[test]
+    fn fw_lower_bound_below_single_path_heuristics() {
+        use crate::heuristic::Heuristic;
+        let mesh = Mesh::new(4, 4);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(3, 3), 2.0),
+                Comm::new(Coord::new(0, 3), Coord::new(3, 0), 2.0),
+                Comm::new(Coord::new(1, 0), Coord::new(2, 3), 1.0),
+            ],
+        );
+        let model = PowerModel::theory(3.0);
+        let res = frank_wolfe(&cs, &model, 200);
+        let pr = crate::pr::PathRemover.route(&cs, &model);
+        let p_pr = pr.power(&cs, &model).unwrap().total();
+        assert!(res.lower_bound <= p_pr + 1e-9);
+        assert!(res.dynamic_power <= p_pr + 1e-9, "multi-path must beat single-path");
+    }
+
+    #[test]
+    fn fw_flow_conservation() {
+        let mesh = Mesh::new(3, 5);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(2, 4), 7.0),
+                Comm::new(Coord::new(2, 0), Coord::new(0, 4), 3.0),
+            ],
+        );
+        let model = PowerModel::theory(2.5);
+        let res = frank_wolfe(&cs, &model, 100);
+        for (i, c) in cs.comms().iter().enumerate() {
+            let sum: f64 = res.routing.flows(i).iter().map(|(_, r)| r).sum();
+            assert!((sum - c.weight).abs() < 1e-6 * c.weight);
+        }
+    }
+
+    #[test]
+    fn cheapest_path_prefers_empty_links() {
+        let mesh = Mesh::new(3, 3);
+        let model = PowerModel::theory(3.0);
+        let mut costs = LoadMap::new(&mesh);
+        // Saturate the XY path; the DP must route around it.
+        let xy = Path::xy(Coord::new(0, 0), Coord::new(2, 2));
+        costs.add_path(&mesh, &xy, 10.0);
+        let p = cheapest_path(&mesh, &costs, &model, Coord::new(0, 0), Coord::new(2, 2));
+        assert!(p.is_manhattan(&mesh));
+        let crossing: Vec<_> = p.links(&mesh).filter(|l| costs.get(*l) > 0.0).collect();
+        assert!(crossing.is_empty(), "cheapest path re-used loaded links {crossing:?}");
+    }
+}

@@ -1,0 +1,318 @@
+//! The two greedy heuristics: Simple Greedy (§5.1) and Improved Greedy
+//! (§5.2).
+
+use crate::comm::{Comm, CommSet, SortOrder};
+use crate::fractional::comm_ideal_contribution;
+use crate::heuristic::{surrogate_link_cost, Heuristic};
+use crate::routing::Routing;
+use pamr_mesh::{Band, Coord, LoadMap, Mesh, Path, Step};
+use pamr_power::PowerModel;
+
+/// **SG — Simple greedy** (§5.1).
+///
+/// Communications are processed by decreasing weight. Each path is built
+/// hop by hop: among the (at most two) next links that stay on a Manhattan
+/// path, take the least loaded one; break ties by moving closer to the
+/// straight source–sink diagonal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimpleGreedy {
+    /// Processing order (decreasing weight by default, per the paper).
+    pub order: SortOrder,
+}
+
+impl Heuristic for SimpleGreedy {
+    fn name(&self) -> &'static str {
+        "SG"
+    }
+
+    fn route(&self, cs: &CommSet, _model: &PowerModel) -> Routing {
+        let mesh = cs.mesh();
+        let mut loads = LoadMap::new(mesh);
+        let mut paths: Vec<Option<Path>> = vec![None; cs.len()];
+        for &i in &cs.by_order(self.order) {
+            let c = &cs.comms()[i];
+            let path = sg_route_one(mesh, &loads, c);
+            loads.add_path(mesh, &path, c.weight);
+            paths[i] = Some(path);
+        }
+        Routing::single(cs, paths.into_iter().map(Option::unwrap).collect())
+    }
+}
+
+/// Twice the (unsigned) area of the triangle (src, snk, c): zero when `c`
+/// is exactly on the straight src–snk segment, growing as `c` drifts away.
+/// SG's tie-break picks the next core minimising this.
+fn dist_to_diagonal(src: Coord, snk: Coord, c: Coord) -> i64 {
+    let (au, av) = (snk.u as i64 - src.u as i64, snk.v as i64 - src.v as i64);
+    let (bu, bv) = (c.u as i64 - src.u as i64, c.v as i64 - src.v as i64);
+    (au * bv - av * bu).abs()
+}
+
+fn sg_route_one(mesh: &Mesh, loads: &LoadMap, c: &Comm) -> Path {
+    let (sv, sh) = c.quadrant().steps();
+    let mut cur = c.src;
+    let mut moves = Vec::with_capacity(c.len());
+    while cur != c.snk {
+        let step = match (cur.u != c.snk.u, cur.v != c.snk.v) {
+            (true, false) => sv,
+            (false, true) => sh,
+            (true, true) => {
+                let lv = loads.get(mesh.link_id(cur, sv).unwrap());
+                let lh = loads.get(mesh.link_id(cur, sh).unwrap());
+                if lv < lh {
+                    sv
+                } else if lh < lv {
+                    sh
+                } else {
+                    // Tie: pick the link getting closer to the source–sink
+                    // diagonal; if still tied, prefer the vertical move
+                    // (deterministic).
+                    let nv = mesh.step(cur, sv).unwrap();
+                    let nh = mesh.step(cur, sh).unwrap();
+                    if dist_to_diagonal(c.src, c.snk, nv) <= dist_to_diagonal(c.src, c.snk, nh) {
+                        sv
+                    } else {
+                        sh
+                    }
+                }
+            }
+            (false, false) => unreachable!(),
+        };
+        moves.push(step);
+        cur = mesh.step(cur, step).unwrap();
+    }
+    Path::from_moves(c.src, moves)
+}
+
+/// **IG — Improved greedy** (§5.2).
+///
+/// All communications are first virtually pre-routed with the ideal
+/// fractional sharing of Figure 3. Processing them by decreasing weight,
+/// IG removes the current communication's fractional contribution and then
+/// builds its single path hop by hop: each candidate next link is scored by
+/// a lower bound on the power to reach the sink through it (the candidate
+/// link's own power plus, for every remaining diagonal, the power of the
+/// least loaded link that remains reachable), and the cheaper candidate is
+/// taken.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ImprovedGreedy {
+    /// Processing order (decreasing weight by default, per the paper).
+    pub order: SortOrder,
+}
+
+impl Heuristic for ImprovedGreedy {
+    fn name(&self) -> &'static str {
+        "IG"
+    }
+
+    fn route(&self, cs: &CommSet, model: &PowerModel) -> Routing {
+        let mesh = cs.mesh();
+        let mut loads = LoadMap::new(mesh);
+        // Virtual pre-routing of every communication.
+        let contributions: Vec<Vec<(pamr_mesh::LinkId, f64)>> = cs
+            .comms()
+            .iter()
+            .map(|c| comm_ideal_contribution(mesh, c))
+            .collect();
+        for contrib in &contributions {
+            for &(l, share) in contrib {
+                loads.add(l, share);
+            }
+        }
+        let mut paths: Vec<Option<Path>> = vec![None; cs.len()];
+        for &i in &cs.by_order(self.order) {
+            let c = &cs.comms()[i];
+            // Remove this communication's own pre-routing before choosing
+            // its real path.
+            for &(l, share) in &contributions[i] {
+                loads.add(l, -share);
+            }
+            let path = ig_route_one(mesh, &loads, model, c);
+            loads.add_path(mesh, &path, c.weight);
+            paths[i] = Some(path);
+        }
+        Routing::single(cs, paths.into_iter().map(Option::unwrap).collect())
+    }
+}
+
+/// Lower bound on the power to go from `from` to `snk` assuming for each
+/// remaining diagonal crossing the least-loaded reachable link can be used.
+fn ig_tail_bound(
+    mesh: &Mesh,
+    loads: &LoadMap,
+    model: &PowerModel,
+    from: Coord,
+    snk: Coord,
+    weight: f64,
+) -> f64 {
+    if from == snk {
+        return 0.0;
+    }
+    let sub = Band::new(mesh, from, snk);
+    sub.groups()
+        .iter()
+        .map(|g| {
+            g.iter()
+                .map(|&l| surrogate_link_cost(model, loads.get(l) + weight))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum()
+}
+
+fn ig_route_one(mesh: &Mesh, loads: &LoadMap, model: &PowerModel, c: &Comm) -> Path {
+    let (sv, sh) = c.quadrant().steps();
+    let mut cur = c.src;
+    let mut moves = Vec::with_capacity(c.len());
+    while cur != c.snk {
+        let step = match (cur.u != c.snk.u, cur.v != c.snk.v) {
+            (true, false) => sv,
+            (false, true) => sh,
+            (true, true) => {
+                let mut best = (f64::INFINITY, sv);
+                for s in [sv, sh] {
+                    let link = mesh.link_id(cur, s).unwrap();
+                    let next = mesh.step(cur, s).unwrap();
+                    let bound = surrogate_link_cost(model, loads.get(link) + c.weight)
+                        + ig_tail_bound(mesh, loads, model, next, c.snk, c.weight);
+                    // Strict `<` keeps the vertical move on ties (sv first).
+                    if bound < best.0 {
+                        best = (bound, s);
+                    }
+                }
+                best.1
+            }
+            (false, false) => unreachable!(),
+        };
+        moves.push(step);
+        cur = mesh.step(cur, step).unwrap();
+    }
+    debug_assert!(moves.iter().all(|&s: &Step| c.quadrant().allows(s)));
+    Path::from_moves(c.src, moves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pamr_mesh::Mesh;
+
+    fn check_valid(h: &dyn Heuristic, cs: &CommSet, model: &PowerModel) -> Routing {
+        let r = h.route(cs, model);
+        assert!(
+            r.is_structurally_valid(cs, 1),
+            "{} produced an invalid routing",
+            h.name()
+        );
+        r
+    }
+
+    #[test]
+    fn sg_separates_two_equal_flows() {
+        // Two identical communications: the second must avoid the first's
+        // links wherever possible.
+        let mesh = Mesh::new(3, 3);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(2, 2), 1.0),
+                Comm::new(Coord::new(0, 0), Coord::new(2, 2), 1.0),
+            ],
+        );
+        let model = PowerModel::theory(3.0);
+        let r = check_valid(&SimpleGreedy::default(), &cs, &model);
+        let loads = r.loads(&cs);
+        // A perfect separation yields max load 1.0 (XY would give 2.0).
+        assert!(loads.max_load() <= 1.0 + 1e-9, "max = {}", loads.max_load());
+    }
+
+    #[test]
+    fn sg_tie_break_follows_diagonal() {
+        // A single comm on an empty mesh: all loads are 0, so every hop is a
+        // tie broken towards the diagonal — the path must stay within one
+        // unit of the straight line.
+        let mesh = Mesh::new(6, 6);
+        let cs = CommSet::new(
+            mesh,
+            vec![Comm::new(Coord::new(0, 0), Coord::new(5, 5), 1.0)],
+        );
+        let model = PowerModel::theory(3.0);
+        let r = SimpleGreedy::default().route(&cs, &model);
+        for core in r.path(0).cores() {
+            assert!(
+                dist_to_diagonal(Coord::new(0, 0), Coord::new(5, 5), core) <= 5,
+                "core {core} strays from the diagonal"
+            );
+        }
+    }
+
+    #[test]
+    fn ig_beats_or_matches_xy_on_crossing_traffic() {
+        let mesh = Mesh::new(4, 4);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(3, 3), 2.0),
+                Comm::new(Coord::new(0, 0), Coord::new(3, 3), 2.0),
+                Comm::new(Coord::new(0, 3), Coord::new(3, 0), 1.0),
+            ],
+        );
+        let model = PowerModel::theory(3.0);
+        let ig = check_valid(&ImprovedGreedy::default(), &cs, &model);
+        let xy = crate::rules::xy_routing(&cs);
+        let p_ig = ig.power(&cs, &model).unwrap().total();
+        let p_xy = xy.power(&cs, &model).unwrap().total();
+        assert!(p_ig <= p_xy + 1e-9, "IG {p_ig} worse than XY {p_xy}");
+    }
+
+    #[test]
+    fn greedy_handles_local_and_straight_comms() {
+        let mesh = Mesh::new(3, 4);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(1, 1), Coord::new(1, 1), 5.0), // local
+                Comm::new(Coord::new(0, 0), Coord::new(0, 3), 2.0), // straight
+                Comm::new(Coord::new(2, 3), Coord::new(0, 3), 2.0), // straight up
+            ],
+        );
+        let model = PowerModel::kim_horowitz();
+        for h in [&SimpleGreedy::default() as &dyn Heuristic, &ImprovedGreedy::default()] {
+            let r = check_valid(h, &cs, &model);
+            assert!(r.path(0).is_empty());
+            assert_eq!(r.path(1).len(), 3);
+            assert_eq!(r.path(2).len(), 2);
+        }
+    }
+
+    #[test]
+    fn dist_to_diagonal_zero_on_segment() {
+        let src = Coord::new(0, 0);
+        let snk = Coord::new(4, 4);
+        assert_eq!(dist_to_diagonal(src, snk, Coord::new(2, 2)), 0);
+        assert!(dist_to_diagonal(src, snk, Coord::new(2, 3)) > 0);
+        assert_eq!(
+            dist_to_diagonal(src, snk, Coord::new(1, 3)),
+            dist_to_diagonal(src, snk, Coord::new(3, 1))
+        );
+    }
+
+    #[test]
+    fn ig_processes_heaviest_first() {
+        // The heavy flow should get the contention-free diagonal spread
+        // benefit: with one heavy and one light comm sharing poles, both
+        // must end feasible and the heavy one's path must avoid sharing all
+        // of its links with the light one.
+        let mesh = Mesh::new(2, 2);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 1.0),
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 3.0),
+            ],
+        );
+        let model = PowerModel::fig2();
+        let r = ImprovedGreedy::default().route(&cs, &model);
+        // Optimal 1-MP on Fig. 2 is 56: one comm on XY, the other on YX.
+        let p = r.power(&cs, &model).unwrap().total();
+        assert!((p - 56.0).abs() < 1e-9, "IG should find the Fig. 2 1-MP optimum, got {p}");
+    }
+}

@@ -1,0 +1,222 @@
+//! The heuristic interface, the surrogate cost used during construction,
+//! and the BEST portfolio (§5–§6).
+
+use crate::comm::CommSet;
+use crate::greedy::{ImprovedGreedy, SimpleGreedy};
+use crate::pr::PathRemover;
+use crate::routing::Routing;
+use crate::rules::xy_routing;
+use crate::two_bend::TwoBend;
+use crate::xyi::XyImprover;
+use pamr_power::PowerModel;
+use serde::{Deserialize, Serialize};
+
+/// Cost assigned to one unit of capacity overflow by
+/// [`surrogate_link_cost`]. Chosen so that any overloaded link dominates
+/// every feasible configuration's power, while still ranking "less
+/// overloaded" below "more overloaded" (which lets XYI repair instances on
+/// which plain XY routing fails).
+pub const SURROGATE_PENALTY: f64 = 1e12;
+
+/// The cost a heuristic sees for a link carrying `load`: the model's power
+/// when feasible, and a huge load-increasing penalty when the load exceeds
+/// the maximum bandwidth.
+///
+/// Heuristics minimise this surrogate so that (a) among feasible solutions
+/// they minimise true power, and (b) when forced into infeasibility they
+/// still reduce the amount of overflow, maximising the chance that later
+/// repair steps (XYI) find a feasible solution.
+pub fn surrogate_link_cost(model: &PowerModel, load: f64) -> f64 {
+    // Hypothetical loads can dip epsilon-below zero through floating-point
+    // cancellation (e.g. XYI evaluating "this link without that flow").
+    let load = load.max(0.0);
+    match model.link_power(load) {
+        Ok(p) => p,
+        Err(_) => SURROGATE_PENALTY * (1.0 + load / model.capacity),
+    }
+}
+
+/// A single-path routing heuristic (§5). All heuristics are deterministic;
+/// given the same instance and model they produce the same routing.
+pub trait Heuristic {
+    /// Short display name used in tables ("XY", "SG", ...).
+    fn name(&self) -> &'static str;
+
+    /// Routes the instance. The returned routing is always structurally
+    /// valid; it may still be *infeasible* (some link over capacity), in
+    /// which case the heuristic is counted as failed on this instance.
+    fn route(&self, cs: &CommSet, model: &PowerModel) -> Routing;
+}
+
+/// Identifier for the six routing policies compared in §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeuristicKind {
+    /// Baseline XY routing.
+    Xy,
+    /// Simple greedy (§5.1).
+    Sg,
+    /// Improved greedy (§5.2).
+    Ig,
+    /// Two-bend (§5.3).
+    Tb,
+    /// XY improver (§5.4).
+    Xyi,
+    /// Path remover (§5.5).
+    Pr,
+}
+
+impl HeuristicKind {
+    /// The six policies in the paper's presentation order.
+    pub const ALL: [HeuristicKind; 6] = [
+        HeuristicKind::Xy,
+        HeuristicKind::Sg,
+        HeuristicKind::Ig,
+        HeuristicKind::Tb,
+        HeuristicKind::Xyi,
+        HeuristicKind::Pr,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HeuristicKind::Xy => "XY",
+            HeuristicKind::Sg => "SG",
+            HeuristicKind::Ig => "IG",
+            HeuristicKind::Tb => "TB",
+            HeuristicKind::Xyi => "XYI",
+            HeuristicKind::Pr => "PR",
+        }
+    }
+
+    /// Runs this policy on an instance.
+    pub fn route(&self, cs: &CommSet, model: &PowerModel) -> Routing {
+        match self {
+            HeuristicKind::Xy => xy_routing(cs),
+            HeuristicKind::Sg => SimpleGreedy::default().route(cs, model),
+            HeuristicKind::Ig => ImprovedGreedy::default().route(cs, model),
+            HeuristicKind::Tb => TwoBend::default().route(cs, model),
+            HeuristicKind::Xyi => XyImprover::default().route(cs, model),
+            HeuristicKind::Pr => PathRemover.route(cs, model),
+        }
+    }
+}
+
+impl std::fmt::Display for HeuristicKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The virtual **BEST** heuristic of §6: run a portfolio and keep the
+/// feasible routing of smallest power (`None` when every member fails).
+#[derive(Debug, Clone)]
+pub struct Best {
+    portfolio: Vec<HeuristicKind>,
+}
+
+impl Default for Best {
+    fn default() -> Self {
+        Best {
+            portfolio: HeuristicKind::ALL.to_vec(),
+        }
+    }
+}
+
+impl Best {
+    /// BEST over a custom portfolio.
+    pub fn of(portfolio: Vec<HeuristicKind>) -> Self {
+        assert!(!portfolio.is_empty());
+        Best { portfolio }
+    }
+
+    /// The portfolio members.
+    pub fn portfolio(&self) -> &[HeuristicKind] {
+        &self.portfolio
+    }
+
+    /// Runs every member and returns the best feasible `(kind, routing,
+    /// power)`, or `None` if all members fail.
+    pub fn route(
+        &self,
+        cs: &CommSet,
+        model: &PowerModel,
+    ) -> Option<(HeuristicKind, Routing, f64)> {
+        let mut best: Option<(HeuristicKind, Routing, f64)> = None;
+        for &kind in &self.portfolio {
+            let routing = kind.route(cs, model);
+            if let Ok(p) = routing.power(cs, model) {
+                let total = p.total();
+                if best.as_ref().is_none_or(|(_, _, bp)| total < *bp) {
+                    best = Some((kind, routing, total));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Comm;
+    use pamr_mesh::{Coord, Mesh};
+
+    #[test]
+    fn surrogate_matches_power_when_feasible() {
+        let model = PowerModel::fig2();
+        assert_eq!(surrogate_link_cost(&model, 0.0), 0.0);
+        assert!((surrogate_link_cost(&model, 2.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surrogate_penalises_overflow_increasingly() {
+        let model = PowerModel::fig2(); // BW = 4
+        let a = surrogate_link_cost(&model, 4.5);
+        let b = surrogate_link_cost(&model, 6.0);
+        assert!(a >= SURROGATE_PENALTY);
+        assert!(b > a, "more overflow must cost more");
+        // Any overflow dominates any feasible power.
+        assert!(a > surrogate_link_cost(&model, 4.0));
+    }
+
+    #[test]
+    fn kind_names() {
+        let names: Vec<_> = HeuristicKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, ["XY", "SG", "IG", "TB", "XYI", "PR"]);
+    }
+
+    #[test]
+    fn best_picks_minimum_power_member() {
+        // On the Fig. 2 instance XY is feasible (exactly at capacity) but
+        // Manhattan heuristics find strictly better routings.
+        let mesh = Mesh::new(2, 2);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 1.0),
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 3.0),
+            ],
+        );
+        let model = PowerModel::fig2();
+        let (kind, routing, power) = Best::default().route(&cs, &model).unwrap();
+        assert!(routing.is_structurally_valid(&cs, 1));
+        // Best single-path power on this instance is 56 (Fig. 2b).
+        assert!((power - 56.0).abs() < 1e-9, "got {power} from {kind}");
+        assert_ne!(kind, HeuristicKind::Xy);
+    }
+
+    #[test]
+    fn best_none_when_instance_impossible() {
+        // Two weight-3 communications between the same poles with BW = 4:
+        // any single-path routing overloads... actually 1-MP can separate
+        // them (XY + YX). Force failure with BW = 2 so even one comm alone
+        // overloads every path.
+        let mesh = Mesh::new(2, 2);
+        let cs = CommSet::new(
+            mesh,
+            vec![Comm::new(Coord::new(0, 0), Coord::new(1, 1), 3.0)],
+        );
+        let model = PowerModel::continuous(0.0, 1.0, 3.0, 2.0);
+        assert!(Best::default().route(&cs, &model).is_none());
+    }
+}

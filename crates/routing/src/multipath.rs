@@ -1,0 +1,197 @@
+//! s-MP (multi-path) routing heuristics — the paper's future-work item:
+//! "it may be interesting to design multi-path heuristics, since these may
+//! allow for an even better load-balance of communications" (§7).
+//!
+//! [`SplitMp`] lifts any single-path heuristic to an s-MP one by the
+//! splitting the problem definition itself suggests (§3.3): every
+//! communication `γ_i` is split into `s` equal sub-communications
+//! `δ_i / s`, the expanded instance is routed single-path, and the parts
+//! are folded back into at most `s` weighted paths per original
+//! communication (identical paths merge, so the bound is often loose).
+
+use crate::comm::{Comm, CommSet};
+use crate::heuristic::Heuristic;
+use crate::routing::Routing;
+use pamr_mesh::{Path, Step};
+use pamr_power::PowerModel;
+use std::collections::HashMap;
+
+/// Lifts a single-path heuristic into an s-MP heuristic by communication
+/// splitting.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitMp<H> {
+    inner: H,
+    s: usize,
+}
+
+impl<H: Heuristic> SplitMp<H> {
+    /// Wraps `inner`, splitting every communication into `s ≥ 1` equal
+    /// parts.
+    ///
+    /// # Panics
+    /// Panics if `s == 0`.
+    pub fn new(inner: H, s: usize) -> Self {
+        assert!(s >= 1, "need at least one path per communication");
+        SplitMp { inner, s }
+    }
+
+    /// The split factor `s`.
+    pub fn paths_per_comm(&self) -> usize {
+        self.s
+    }
+}
+
+impl<H: Heuristic> Heuristic for SplitMp<H> {
+    fn name(&self) -> &'static str {
+        "s-MP"
+    }
+
+    fn route(&self, cs: &CommSet, model: &PowerModel) -> Routing {
+        if self.s == 1 {
+            return self.inner.route(cs, model);
+        }
+        // Expand: s sub-communications per original, interleaved so the
+        // inner heuristic's decreasing-weight order treats the parts of one
+        // communication adjacently (equal weights, stable tie-break).
+        let mut expanded = Vec::with_capacity(cs.len() * self.s);
+        let mut origin = Vec::with_capacity(cs.len() * self.s);
+        for (i, c) in cs.comms().iter().enumerate() {
+            for _ in 0..self.s {
+                expanded.push(Comm::new(c.src, c.snk, c.weight / self.s as f64));
+                origin.push(i);
+            }
+        }
+        let sub = CommSet::new(*cs.mesh(), expanded);
+        let routed = self.inner.route(&sub, model);
+        // Fold back, merging identical paths.
+        let mut merged: Vec<HashMap<Vec<Step>, f64>> = vec![HashMap::new(); cs.len()];
+        for (j, &i) in origin.iter().enumerate() {
+            for (path, rate) in routed.flows(j) {
+                *merged[i].entry(path.moves().to_vec()).or_insert(0.0) += rate;
+            }
+        }
+        Routing::multi(
+            merged
+                .into_iter()
+                .zip(cs.comms())
+                .map(|(m, c)| {
+                    let mut v: Vec<(Path, f64)> = m
+                        .into_iter()
+                        .map(|(moves, rate)| (Path::from_moves(c.src, moves), rate))
+                        .collect();
+                    v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                    v
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::ImprovedGreedy;
+    use crate::pr::PathRemover;
+    use crate::two_bend::TwoBend;
+    use pamr_mesh::{Coord, Mesh};
+
+    fn fig2_instance() -> CommSet {
+        CommSet::new(
+            Mesh::new(2, 2),
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 1.0),
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 3.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn two_mp_reaches_the_fig2_optimum() {
+        // Fig. 2(c): the 2-MP optimum is 32; splitting + a decent
+        // single-path heuristic must find it.
+        let cs = fig2_instance();
+        let model = PowerModel::fig2();
+        for r in [
+            SplitMp::new(PathRemover, 2).route(&cs, &model),
+            SplitMp::new(TwoBend::default(), 2).route(&cs, &model),
+            SplitMp::new(ImprovedGreedy::default(), 2).route(&cs, &model),
+        ] {
+            assert!(r.is_structurally_valid(&cs, 2));
+            let p = r.power(&cs, &model).unwrap().total();
+            assert!((p - 32.0).abs() < 1e-9, "2-MP should reach 32, got {p}");
+        }
+    }
+
+    #[test]
+    fn s_one_is_the_inner_heuristic() {
+        let cs = fig2_instance();
+        let model = PowerModel::fig2();
+        let a = SplitMp::new(PathRemover, 1).route(&cs, &model);
+        let b = PathRemover.route(&cs, &model);
+        assert_eq!(
+            a.power(&cs, &model).unwrap().total(),
+            b.power(&cs, &model).unwrap().total()
+        );
+        assert_eq!(a.max_paths_per_comm(), 1);
+    }
+
+    #[test]
+    fn split_respects_the_path_bound() {
+        let mesh = Mesh::new(5, 5);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(4, 4), 9.0),
+                Comm::new(Coord::new(4, 0), Coord::new(0, 4), 6.0),
+            ],
+        );
+        let model = PowerModel::theory(3.0);
+        for s in [2usize, 3, 4] {
+            let r = SplitMp::new(PathRemover, s).route(&cs, &model);
+            assert!(r.is_structurally_valid(&cs, s));
+            assert!(r.max_paths_per_comm() <= s);
+        }
+    }
+
+    #[test]
+    fn more_paths_never_hurt_much() {
+        // With leakage off, increasing s weakly improves the load balance
+        // on heavy parallel traffic (heuristics are not strictly monotone,
+        // but 4-MP must clearly beat 1-MP here).
+        let mesh = Mesh::new(4, 4);
+        let cs = CommSet::new(
+            mesh,
+            vec![Comm::new(Coord::new(0, 0), Coord::new(3, 3), 8.0)],
+        );
+        let model = PowerModel::theory(3.0);
+        let p1 = PathRemover
+            .route(&cs, &model)
+            .power(&cs, &model)
+            .unwrap()
+            .total();
+        let p4 = SplitMp::new(PathRemover, 4)
+            .route(&cs, &model)
+            .power(&cs, &model)
+            .unwrap()
+            .total();
+        assert!(
+            p4 < 0.5 * p1,
+            "4-MP ({p4}) should roughly quarter the single-path power ({p1})"
+        );
+    }
+
+    #[test]
+    fn split_can_solve_where_single_path_cannot() {
+        // One weight-4 communication, BW = 3: no single Manhattan path is
+        // feasible, but a 2-way split is.
+        let mesh = Mesh::new(2, 2);
+        let cs = CommSet::new(
+            mesh,
+            vec![Comm::new(Coord::new(0, 0), Coord::new(1, 1), 4.0)],
+        );
+        let model = PowerModel::continuous(0.0, 1.0, 3.0, 3.0);
+        assert!(!PathRemover.route(&cs, &model).is_feasible(&cs, &model));
+        let r = SplitMp::new(PathRemover, 2).route(&cs, &model);
+        assert!(r.is_feasible(&cs, &model), "2-MP must split 4 into 2+2");
+    }
+}

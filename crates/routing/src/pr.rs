@@ -1,0 +1,340 @@
+//! The Path-remover heuristic (§5.5).
+
+use crate::comm::CommSet;
+use crate::heuristic::Heuristic;
+use crate::routing::Routing;
+use pamr_mesh::{Band, Coord, LinkId, LoadMap, Mesh, Path, Step};
+use pamr_power::PowerModel;
+
+/// **PR — Path remover** (§5.5).
+///
+/// Every communication starts (virtually) pre-routed over *all* its
+/// Manhattan paths with the ideal fractional sharing of Figure 3. Links are
+/// then removed iteratively: take the most loaded link and the largest
+/// communication using it, and delete that link from the communication's
+/// allowed set unless this would break its last remaining path (in which
+/// case the next communication on the link is considered, then the next
+/// link). After each deletion the allowed-link set is *cleaned* — links no
+/// longer on any remaining source→sink path are dropped too — and the
+/// communication's fractional load is re-spread over the surviving links of
+/// each diagonal crossing. The process ends when every communication has
+/// exactly one remaining path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PathRemover;
+
+/// Per-communication removal state.
+struct PrComm {
+    band: Band,
+    weight: f64,
+    /// Aliveness aligned with `band.groups()`.
+    alive: Vec<Vec<bool>>,
+    /// Current equal share per alive link, per group (`δ / alive_count`).
+    share: Vec<f64>,
+    /// True when every group retains exactly one link.
+    resolved: bool,
+}
+
+impl PrComm {
+    fn new(mesh: &Mesh, src: Coord, snk: Coord, weight: f64) -> Self {
+        let band = Band::new(mesh, src, snk);
+        let alive: Vec<Vec<bool>> = band.groups().iter().map(|g| vec![true; g.len()]).collect();
+        let share: Vec<f64> = band
+            .groups()
+            .iter()
+            .map(|g| weight / g.len() as f64)
+            .collect();
+        let resolved = band.groups().iter().all(|g| g.len() == 1);
+        PrComm {
+            band,
+            weight,
+            alive,
+            share,
+            resolved,
+        }
+    }
+
+    /// Applies this communication's fractional load with sign `sign`.
+    fn apply_loads(&self, loads: &mut LoadMap, sign: f64) {
+        for (t, g) in self.band.groups().iter().enumerate() {
+            let s = self.share[t] * sign;
+            for (j, &l) in g.iter().enumerate() {
+                if self.alive[t][j] {
+                    loads.add(l, s);
+                }
+            }
+        }
+    }
+
+    /// Drops alive links that no longer lie on any source→sink path
+    /// (the paper's "path cleaning"), then recomputes the per-group shares
+    /// and the resolved flag.
+    fn clean_and_reshare(&mut self, mesh: &Mesh) {
+        if self.band.is_empty() {
+            self.resolved = true;
+            return;
+        }
+        // Forward reachability from the source, diagonal by diagonal.
+        let n = mesh.num_cores();
+        let mut fwd = vec![false; n];
+        fwd[mesh.core_index(self.band.src())] = true;
+        for (t, g) in self.band.groups().iter().enumerate() {
+            for (j, &l) in g.iter().enumerate() {
+                if self.alive[t][j] {
+                    let (from, to) = mesh.link_endpoints(l);
+                    if fwd[mesh.core_index(from)] {
+                        fwd[mesh.core_index(to)] = true;
+                    }
+                }
+            }
+        }
+        // Backward reachability from the sink.
+        let mut bwd = vec![false; n];
+        bwd[mesh.core_index(self.band.snk())] = true;
+        for (t, g) in self.band.groups().iter().enumerate().rev() {
+            for (j, &l) in g.iter().enumerate() {
+                if self.alive[t][j] {
+                    let (from, to) = mesh.link_endpoints(l);
+                    if bwd[mesh.core_index(to)] {
+                        bwd[mesh.core_index(from)] = true;
+                    }
+                }
+            }
+        }
+        // A link is useful iff it is alive and joins a forward-reachable
+        // core to a backward-reachable one.
+        self.resolved = true;
+        for (t, g) in self.band.groups().iter().enumerate() {
+            let mut count = 0usize;
+            for (j, &l) in g.iter().enumerate() {
+                if self.alive[t][j] {
+                    let (from, to) = mesh.link_endpoints(l);
+                    if fwd[mesh.core_index(from)] && bwd[mesh.core_index(to)] {
+                        count += 1;
+                    } else {
+                        self.alive[t][j] = false;
+                    }
+                }
+            }
+            debug_assert!(count > 0, "cleaning must preserve at least one path");
+            self.share[t] = self.weight / count as f64;
+            if count > 1 {
+                self.resolved = false;
+            }
+        }
+    }
+
+    /// Number of alive links in the group containing `link` and the link's
+    /// position, if it is alive.
+    fn locate(&self, mesh: &Mesh, link: LinkId) -> Option<(usize, usize, usize)> {
+        if self.band.is_empty() {
+            return None;
+        }
+        let (from, _) = mesh.link_endpoints(link);
+        let k = mesh.diag_index(from, self.band.quadrant());
+        let t = k.checked_sub(self.band.k_src())?;
+        if t >= self.band.len() {
+            return None;
+        }
+        let g = self.band.group(t);
+        let j = g.iter().position(|&l| l == link)?;
+        if !self.alive[t][j] {
+            return None;
+        }
+        let count = self.alive[t].iter().filter(|&&a| a).count();
+        Some((t, j, count))
+    }
+
+    /// Extracts the unique remaining path (requires `resolved`).
+    fn final_path(&self, mesh: &Mesh) -> Path {
+        assert!(self.resolved);
+        let mut cur = self.band.src();
+        let mut moves: Vec<Step> = Vec::with_capacity(self.band.len());
+        for (t, g) in self.band.groups().iter().enumerate() {
+            let j = self.alive[t].iter().position(|&a| a).unwrap();
+            let link = g[j];
+            let (from, to) = mesh.link_endpoints(link);
+            assert_eq!(
+                from, cur,
+                "resolved PR links do not chain into a path"
+            );
+            moves.push(mesh.link_step(link));
+            cur = to;
+        }
+        assert_eq!(cur, self.band.snk());
+        Path::from_moves(self.band.src(), moves)
+    }
+}
+
+impl Heuristic for PathRemover {
+    fn name(&self) -> &'static str {
+        "PR"
+    }
+
+    fn route(&self, cs: &CommSet, _model: &PowerModel) -> Routing {
+        let mesh = cs.mesh();
+        let mut comms: Vec<PrComm> = cs
+            .comms()
+            .iter()
+            .map(|c| PrComm::new(mesh, c.src, c.snk, c.weight))
+            .collect();
+        let mut loads = LoadMap::new(mesh);
+        for c in &comms {
+            c.apply_loads(&mut loads, 1.0);
+        }
+        // Which communications' bands contain each link (static superset).
+        let mut users: Vec<Vec<usize>> = vec![Vec::new(); mesh.num_link_slots()];
+        for (i, c) in comms.iter().enumerate() {
+            for l in c.band.links() {
+                users[l.index()].push(i);
+            }
+        }
+
+        // Iteratively remove the most loaded link from the largest
+        // removable communication crossing it.
+        while comms.iter().any(|c| !c.resolved) {
+            let mut active: Vec<(LinkId, f64)> = loads.iter_active().collect();
+            active.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            let mut removed = false;
+            'links: for (link, _) in active {
+                // Candidate communications by decreasing weight.
+                let mut cands: Vec<usize> = users[link.index()]
+                    .iter()
+                    .copied()
+                    .filter(|&i| !comms[i].resolved)
+                    .collect();
+                cands.sort_by(|&a, &b| {
+                    comms[b]
+                        .weight
+                        .partial_cmp(&comms[a].weight)
+                        .unwrap()
+                        .then(a.cmp(&b))
+                });
+                for i in cands {
+                    // Removable iff the link is alive for the communication
+                    // and its group keeps another alive link (every alive
+                    // link lies on some path after cleaning, so a sibling
+                    // link guarantees a surviving path).
+                    if let Some((t, j, count)) = comms[i].locate(mesh, link) {
+                        if count >= 2 {
+                            comms[i].apply_loads(&mut loads, -1.0);
+                            comms[i].alive[t][j] = false;
+                            comms[i].clean_and_reshare(mesh);
+                            comms[i].apply_loads(&mut loads, 1.0);
+                            removed = true;
+                            break 'links;
+                        }
+                    }
+                }
+            }
+            debug_assert!(removed, "an unresolved communication always has a removable link");
+            if !removed {
+                break;
+            }
+        }
+
+        Routing::single(cs, comms.iter().map(|c| c.final_path(mesh)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Comm;
+    use crate::rules::xy_routing;
+    use pamr_mesh::Mesh;
+    use pamr_power::PowerModel;
+
+    #[test]
+    fn pr_resolves_to_single_paths() {
+        let mesh = Mesh::new(5, 5);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(4, 4), 3.0),
+                Comm::new(Coord::new(4, 0), Coord::new(0, 4), 2.0),
+                Comm::new(Coord::new(0, 4), Coord::new(4, 0), 1.5),
+                Comm::new(Coord::new(2, 2), Coord::new(2, 2), 1.0), // local
+            ],
+        );
+        let model = PowerModel::theory(3.0);
+        let r = PathRemover.route(&cs, &model);
+        assert!(r.is_structurally_valid(&cs, 1));
+        assert_eq!(r.max_paths_per_comm(), 1);
+        assert!(r.path(3).is_empty());
+    }
+
+    #[test]
+    fn pr_separates_two_identical_flows() {
+        let mesh = Mesh::new(2, 2);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 1.0),
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 3.0),
+            ],
+        );
+        let model = PowerModel::fig2();
+        let r = PathRemover.route(&cs, &model);
+        let p = r.power(&cs, &model).unwrap().total();
+        assert!((p - 56.0).abs() < 1e-9, "PR should reach the 1-MP optimum 56, got {p}");
+    }
+
+    #[test]
+    fn pr_balances_heavy_parallel_traffic() {
+        // Four equal flows corner to corner on a 3×3: best single-path max
+        // load keeps pairs separated.
+        let mesh = Mesh::new(3, 3);
+        let comms = (0..4)
+            .map(|_| Comm::new(Coord::new(0, 0), Coord::new(2, 2), 1.0))
+            .collect();
+        let cs = CommSet::new(mesh, comms);
+        let model = PowerModel::theory(3.0);
+        let r = PathRemover.route(&cs, &model);
+        let loads = r.loads(&cs);
+        // The two links out of the corner must carry 2.0 each (perfect
+        // split); interior spread keeps the maximum at 2.0.
+        assert!(loads.max_load() <= 2.0 + 1e-9, "max load {}", loads.max_load());
+        let p_xy = xy_routing(&cs).power(&cs, &model).unwrap().total();
+        let p_pr = r.power(&cs, &model).unwrap().total();
+        assert!(p_pr < p_xy);
+    }
+
+    #[test]
+    fn pr_handles_straight_lines() {
+        let mesh = Mesh::new(4, 4);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(1, 0), Coord::new(1, 3), 2.0),
+                Comm::new(Coord::new(0, 2), Coord::new(3, 2), 2.0),
+            ],
+        );
+        let model = PowerModel::theory(3.0);
+        let r = PathRemover.route(&cs, &model);
+        assert_eq!(r.path(0).len(), 3);
+        assert_eq!(r.path(1).len(), 3);
+        assert!(r.path(0).bends() == 0 && r.path(1).bends() == 0);
+    }
+
+    #[test]
+    fn pr_loads_match_final_paths() {
+        // After resolution the internal fractional loads must equal the
+        // loads recomputed from the final single paths.
+        let mesh = Mesh::new(6, 6);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 1), Coord::new(5, 4), 2.0),
+                Comm::new(Coord::new(3, 0), Coord::new(1, 5), 1.0),
+                Comm::new(Coord::new(5, 5), Coord::new(0, 0), 3.0),
+            ],
+        );
+        let model = PowerModel::theory(3.0);
+        let r = PathRemover.route(&cs, &model);
+        // Re-derive loads from returned paths and check conservation:
+        // each comm contributes weight × length.
+        let loads = r.loads(&cs);
+        let expected: f64 = cs.comms().iter().map(|c| c.weight * c.len() as f64).sum();
+        assert!((loads.total() - expected).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,62 @@
+//! The oblivious baseline routings: XY and YX (§3.3).
+
+use crate::comm::CommSet;
+use crate::routing::Routing;
+use pamr_mesh::Path;
+
+/// XY routing: every communication goes **horizontally first, then
+/// vertically** — "the most natural and widely used algorithm" the paper
+/// compares against (§1).
+pub fn xy_routing(cs: &CommSet) -> Routing {
+    Routing::single(
+        cs,
+        cs.comms().iter().map(|c| Path::xy(c.src, c.snk)).collect(),
+    )
+}
+
+/// YX routing: vertically first, then horizontally (used by the Lemma 2
+/// worst-case construction).
+pub fn yx_routing(cs: &CommSet) -> Routing {
+    Routing::single(
+        cs,
+        cs.comms().iter().map(|c| Path::yx(c.src, c.snk)).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Comm;
+    use pamr_mesh::{Coord, Mesh};
+
+    #[test]
+    fn xy_paths_have_at_most_one_bend() {
+        let mesh = Mesh::new(5, 5);
+        let comms = vec![
+            Comm::new(Coord::new(0, 0), Coord::new(4, 4), 1.0),
+            Comm::new(Coord::new(4, 0), Coord::new(0, 4), 2.0),
+            Comm::new(Coord::new(2, 2), Coord::new(2, 2), 3.0),
+            Comm::new(Coord::new(3, 3), Coord::new(0, 0), 4.0),
+        ];
+        let cs = CommSet::new(mesh, comms);
+        for r in [xy_routing(&cs), yx_routing(&cs)] {
+            assert!(r.is_structurally_valid(&cs, 1));
+            for i in 0..cs.len() {
+                assert!(r.path(i).bends() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn xy_first_move_is_horizontal() {
+        let mesh = Mesh::new(4, 4);
+        let cs = CommSet::new(
+            mesh,
+            vec![Comm::new(Coord::new(0, 0), Coord::new(3, 3), 1.0)],
+        );
+        let xy = xy_routing(&cs);
+        assert!(xy.path(0).moves()[0].is_horizontal());
+        let yx = yx_routing(&cs);
+        assert!(yx.path(0).moves()[0].is_vertical());
+    }
+}

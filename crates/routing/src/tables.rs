@@ -1,0 +1,231 @@
+//! Table-based routing: compiling a [`Routing`] into per-core forwarding
+//! tables.
+//!
+//! The paper positions its result at the system level: "each communication
+//! is routed from source to destination along a given path using either
+//! source routing or table-based routing", and envisions "a table-driven
+//! scheduling algorithm, which the system can safely call each time there
+//! is a new set of applications to be routed" (§5). This module provides
+//! the table side: every core gets a forwarding table mapping a *flow id*
+//! (a `(communication, path)` pair) to the outgoing port, and the tables
+//! can be walked to prove they reproduce the compiled routing exactly.
+
+use crate::comm::CommSet;
+use crate::routing::Routing;
+use pamr_mesh::{Coord, Mesh, Path, Step};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of one flow: communication index plus path index within the
+/// communication's flow list (0 for single-path routings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowId {
+    /// Index of the communication in the [`CommSet`].
+    pub comm: usize,
+    /// Index of the path within the communication's flows.
+    pub path: usize,
+}
+
+/// Per-core forwarding tables for a compiled routing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingTables {
+    /// `tables[core_index][flow] = outgoing step`.
+    tables: Vec<HashMap<FlowId, Step>>,
+    mesh: Mesh,
+}
+
+/// Error produced when a routing cannot be compiled into tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableError {
+    /// A flow visits the same core twice (impossible for Manhattan paths;
+    /// indicates a corrupted routing).
+    RevisitedCore {
+        /// The offending flow.
+        flow: FlowId,
+        /// The revisited core.
+        core: Coord,
+    },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::RevisitedCore { flow, core } => {
+                write!(f, "flow {flow:?} visits core {core} twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl RoutingTables {
+    /// Compiles a routing into per-core tables.
+    ///
+    /// Fails only on non-simple walks; every Manhattan routing compiles
+    /// (shortest paths never revisit a core).
+    pub fn compile(cs: &CommSet, routing: &Routing) -> Result<RoutingTables, TableError> {
+        let mesh = *cs.mesh();
+        let mut tables: Vec<HashMap<FlowId, Step>> = vec![HashMap::new(); mesh.num_cores()];
+        for comm in 0..routing.len() {
+            for (pi, (path, _)) in routing.flows(comm).iter().enumerate() {
+                let flow = FlowId { comm, path: pi };
+                let mut cur = path.src();
+                for &step in path.moves() {
+                    let slot = tables[mesh.core_index(cur)].entry(flow);
+                    match slot {
+                        std::collections::hash_map::Entry::Occupied(_) => {
+                            return Err(TableError::RevisitedCore { flow, core: cur });
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            v.insert(step);
+                        }
+                    }
+                    cur = mesh.step(cur, step).expect("path leaves the mesh");
+                }
+            }
+        }
+        Ok(RoutingTables { tables, mesh })
+    }
+
+    /// Forwarding decision of `core` for `flow`: `Some(step)` to forward,
+    /// `None` when the flow terminates here (or never passes through).
+    pub fn lookup(&self, core: Coord, flow: FlowId) -> Option<Step> {
+        self.tables[self.mesh.core_index(core)].get(&flow).copied()
+    }
+
+    /// Total number of table entries across all cores (a proxy for the
+    /// TCAM/SRAM footprint of the routing).
+    pub fn total_entries(&self) -> usize {
+        self.tables.iter().map(HashMap::len).sum()
+    }
+
+    /// Largest single-core table (the per-router resource bound).
+    pub fn max_entries_per_core(&self) -> usize {
+        self.tables.iter().map(HashMap::len).max().unwrap_or(0)
+    }
+
+    /// Walks the tables from `src` for `flow`, reconstructing the path.
+    ///
+    /// # Panics
+    /// Panics if the tables route the flow off the mesh (cannot happen for
+    /// tables produced by [`RoutingTables::compile`]).
+    pub fn walk(&self, src: Coord, flow: FlowId) -> Path {
+        let mut cur = src;
+        let mut moves = Vec::new();
+        while let Some(step) = self.lookup(cur, flow) {
+            moves.push(step);
+            cur = self.mesh.step(cur, step).expect("tables route off-mesh");
+        }
+        Path::from_moves(src, moves)
+    }
+
+    /// Verifies that walking the tables reproduces every flow of `routing`
+    /// exactly.
+    pub fn verify(&self, cs: &CommSet, routing: &Routing) -> bool {
+        (0..routing.len()).all(|comm| {
+            routing.flows(comm).iter().enumerate().all(|(pi, (path, _))| {
+                let walked = self.walk(path.src(), FlowId { comm, path: pi });
+                walked == *path && walked.snk() == cs.comms()[comm].snk
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Comm;
+    use crate::heuristic::HeuristicKind;
+    use crate::rules::xy_routing;
+    use pamr_power::PowerModel;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(seed: u64) -> CommSet {
+        let mesh = Mesh::new(6, 6);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let comms = (0..20)
+            .map(|_| loop {
+                let a = Coord::new(rng.gen_range(0..6), rng.gen_range(0..6));
+                let b = Coord::new(rng.gen_range(0..6), rng.gen_range(0..6));
+                if a != b {
+                    break Comm::new(a, b, rng.gen_range(100.0..1000.0));
+                }
+            })
+            .collect();
+        CommSet::new(mesh, comms)
+    }
+
+    #[test]
+    fn tables_reproduce_every_policy() {
+        let model = PowerModel::kim_horowitz();
+        for seed in 0..5u64 {
+            let cs = random_instance(seed);
+            for kind in HeuristicKind::ALL {
+                let r = kind.route(&cs, &model);
+                let t = RoutingTables::compile(&cs, &r).expect("Manhattan paths compile");
+                assert!(t.verify(&cs, &r), "seed {seed}: {kind} tables diverge");
+            }
+        }
+    }
+
+    #[test]
+    fn tables_reproduce_multipath_routings() {
+        use crate::heuristic::Heuristic;
+        use crate::multipath::SplitMp;
+        use crate::pr::PathRemover;
+        let cs = random_instance(7);
+        let model = PowerModel::kim_horowitz();
+        let r = SplitMp::new(PathRemover, 3).route(&cs, &model);
+        let t = RoutingTables::compile(&cs, &r).unwrap();
+        assert!(t.verify(&cs, &r));
+    }
+
+    #[test]
+    fn entry_counts_match_hops() {
+        let cs = random_instance(3);
+        let r = xy_routing(&cs);
+        let t = RoutingTables::compile(&cs, &r).unwrap();
+        // One entry per (flow, traversed link).
+        let hops: usize = (0..cs.len()).map(|i| r.path(i).len()).sum();
+        assert_eq!(t.total_entries(), hops);
+        assert!(t.max_entries_per_core() <= cs.len());
+    }
+
+    #[test]
+    fn lookup_none_at_destination() {
+        let mesh = Mesh::new(3, 3);
+        let cs = CommSet::new(
+            mesh,
+            vec![Comm::new(Coord::new(0, 0), Coord::new(2, 2), 1.0)],
+        );
+        let r = xy_routing(&cs);
+        let t = RoutingTables::compile(&cs, &r).unwrap();
+        let flow = FlowId { comm: 0, path: 0 };
+        assert!(t.lookup(Coord::new(2, 2), flow).is_none());
+        assert!(t.lookup(Coord::new(0, 0), flow).is_some());
+        // A core off the path has no entry either.
+        assert!(t.lookup(Coord::new(2, 0), flow).is_none());
+    }
+
+    #[test]
+    fn revisiting_walk_rejected() {
+        // A hand-built out-and-back walk must be refused.
+        let mesh = Mesh::new(2, 2);
+        let cs = CommSet::new(
+            mesh,
+            vec![Comm::new(Coord::new(0, 0), Coord::new(0, 0), 1.0)],
+        );
+        // Right, Left, Right revisits (0,0) with a second outgoing move.
+        let walk = Path::from_moves(
+            Coord::new(0, 0),
+            vec![Step::Right, Step::Left, Step::Right],
+        );
+        let r = Routing::multi(vec![vec![(walk, 1.0)]]);
+        assert!(matches!(
+            RoutingTables::compile(&cs, &r),
+            Err(TableError::RevisitedCore { .. })
+        ));
+    }
+}

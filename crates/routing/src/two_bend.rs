@@ -1,0 +1,121 @@
+//! The Two-bend heuristic (§5.3).
+
+use crate::comm::{CommSet, SortOrder};
+use crate::heuristic::{surrogate_link_cost, Heuristic};
+use crate::routing::Routing;
+use pamr_mesh::{LoadMap, Path};
+use pamr_power::PowerModel;
+
+/// **TB — Two-bend** (§5.3).
+///
+/// Communications are processed by decreasing weight; for each one, all
+/// Manhattan paths with at most two bends (at most `|Δu| + |Δv|` of them)
+/// are evaluated and the one leading to the lowest power consumption is
+/// kept.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoBend {
+    /// Processing order (decreasing weight by default, per the paper).
+    pub order: SortOrder,
+}
+
+impl Heuristic for TwoBend {
+    fn name(&self) -> &'static str {
+        "TB"
+    }
+
+    fn route(&self, cs: &CommSet, model: &PowerModel) -> Routing {
+        let mesh = cs.mesh();
+        let mut loads = LoadMap::new(mesh);
+        let mut paths: Vec<Option<Path>> = vec![None; cs.len()];
+        for &i in &cs.by_order(self.order) {
+            let c = &cs.comms()[i];
+            let mut best: Option<(f64, Path)> = None;
+            for cand in Path::two_bend(mesh, c.src, c.snk) {
+                // Marginal surrogate cost of sending the communication down
+                // this path; the untouched links cancel out, so comparing
+                // marginals is the same as comparing total powers.
+                let cost: f64 = cand
+                    .links(mesh)
+                    .map(|l| {
+                        let load = loads.get(l);
+                        surrogate_link_cost(model, load + c.weight)
+                            - surrogate_link_cost(model, load)
+                    })
+                    .sum();
+                if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+                    best = Some((cost, cand));
+                }
+            }
+            let (_, path) = best.expect("two_bend always yields at least one path");
+            loads.add_path(mesh, &path, c.weight);
+            paths[i] = Some(path);
+        }
+        Routing::single(cs, paths.into_iter().map(Option::unwrap).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Comm;
+    use pamr_mesh::{Coord, Mesh};
+
+    #[test]
+    fn tb_paths_have_at_most_two_bends() {
+        let mesh = Mesh::new(6, 6);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(5, 5), 3.0),
+                Comm::new(Coord::new(5, 0), Coord::new(0, 5), 2.0),
+                Comm::new(Coord::new(0, 5), Coord::new(5, 0), 1.0),
+                Comm::new(Coord::new(3, 3), Coord::new(3, 3), 1.0),
+            ],
+        );
+        let model = PowerModel::theory(3.0);
+        let r = TwoBend::default().route(&cs, &model);
+        assert!(r.is_structurally_valid(&cs, 1));
+        for i in 0..cs.len() {
+            assert!(r.path(i).bends() <= 2);
+        }
+    }
+
+    #[test]
+    fn tb_finds_fig2_single_path_optimum() {
+        let mesh = Mesh::new(2, 2);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 1.0),
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 3.0),
+            ],
+        );
+        let model = PowerModel::fig2();
+        let r = TwoBend::default().route(&cs, &model);
+        let p = r.power(&cs, &model).unwrap().total();
+        assert!((p - 56.0).abs() < 1e-9, "TB should reach 56, got {p}");
+    }
+
+    #[test]
+    fn tb_spreads_parallel_heavy_flows() {
+        // Two heavy flows, same poles, BW tight: TB must pick disjoint
+        // two-bend variants to stay feasible where XY would stack 6.0 on
+        // one link. (Three such flows would be infeasible outright: the
+        // source has only two outgoing links.)
+        let mesh = Mesh::new(4, 4);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(3, 3), 3.0),
+                Comm::new(Coord::new(0, 0), Coord::new(3, 3), 3.0),
+            ],
+        );
+        let model = PowerModel::continuous(0.0, 1.0, 3.0, 4.0);
+        let r = TwoBend::default().route(&cs, &model);
+        assert!(
+            r.is_feasible(&cs, &model),
+            "max load = {}",
+            r.loads(&cs).max_load()
+        );
+    }
+}

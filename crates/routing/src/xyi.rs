@@ -1,0 +1,268 @@
+//! The XY-improver heuristic (§5.4).
+
+use crate::comm::CommSet;
+use crate::heuristic::{surrogate_link_cost, Heuristic};
+use crate::routing::Routing;
+use pamr_mesh::{LinkId, LoadMap, Mesh, Path};
+use pamr_power::PowerModel;
+
+/// Relative improvement below which a modification is not considered an
+/// improvement (guards termination against floating-point noise).
+const IMPROVE_EPS: f64 = 1e-9;
+
+/// **XYI — XY improver** (§5.4).
+///
+/// Starts from the XY routing and iteratively relieves the most loaded
+/// links. For the most loaded link, every communication crossing it is
+/// offered the paper's *move*:
+///
+/// * **vertical link** `a → b`: replace the corner `…→H a →V b` with
+///   `…→V b' →H b` — the horizontal link now goes *to the same core* `b`
+///   *from the core closest to the source* (requires the move before the
+///   link to be horizontal);
+/// * **horizontal link** `a → b`: replace `a →H b →V c` with
+///   `a →V b'' →H c` — the vertical link now goes *from the same core* `a`
+///   *towards the core closest to the sink* (requires the move after the
+///   link to be vertical).
+///
+/// If some modification lowers the (surrogate) power, the best one is
+/// applied, loads are updated and the link list is re-sorted; otherwise the
+/// link is dropped from the list and the next most loaded link is examined.
+/// Because XYI minimises the *surrogate* cost, it can also repair instances
+/// on which XY exceeds link bandwidths — the paper's campaign counts on
+/// this (XYI succeeds on ~46% of instances vs ~15% for XY).
+#[derive(Debug, Clone, Copy)]
+pub struct XyImprover {
+    /// Safety bound on accepted modifications (the surrogate strictly
+    /// decreases at every step, so this is virtually never reached).
+    pub max_moves: usize,
+}
+
+impl Default for XyImprover {
+    fn default() -> Self {
+        XyImprover { max_moves: 1_000_000 }
+    }
+}
+
+/// The paper's single candidate modification of `path` to avoid `link`, or
+/// `None` when the move would violate the Manhattan-path constraint.
+///
+/// Returns the new path together with the two removed and two added links.
+fn flip_move(
+    mesh: &Mesh,
+    path: &Path,
+    link: LinkId,
+) -> Option<(Path, [LinkId; 2], [LinkId; 2])> {
+    let links: Vec<LinkId> = path.links(mesh).collect();
+    let j = links.iter().position(|&l| l == link)?;
+    let moves = path.moves();
+    let vertical = mesh.link_step(link).is_vertical();
+    // Pick the adjacent orthogonal move to swap with.
+    let swap_at = if vertical {
+        // Need the preceding move to be horizontal: swap (j-1, j).
+        if j == 0 || !moves[j - 1].is_horizontal() {
+            return None;
+        }
+        j - 1
+    } else {
+        // Need the following move to be vertical: swap (j, j+1).
+        if j + 1 >= moves.len() || !moves[j + 1].is_vertical() {
+            return None;
+        }
+        j
+    };
+    let mut new_moves = moves.to_vec();
+    new_moves.swap(swap_at, swap_at + 1);
+    let new_path = Path::from_moves(path.src(), new_moves);
+    let new_links: Vec<LinkId> = new_path.links(mesh).collect();
+    debug_assert_eq!(new_links.len(), links.len());
+    let removed = [links[swap_at], links[swap_at + 1]];
+    let added = [new_links[swap_at], new_links[swap_at + 1]];
+    debug_assert!(!new_links.contains(&link));
+    Some((new_path, removed, added))
+}
+
+impl Heuristic for XyImprover {
+    fn name(&self) -> &'static str {
+        "XYI"
+    }
+
+    fn route(&self, cs: &CommSet, model: &PowerModel) -> Routing {
+        let mesh = cs.mesh();
+        let mut paths: Vec<Path> = cs.comms().iter().map(|c| Path::xy(c.src, c.snk)).collect();
+        let mut loads = LoadMap::new(mesh);
+        for (c, p) in cs.comms().iter().zip(&paths) {
+            loads.add_path(mesh, p, c.weight);
+        }
+        let mut moves_done = 0;
+        'outer: while moves_done < self.max_moves {
+            // List of loaded links by decreasing load.
+            let mut list: Vec<(LinkId, f64)> = loads.iter_active().collect();
+            list.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            for (link, _) in list {
+                // Best modification among the communications on this link:
+                // (delta, comm index, new path, removed links, added links).
+                type Candidate = (f64, usize, Path, [LinkId; 2], [LinkId; 2]);
+                let mut best: Option<Candidate> = None;
+                for (i, c) in cs.comms().iter().enumerate() {
+                    if !paths[i].crosses(mesh, link) {
+                        continue;
+                    }
+                    if let Some((np, rem, add)) = flip_move(mesh, &paths[i], link) {
+                        let mut delta = 0.0;
+                        // Cost after removing the comm from `rem` and adding
+                        // it to `add`, minus current cost, over the affected
+                        // links only.
+                        for l in rem {
+                            let load = loads.get(l);
+                            delta += surrogate_link_cost(model, load - c.weight)
+                                - surrogate_link_cost(model, load);
+                        }
+                        for l in add {
+                            let load = loads.get(l);
+                            delta += surrogate_link_cost(model, load + c.weight)
+                                - surrogate_link_cost(model, load);
+                        }
+                        if delta < -IMPROVE_EPS
+                            && best.as_ref().is_none_or(|(b, ..)| delta < *b)
+                        {
+                            best = Some((delta, i, np, rem, add));
+                        }
+                    }
+                }
+                if let Some((_, i, np, rem, add)) = best {
+                    let w = cs.comms()[i].weight;
+                    for l in rem {
+                        loads.add(l, -w);
+                    }
+                    for l in add {
+                        loads.add(l, w);
+                    }
+                    paths[i] = np;
+                    moves_done += 1;
+                    continue 'outer; // re-sort and restart from the top
+                }
+                // No improvement through this link: drop it and try the next
+                // one (the paper removes it from the list).
+            }
+            break; // no link admits an improving modification
+        }
+        Routing::single(cs, paths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Comm;
+    use crate::rules::xy_routing;
+    use pamr_mesh::{Coord, Step};
+
+    #[test]
+    fn flip_vertical_link_moves_corner_towards_source() {
+        let mesh = Mesh::new(3, 3);
+        // XY path (0,0) → R R D D; flip the first vertical link (0,2)→(1,2).
+        let p = Path::xy(Coord::new(0, 0), Coord::new(2, 2));
+        let link = mesh.link_id(Coord::new(0, 2), Step::Down).unwrap();
+        let (np, rem, add) = flip_move(&mesh, &p, link).unwrap();
+        assert_eq!(np.moves(), &[Step::Right, Step::Down, Step::Right, Step::Down]);
+        assert!(rem.contains(&link));
+        assert!(!np.crosses(&mesh, link));
+        assert!(np.is_manhattan(&mesh));
+        // The replacement horizontal link enters the same core (1,2).
+        let entering = add
+            .iter()
+            .find(|&&l| mesh.link_step(l).is_horizontal())
+            .unwrap();
+        assert_eq!(mesh.link_endpoints(*entering).1, Coord::new(1, 2));
+    }
+
+    #[test]
+    fn flip_horizontal_link_moves_corner_towards_sink() {
+        let mesh = Mesh::new(3, 3);
+        // Path R R D D: flip the first horizontal link (0,0)→(0,1): requires
+        // following move vertical — here it's R, so not movable. Second
+        // horizontal (0,1)→(0,2) is followed by D: movable.
+        let p = Path::xy(Coord::new(0, 0), Coord::new(2, 2));
+        let l1 = mesh.link_id(Coord::new(0, 0), Step::Right).unwrap();
+        assert!(flip_move(&mesh, &p, l1).is_none());
+        let l2 = mesh.link_id(Coord::new(0, 1), Step::Right).unwrap();
+        let (np, _, add) = flip_move(&mesh, &p, l2).unwrap();
+        assert_eq!(np.moves(), &[Step::Right, Step::Down, Step::Right, Step::Down]);
+        // The replacement vertical link leaves the same core (0,1).
+        let leaving = add
+            .iter()
+            .find(|&&l| mesh.link_step(l).is_vertical())
+            .unwrap();
+        assert_eq!(mesh.link_endpoints(*leaving).0, Coord::new(0, 1));
+    }
+
+    #[test]
+    fn flip_requires_adjacent_orthogonal_move() {
+        let mesh = Mesh::new(4, 4);
+        // Straight vertical path: nothing can move.
+        let p = Path::xy(Coord::new(0, 1), Coord::new(3, 1));
+        for l in p.links(&mesh).collect::<Vec<_>>() {
+            assert!(flip_move(&mesh, &p, l).is_none());
+        }
+    }
+
+    #[test]
+    fn xyi_improves_two_identical_flows() {
+        let mesh = Mesh::new(2, 2);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 1.0),
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 3.0),
+            ],
+        );
+        let model = PowerModel::fig2();
+        let r = XyImprover::default().route(&cs, &model);
+        assert!(r.is_structurally_valid(&cs, 1));
+        let p = r.power(&cs, &model).unwrap().total();
+        let p_xy = xy_routing(&cs).power(&cs, &model).unwrap().total();
+        assert!(p < p_xy, "XYI ({p}) must beat XY ({p_xy})");
+        assert!((p - 56.0).abs() < 1e-9, "XYI should reach the 1-MP optimum 56, got {p}");
+    }
+
+    #[test]
+    fn xyi_repairs_infeasible_xy_start() {
+        // Two weight-3 flows with BW=4: XY stacks 6.0 > BW on both shared
+        // links, but XY + YX separation is feasible.
+        let mesh = Mesh::new(2, 2);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 3.0),
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 3.0),
+            ],
+        );
+        let model = PowerModel::fig2();
+        assert!(!xy_routing(&cs).is_feasible(&cs, &model));
+        let r = XyImprover::default().route(&cs, &model);
+        assert!(r.is_feasible(&cs, &model), "XYI must repair the overload");
+    }
+
+    #[test]
+    fn xyi_never_worse_than_xy_when_xy_feasible() {
+        let mesh = Mesh::new(5, 5);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(4, 4), 1.0),
+                Comm::new(Coord::new(0, 4), Coord::new(4, 0), 1.0),
+                Comm::new(Coord::new(2, 0), Coord::new(2, 4), 1.0),
+                Comm::new(Coord::new(0, 2), Coord::new(4, 2), 1.0),
+            ],
+        );
+        let model = PowerModel::theory(2.5);
+        let p_xy = xy_routing(&cs).power(&cs, &model).unwrap().total();
+        let p = XyImprover::default()
+            .route(&cs, &model)
+            .power(&cs, &model)
+            .unwrap()
+            .total();
+        assert!(p <= p_xy + 1e-9);
+    }
+}

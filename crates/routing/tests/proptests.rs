@@ -1,0 +1,97 @@
+//! Property-based tests for the routing core.
+
+use pamr_mesh::{Coord, Mesh};
+use pamr_power::PowerModel;
+use pamr_routing::{
+    optimal_single_path, surrogate_link_cost, Comm, CommSet, Heuristic, HeuristicKind,
+    PathRemover, SplitMp,
+};
+use proptest::prelude::*;
+
+fn small_instance() -> impl Strategy<Value = CommSet> {
+    (2usize..=4, 2usize..=4)
+        .prop_flat_map(|(p, q)| {
+            let comms = prop::collection::vec(
+                ((0..p, 0..q), (0..p, 0..q), 1u32..=50),
+                1..=4,
+            );
+            (Just((p, q)), comms)
+        })
+        .prop_map(|((p, q), comms)| {
+            CommSet::new(
+                Mesh::new(p, q),
+                comms
+                    .into_iter()
+                    .map(|((a, b), (c, d), w)| {
+                        Comm::new(Coord::new(a, b), Coord::new(c, d), w as f64)
+                    })
+                    .collect(),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn heuristics_are_deterministic(cs in small_instance()) {
+        let model = PowerModel::continuous(0.3, 1.0, 2.7, f64::INFINITY);
+        for kind in HeuristicKind::ALL {
+            let a = kind.route(&cs, &model);
+            let b = kind.route(&cs, &model);
+            prop_assert_eq!(a, b, "{} differed across runs", kind);
+        }
+    }
+
+    #[test]
+    fn exact_optimum_bounds_every_heuristic(cs in small_instance()) {
+        let model = PowerModel::continuous(0.5, 1.0, 3.0, f64::INFINITY);
+        let (_, opt) = optimal_single_path(&cs, &model, 1 << 22)
+            .expect("budget suffices for ≤4 comms on ≤4×4")
+            .expect("uncapacitated instances are feasible");
+        for kind in HeuristicKind::ALL {
+            let p = kind.route(&cs, &model).power(&cs, &model).unwrap().total();
+            prop_assert!(p + 1e-9 * p.max(1.0) >= opt, "{} beat the optimum", kind);
+        }
+    }
+
+    #[test]
+    fn split_mp_structural_validity(cs in small_instance(), s in 1usize..=4) {
+        let model = PowerModel::continuous(0.0, 1.0, 3.0, f64::INFINITY);
+        let r = SplitMp::new(PathRemover, s).route(&cs, &model);
+        prop_assert!(r.is_structurally_valid(&cs, s));
+        prop_assert!(r.max_paths_per_comm() <= s);
+        // Load conservation: total link load = Σ δ·ℓ.
+        let expected: f64 = cs.comms().iter().map(|c| c.weight * c.len() as f64).sum();
+        let total = r.loads(&cs).total();
+        prop_assert!((total - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+
+    #[test]
+    fn surrogate_cost_is_monotone(load_a in 0.0f64..10.0, load_b in 0.0f64..10.0) {
+        let model = PowerModel::continuous(0.2, 1.0, 3.0, 5.0);
+        let (lo, hi) = if load_a <= load_b { (load_a, load_b) } else { (load_b, load_a) };
+        prop_assert!(surrogate_link_cost(&model, lo) <= surrogate_link_cost(&model, hi) + 1e-12);
+    }
+
+    #[test]
+    fn surrogate_overflow_dominates_feasible(extra in 0.001f64..10.0) {
+        let model = PowerModel::continuous(0.2, 1.0, 3.0, 5.0);
+        let feasible_max = surrogate_link_cost(&model, 5.0);
+        let overflow = surrogate_link_cost(&model, 5.0 + extra);
+        prop_assert!(overflow > feasible_max * 1e3);
+    }
+
+    #[test]
+    fn any_tight_feasible_routing_is_loose_feasible(cs in small_instance()) {
+        // Feasibility of a *fixed* routing is monotone in the capacity.
+        let loose = PowerModel::continuous(0.0, 1.0, 3.0, 120.0);
+        let tight = PowerModel::continuous(0.0, 1.0, 3.0, 60.0);
+        for kind in HeuristicKind::ALL {
+            let r = kind.route(&cs, &tight);
+            if r.is_feasible(&cs, &tight) {
+                prop_assert!(r.is_feasible(&cs, &loose), "{} routing lost feasibility", kind);
+            }
+        }
+    }
+}

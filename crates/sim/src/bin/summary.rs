@@ -1,0 +1,18 @@
+//! Regenerates the §6.4 summary statistics: success rates, inverse-power
+//! ratios versus XY, the static-power fraction and mean runtimes.
+
+use pamr_sim::cli::Options;
+use pamr_sim::summary::Summary;
+
+fn main() {
+    let opts = Options::from_args();
+    let mesh = pamr_sim::paper_mesh();
+    let model = pamr_sim::paper_model();
+    eprintln!(
+        "running the full campaign ({} trials per sweep point) ...",
+        opts.trials
+    );
+    let s = Summary::run(&mesh, &model, opts.trials, opts.seed);
+    println!("{}", s.render());
+    println!("pooled over {} instances", s.pooled.trials);
+}

@@ -1,0 +1,71 @@
+//! Minimal argument parsing shared by the experiment binaries.
+
+/// Options common to all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Random trials per sweep point.
+    pub trials: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Directory to write CSV series into, if any.
+    pub csv: Option<std::path::PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            trials: 2000,
+            seed: 0xC0FFEE,
+            csv: None,
+        }
+    }
+}
+
+impl Options {
+    /// Parses `--trials N`, `--seed S`, `--csv DIR` from `std::env::args`.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Options {
+        let mut opts = Options::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--trials" => {
+                    opts.trials = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--trials needs a positive integer");
+                }
+                "--seed" => {
+                    opts.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                "--csv" => {
+                    opts.csv = Some(args.next().expect("--csv needs a directory").into());
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: <bin> [--trials N] [--seed S] [--csv DIR]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other:?} (try --help)"),
+            }
+        }
+        assert!(opts.trials > 0, "--trials must be positive");
+        opts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let o = Options::default();
+        assert_eq!(o.trials, 2000);
+        assert!(o.csv.is_none());
+    }
+}

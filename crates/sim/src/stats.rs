@@ -1,0 +1,211 @@
+//! Trial accumulators for sweep points.
+
+use crate::runner::InstanceOutcome;
+use pamr_routing::HeuristicKind;
+use serde::Serialize;
+
+/// Per-policy accumulator over the trials of one sweep point.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct HeurAgg {
+    /// Trials on which the policy produced a feasible routing.
+    pub successes: usize,
+    /// Σ (P_BEST / P_heur) over trials where BEST exists (0 on failure) —
+    /// the paper's normalised power inverse.
+    pub sum_norm_inv: f64,
+    /// Σ 1/P_heur over all trials (0 on failure) — the absolute inverse
+    /// used by the §6.4 ratios.
+    pub sum_inv: f64,
+    /// Σ routing wall-time (µs) over all trials.
+    pub sum_micros: u64,
+    /// Σ static-power fraction over successful trials.
+    pub sum_static_frac: f64,
+}
+
+impl HeurAgg {
+    fn absorb(&mut self, other: &HeurAgg) {
+        self.successes += other.successes;
+        self.sum_norm_inv += other.sum_norm_inv;
+        self.sum_inv += other.sum_inv;
+        self.sum_micros += other.sum_micros;
+        self.sum_static_frac += other.sum_static_frac;
+    }
+}
+
+/// Accumulated statistics of one sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct PointStats {
+    /// Number of trials accumulated.
+    pub trials: usize,
+    /// Trials where at least one policy succeeded (BEST exists).
+    pub best_successes: usize,
+    /// Per-policy aggregates, in [`HeuristicKind::ALL`] order.
+    pub per_heur: Vec<HeurAgg>,
+}
+
+impl Default for PointStats {
+    fn default() -> Self {
+        PointStats {
+            trials: 0,
+            best_successes: 0,
+            per_heur: vec![HeurAgg::default(); HeuristicKind::ALL.len()],
+        }
+    }
+}
+
+impl PointStats {
+    /// Folds one instance outcome into the accumulator.
+    pub fn add(&mut self, out: &InstanceOutcome) {
+        self.trials += 1;
+        if out.best_power.is_some() {
+            self.best_successes += 1;
+        }
+        for (slot, r) in self.per_heur.iter_mut().zip(&out.results) {
+            slot.sum_micros += r.micros;
+            slot.sum_inv += r.inv_power();
+            if r.feasible {
+                slot.successes += 1;
+                slot.sum_static_frac += r.breakdown.map_or(0.0, |b| b.static_fraction());
+            }
+            if let Some(best) = out.best_power {
+                // Normalised inverse: (1/P_h)/(1/P_BEST) = P_BEST / P_h.
+                slot.sum_norm_inv += if r.feasible { best / r.power } else { 0.0 };
+            }
+        }
+    }
+
+    /// Merges two accumulators (used by rayon's reduce).
+    pub fn merge(mut self, other: PointStats) -> PointStats {
+        self.trials += other.trials;
+        self.best_successes += other.best_successes;
+        for (a, b) in self.per_heur.iter_mut().zip(&other.per_heur) {
+            a.absorb(b);
+        }
+        self
+    }
+
+    /// Mean normalised power inverse of a policy (the y-value of the
+    /// paper's upper plots), averaged over the trials where BEST exists.
+    pub fn norm_inv(&self, kind: HeuristicKind) -> f64 {
+        let agg = &self.per_heur[Self::idx(kind)];
+        if self.best_successes == 0 {
+            0.0
+        } else {
+            agg.sum_norm_inv / self.best_successes as f64
+        }
+    }
+
+    /// Failure ratio of a policy (the y-value of the paper's lower plots).
+    pub fn failure_ratio(&self, kind: HeuristicKind) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            1.0 - self.per_heur[Self::idx(kind)].successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Failure ratio of BEST (all policies fail).
+    pub fn best_failure_ratio(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            1.0 - self.best_successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Mean routing time of a policy in milliseconds.
+    pub fn mean_millis(&self, kind: HeuristicKind) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.per_heur[Self::idx(kind)].sum_micros as f64 / self.trials as f64 / 1000.0
+        }
+    }
+
+    /// Mean absolute inverse power of a policy over all trials.
+    pub fn mean_inv(&self, kind: HeuristicKind) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.per_heur[Self::idx(kind)].sum_inv / self.trials as f64
+        }
+    }
+
+    /// Mean static-power fraction of a policy over its successful trials.
+    pub fn mean_static_fraction(&self, kind: HeuristicKind) -> f64 {
+        let agg = &self.per_heur[Self::idx(kind)];
+        if agg.successes == 0 {
+            0.0
+        } else {
+            agg.sum_static_frac / agg.successes as f64
+        }
+    }
+
+    fn idx(kind: HeuristicKind) -> usize {
+        HeuristicKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("kind in ALL")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_instance;
+    use pamr_mesh::{Coord, Mesh};
+    use pamr_power::PowerModel;
+    use pamr_routing::{Comm, CommSet};
+
+    fn outcome() -> InstanceOutcome {
+        let mesh = Mesh::new(2, 2);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 1.0),
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 3.0),
+            ],
+        );
+        run_instance(&cs, &PowerModel::fig2())
+    }
+
+    #[test]
+    fn accumulation_and_ratios() {
+        let mut ps = PointStats::default();
+        ps.add(&outcome());
+        ps.add(&outcome());
+        assert_eq!(ps.trials, 2);
+        assert_eq!(ps.best_successes, 2);
+        // XY is feasible on Fig. 2 (exactly at capacity): norm inv = 56/128.
+        let xy = ps.norm_inv(HeuristicKind::Xy);
+        assert!((xy - 56.0 / 128.0).abs() < 1e-9, "{xy}");
+        assert_eq!(ps.failure_ratio(HeuristicKind::Xy), 0.0);
+        // The best policy scores exactly 1.
+        let max = HeuristicKind::ALL
+            .iter()
+            .map(|&k| ps.norm_inv(k))
+            .fold(0.0, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+        assert_eq!(ps.best_failure_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = PointStats::default();
+        a.add(&outcome());
+        let mut b = PointStats::default();
+        b.add(&outcome());
+        b.add(&outcome());
+        let m = a.merge(b);
+        assert_eq!(m.trials, 3);
+        assert_eq!(m.best_successes, 3);
+    }
+
+    #[test]
+    fn zero_trials_edge_cases() {
+        let ps = PointStats::default();
+        assert_eq!(ps.norm_inv(HeuristicKind::Pr), 0.0);
+        assert_eq!(ps.failure_ratio(HeuristicKind::Pr), 0.0);
+        assert_eq!(ps.mean_millis(HeuristicKind::Pr), 0.0);
+        assert_eq!(ps.mean_static_fraction(HeuristicKind::Pr), 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Text-table and CSV rendering of experiment results.
+
+use crate::experiments::ExperimentResult;
+use pamr_routing::HeuristicKind;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Renders the normalised-power-inverse series of an experiment (the upper
+/// plot of each paper sub-figure) as an aligned text table.
+pub fn norm_inv_table(res: &ExperimentResult) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:>10}", "x");
+    for k in HeuristicKind::ALL {
+        let _ = write!(out, "{:>8}", k.name());
+    }
+    let _ = writeln!(out, "{:>8}", "BEST");
+    for (x, stats) in &res.points {
+        let _ = write!(out, "{x:>10.0}");
+        for k in HeuristicKind::ALL {
+            let _ = write!(out, "{:>8.3}", stats.norm_inv(k));
+        }
+        // BEST's normalised inverse is 1 by definition whenever it exists.
+        let best = if stats.best_successes > 0 { 1.0 } else { 0.0 };
+        let _ = writeln!(out, "{best:>8.3}");
+    }
+    out
+}
+
+/// Renders the failure-ratio series (the lower plot of each sub-figure).
+pub fn failure_table(res: &ExperimentResult) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:>10}", "x");
+    for k in HeuristicKind::ALL {
+        let _ = write!(out, "{:>8}", k.name());
+    }
+    let _ = writeln!(out, "{:>8}", "BEST");
+    for (x, stats) in &res.points {
+        let _ = write!(out, "{x:>10.0}");
+        for k in HeuristicKind::ALL {
+            let _ = write!(out, "{:>8.3}", stats.failure_ratio(k));
+        }
+        let _ = writeln!(out, "{:>8.3}", stats.best_failure_ratio());
+    }
+    out
+}
+
+/// Writes both series of an experiment to `dir/<id>.csv`.
+pub fn write_csv(res: &ExperimentResult, dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut s = String::from("x");
+    for k in HeuristicKind::ALL {
+        let _ = write!(s, ",norm_inv_{}", k.name());
+    }
+    s.push_str(",norm_inv_BEST");
+    for k in HeuristicKind::ALL {
+        let _ = write!(s, ",fail_{}", k.name());
+    }
+    s.push_str(",fail_BEST,trials\n");
+    for (x, stats) in &res.points {
+        let _ = write!(s, "{x}");
+        for k in HeuristicKind::ALL {
+            let _ = write!(s, ",{:.6}", stats.norm_inv(k));
+        }
+        let best = if stats.best_successes > 0 { 1.0 } else { 0.0 };
+        let _ = write!(s, ",{best:.6}");
+        for k in HeuristicKind::ALL {
+            let _ = write!(s, ",{:.6}", stats.failure_ratio(k));
+        }
+        let _ = writeln!(s, ",{:.6},{}", stats.best_failure_ratio(), stats.trials);
+    }
+    std::fs::write(dir.join(format!("{}.csv", res.id)), s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{run_experiment, Experiment, SweepPoint, WorkloadSpec};
+    use pamr_workload::UniformWorkload;
+
+    fn tiny_result() -> ExperimentResult {
+        let mesh = crate::paper_mesh();
+        let model = crate::paper_model();
+        let exp = Experiment {
+            id: "tiny",
+            title: "tiny",
+            xlabel: "n",
+            points: vec![
+                SweepPoint {
+                    x: 5.0,
+                    workload: WorkloadSpec::Uniform(UniformWorkload::new(5, 100.0, 1500.0)),
+                },
+                SweepPoint {
+                    x: 10.0,
+                    workload: WorkloadSpec::Uniform(UniformWorkload::new(10, 100.0, 1500.0)),
+                },
+            ],
+        };
+        run_experiment(&exp, &mesh, &model, 4, 1)
+    }
+
+    #[test]
+    fn tables_have_expected_shape() {
+        let res = tiny_result();
+        let t = norm_inv_table(&res);
+        assert_eq!(t.lines().count(), 3); // header + 2 points
+        assert!(t.contains("XYI"));
+        let f = failure_table(&res);
+        assert_eq!(f.lines().count(), 3);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let res = tiny_result();
+        let dir = std::env::temp_dir().join("pamr_table_test");
+        write_csv(&res, &dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("tiny.csv")).unwrap();
+        assert_eq!(content.lines().count(), 3);
+        assert!(content.starts_with("x,norm_inv_XY"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

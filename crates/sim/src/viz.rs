@@ -1,0 +1,139 @@
+//! ASCII visualisation of meshes, routings and link loads.
+//!
+//! Renders the mesh as a grid of cores with the horizontal and vertical
+//! link loads between them, e.g. for a 3×3 mesh:
+//!
+//! ```text
+//! ●  ─1500─  ●  ──0──  ●
+//! │          │         │
+//! 500        0         0
+//! │          │         │
+//! ●  ──0───  ●  ─2000─  ●
+//! ```
+//!
+//! Opposite unidirectional links are summed for display (the paper's
+//! figures draw one edge per neighbour pair too).
+
+use pamr_mesh::{Coord, LoadMap, Mesh, Step};
+
+/// Renders the per-link loads of `loads` on `mesh` as an ASCII grid.
+/// Loads are printed rounded to integers; idle links show `·`.
+pub fn render_loads(mesh: &Mesh, loads: &LoadMap) -> String {
+    let cell = 7usize; // width allotted per horizontal link label
+    let mut out = String::new();
+    for u in 0..mesh.rows() {
+        // Core row: cores and horizontal links.
+        for v in 0..mesh.cols() {
+            out.push('●');
+            if v + 1 < mesh.cols() {
+                let a = Coord::new(u, v);
+                let fwd = mesh.link_id(a, Step::Right).map_or(0.0, |l| loads.get(l));
+                let bwd = mesh
+                    .link_id(Coord::new(u, v + 1), Step::Left)
+                    .map_or(0.0, |l| loads.get(l));
+                out.push_str(&format!("{:^cell$}", label(fwd + bwd)));
+            }
+        }
+        out.push('\n');
+        // Vertical-link row.
+        if u + 1 < mesh.rows() {
+            for v in 0..mesh.cols() {
+                let a = Coord::new(u, v);
+                let down = mesh.link_id(a, Step::Down).map_or(0.0, |l| loads.get(l));
+                let up = mesh
+                    .link_id(Coord::new(u + 1, v), Step::Up)
+                    .map_or(0.0, |l| loads.get(l));
+                out.push_str(&format!("{:<w$}", label(down + up), w = cell + 1));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn label(load: f64) -> String {
+    if load == 0.0 {
+        "·".to_string()
+    } else {
+        format!("{}", load.round() as i64)
+    }
+}
+
+/// Renders a compact per-link utilisation heatmap (one character per
+/// neighbour pair): ` .:-=+*#%@` from idle to ≥ `capacity`.
+pub fn render_heatmap(mesh: &Mesh, loads: &LoadMap, capacity: f64) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let shade = |load: f64| {
+        let frac = (load / capacity).clamp(0.0, 1.0);
+        RAMP[((frac * (RAMP.len() - 1) as f64).round()) as usize] as char
+    };
+    let mut out = String::new();
+    for u in 0..mesh.rows() {
+        for v in 0..mesh.cols() {
+            out.push('●');
+            if v + 1 < mesh.cols() {
+                let fwd = mesh
+                    .link_id(Coord::new(u, v), Step::Right)
+                    .map_or(0.0, |l| loads.get(l));
+                let bwd = mesh
+                    .link_id(Coord::new(u, v + 1), Step::Left)
+                    .map_or(0.0, |l| loads.get(l));
+                out.push(shade(fwd.max(bwd)));
+            }
+        }
+        out.push('\n');
+        if u + 1 < mesh.rows() {
+            for v in 0..mesh.cols() {
+                let down = mesh
+                    .link_id(Coord::new(u, v), Step::Down)
+                    .map_or(0.0, |l| loads.get(l));
+                let up = mesh
+                    .link_id(Coord::new(u + 1, v), Step::Up)
+                    .map_or(0.0, |l| loads.get(l));
+                out.push(shade(down.max(up)));
+                if v + 1 < mesh.cols() {
+                    out.push(' ');
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pamr_mesh::Path;
+
+    #[test]
+    fn render_shows_loads_on_used_links() {
+        let mesh = Mesh::new(2, 2);
+        let mut loads = LoadMap::new(&mesh);
+        loads.add_path(&mesh, &Path::xy(Coord::new(0, 0), Coord::new(1, 1)), 1500.0);
+        let s = render_loads(&mesh, &loads);
+        assert!(s.contains("1500"), "{s}");
+        assert!(s.contains('·'), "idle links should show ·\n{s}");
+        assert_eq!(s.lines().count(), 3); // core row, link row, core row
+    }
+
+    #[test]
+    fn heatmap_shades_by_utilisation() {
+        let mesh = Mesh::new(2, 3);
+        let mut loads = LoadMap::new(&mesh);
+        loads.add_path(&mesh, &Path::xy(Coord::new(0, 0), Coord::new(1, 2)), 3500.0);
+        let s = render_heatmap(&mesh, &loads, 3500.0);
+        assert!(s.contains('@'), "saturated links should be @\n{s}");
+        assert!(s.contains(' ') || s.contains('●'));
+    }
+
+    #[test]
+    fn opposite_links_are_summed_in_load_view() {
+        let mesh = Mesh::new(1, 2);
+        let mut loads = LoadMap::new(&mesh);
+        loads.add(mesh.link_id(Coord::new(0, 0), Step::Right).unwrap(), 100.0);
+        loads.add(mesh.link_id(Coord::new(0, 1), Step::Left).unwrap(), 50.0);
+        let s = render_loads(&mesh, &loads);
+        assert!(s.contains("150"), "{s}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Lemma 1: the number of Manhattan paths from `C_{1,1}` to `C_{p,q}` is
+//! `C(p+q−2, p−1)`.
+
+use pamr_mesh::path::binomial;
+
+/// Number of Manhattan paths from one corner of a `p × q` mesh to the
+/// opposite corner (Lemma 1).
+///
+/// # Panics
+/// Panics if `p` or `q` is zero, or on `u128` overflow (mesh sides beyond
+/// any physical CMP).
+pub fn manhattan_path_count(p: usize, q: usize) -> u128 {
+    assert!(p >= 1 && q >= 1);
+    binomial((p + q - 2) as u128, (p - 1) as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pamr_mesh::{Coord, Mesh, Path};
+
+    #[test]
+    fn closed_form_matches_enumeration() {
+        for (p, q) in [(1, 1), (1, 7), (2, 2), (3, 4), (4, 4), (5, 3)] {
+            let mesh = Mesh::new(p, q);
+            let n = Path::enumerate_all(&mesh, Coord::new(0, 0), Coord::new(p - 1, q - 1)).len();
+            assert_eq!(
+                manhattan_path_count(p, q),
+                n as u128,
+                "mismatch on {p}×{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_8x8_value() {
+        // C(14, 7) = 3432 paths corner-to-corner on the campaign's 8×8 CMP.
+        assert_eq!(manhattan_path_count(8, 8), 3432);
+    }
+
+    #[test]
+    fn recurrence_holds() {
+        // N(p, q) = N(p−1, q) + N(p, q−1) (the proof's recursion).
+        for p in 2..8 {
+            for q in 2..8 {
+                assert_eq!(
+                    manhattan_path_count(p, q),
+                    manhattan_path_count(p - 1, q) + manhattan_path_count(p, q - 1)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_rows_and_columns() {
+        assert_eq!(manhattan_path_count(1, 10), 1);
+        assert_eq!(manhattan_path_count(10, 1), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # pamr-theory — the theoretical results of Section 4, executable
+//!
+//! Machine-checkable constructions for every theoretical claim of the
+//! paper:
+//!
+//! * **Lemma 1** ([`lemma1`]) — there are `C(p+q−2, p−1)` Manhattan paths
+//!   from corner to corner;
+//! * **Theorem 1** ([`thm1`]) — single source/destination: the
+//!   diagonal-spreading max-MP routing pattern of Figure 4, whose power
+//!   stays `O(1)` while XY pays `O(p)`, realising the minimum upper bound
+//!   `O(q)` of the XY/max-MP power ratio;
+//! * **Theorem 2 / Lemma 2** ([`lem2`]) — multiple sources/destinations:
+//!   the anti-diagonal instance on which a plain YX (single-path!) routing
+//!   beats XY by `Θ(p^{α−1})`;
+//! * **Theorem 3** ([`np`]) — NP-completeness: the polynomial reduction
+//!   from 2-PARTITION to s-MP bandwidth feasibility, an exact subset-sum
+//!   solver, and a feasibility checker mirroring the proof's structure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lem2;
+pub mod lemma1;
+pub mod np;
+pub mod thm1;
+pub mod thm2;
+
+pub use lem2::{lemma2_instance, lemma2_ratio};
+pub use lemma1::manhattan_path_count;
+pub use np::{partition_exists, reduction_feasible, reduction_instance, ReductionInstance};
+pub use thm1::{fig4_pattern, xy_corner_power, Fig4Pattern};
+pub use thm2::{
+    crossing_power_sum, directional_crossings, thm2_manhattan_lower_bound, thm2_xy_upper_bound,
+};

@@ -1,0 +1,183 @@
+//! Theorem 2: numeric forms of the proof's two bounds for the multiple
+//! source/destination case.
+//!
+//! With `P_leak = 0`, `P_0 = 1` and continuous frequencies, and writing
+//! `K_k^{(d)}` for the total weight of direction-`d` communications
+//! crossing diagonal `k`:
+//!
+//! * **upper bound on XY** (the permutation-pairing argument):
+//!   `P_XY ≤ 2 · 2^α · Σ_{k,d} (K_k^{(d)})^α`;
+//! * **lower bound on any Manhattan routing** (ideal diagonal spreading,
+//!   relaxed with the uniform `2p` link count):
+//!   `P_MP ≥ (2p)^{1−α} · Σ_{k,d} (K_k^{(d)})^α`.
+//!
+//! Together they give the `O(p^{α−1})` minimum upper bound of the
+//! XY/Manhattan power ratio, which Lemma 2 shows is attained. The tests
+//! validate both inequalities against the actual routing machinery on
+//! random instances.
+
+use pamr_routing::CommSet;
+
+/// The diagonal crossing weights `K_k^{(d)}`: element `[d][k]` is the total
+/// weight of direction-`d` communications whose paths cross from diagonal
+/// `k` to `k + 1` (0-based diagonals; `d` in paper order 1..4).
+pub fn directional_crossings(cs: &CommSet) -> [Vec<f64>; 4] {
+    let mesh = cs.mesh();
+    let mut out: [Vec<f64>; 4] =
+        std::array::from_fn(|_| vec![0.0; mesh.num_diagonals().saturating_sub(1)]);
+    for c in cs.comms() {
+        if c.is_local() {
+            continue;
+        }
+        let d = c.quadrant();
+        let ks = mesh.diag_index(c.src, d);
+        let ke = mesh.diag_index(c.snk, d);
+        for slot in &mut out[d.paper_d() - 1][ks..ke] {
+            *slot += c.weight;
+        }
+    }
+    out
+}
+
+/// `Σ_{k,d} (K_k^{(d)})^α` — the quantity both Theorem 2 bounds scale.
+pub fn crossing_power_sum(cs: &CommSet, alpha: f64) -> f64 {
+    directional_crossings(cs)
+        .iter()
+        .flat_map(|v| v.iter())
+        .map(|&k| k.powf(alpha))
+        .sum()
+}
+
+/// Theorem 2's upper bound on the XY power: `2 · 2^α · Σ (K_k^{(d)})^α`.
+pub fn thm2_xy_upper_bound(cs: &CommSet, alpha: f64) -> f64 {
+    2.0 * 2f64.powf(alpha) * crossing_power_sum(cs, alpha)
+}
+
+/// Theorem 2's lower bound on the power of **any** Manhattan routing
+/// (single- or multi-path): `(2p)^{1−α} · Σ (K_k^{(d)})^α`, with `p` the
+/// short side of the mesh.
+pub fn thm2_manhattan_lower_bound(cs: &CommSet, alpha: f64) -> f64 {
+    let p = cs.mesh().rows().min(cs.mesh().cols()) as f64;
+    (2.0 * p).powf(1.0 - alpha) * crossing_power_sum(cs, alpha)
+}
+
+/// Convenience check used by the `theory` binary: both Theorem 2 bounds
+/// hold for the instance under the theory model with the given α.
+pub fn thm2_bounds_hold(cs: &CommSet, alpha: f64) -> bool {
+    use pamr_power::PowerModel;
+    use pamr_routing::xy_routing;
+    let model = PowerModel::theory(alpha);
+    let p_xy = xy_routing(cs)
+        .power(cs, &model)
+        .expect("theory model is uncapacitated")
+        .total();
+    p_xy <= thm2_xy_upper_bound(cs, alpha) + 1e-9 * p_xy.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pamr_mesh::{Coord, Mesh};
+    use pamr_power::PowerModel;
+    use pamr_routing::{
+        frank_wolfe, ideal_power_lower_bound, xy_routing, Comm, HeuristicKind,
+    };
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(seed: u64, p: usize, q: usize, n: usize) -> CommSet {
+        let mesh = Mesh::new(p, q);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let comms = (0..n)
+            .map(|_| {
+                loop {
+                    let a = Coord::new(rng.gen_range(0..p), rng.gen_range(0..q));
+                    let b = Coord::new(rng.gen_range(0..p), rng.gen_range(0..q));
+                    if a != b {
+                        return Comm::new(a, b, rng.gen_range(1.0..5.0));
+                    }
+                }
+            })
+            .collect();
+        CommSet::new(mesh, comms)
+    }
+
+    #[test]
+    fn crossings_count_every_hop_once() {
+        // Σ_{k,d} K_k^{(d)} = Σ_i δ_i · ℓ_i (each unit of flow crosses one
+        // diagonal per hop, in exactly its own direction family).
+        let cs = random_instance(3, 5, 6, 10);
+        let total: f64 = directional_crossings(&cs)
+            .iter()
+            .flat_map(|v| v.iter())
+            .sum();
+        let expected: f64 = cs.comms().iter().map(|c| c.weight * c.len() as f64).sum();
+        assert!((total - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xy_upper_bound_holds_on_random_instances() {
+        for alpha in [2.2f64, 2.95, 3.0] {
+            let model = PowerModel::theory(alpha);
+            for seed in 0..10u64 {
+                let cs = random_instance(seed, 6, 6, 12);
+                let p_xy = xy_routing(&cs).power(&cs, &model).unwrap().total();
+                let ub = thm2_xy_upper_bound(&cs, alpha);
+                assert!(
+                    p_xy <= ub + 1e-9 * p_xy,
+                    "seed {seed}, α={alpha}: P_XY = {p_xy} > bound {ub}"
+                );
+                assert!(thm2_bounds_hold(&cs, alpha));
+            }
+        }
+    }
+
+    #[test]
+    fn manhattan_lower_bound_holds_for_every_policy_and_fw() {
+        let alpha = 3.0;
+        let model = PowerModel::theory(alpha);
+        for seed in 20..26u64 {
+            let cs = random_instance(seed, 5, 5, 8);
+            let lb = thm2_manhattan_lower_bound(&cs, alpha);
+            for kind in HeuristicKind::ALL {
+                let p = kind
+                    .route(&cs, &model)
+                    .power(&cs, &model)
+                    .unwrap()
+                    .total();
+                assert!(lb <= p + 1e-9, "seed {seed}: {kind} below the LB");
+            }
+            // …and even the multi-path relaxation respects it.
+            let fw = frank_wolfe(&cs, &model, 150);
+            assert!(lb <= fw.dynamic_power + 1e-6 * fw.dynamic_power.max(1.0));
+        }
+    }
+
+    #[test]
+    fn refined_diagonal_bound_dominates_the_crude_one() {
+        // fractional::ideal_power_lower_bound uses exact per-diagonal link
+        // counts (≤ 2p−1 < 2p), so it is at least as tight as the closed
+        // form used in the proof.
+        let alpha = 2.95;
+        let model = PowerModel::theory(alpha);
+        for seed in 40..46u64 {
+            let cs = random_instance(seed, 4, 7, 9);
+            let crude = thm2_manhattan_lower_bound(&cs, alpha);
+            let refined = ideal_power_lower_bound(&cs, &model);
+            assert!(
+                refined + 1e-9 >= crude,
+                "seed {seed}: refined {refined} < crude {crude}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_are_tight_up_to_p_alpha_minus_one() {
+        // Ratio UB/LB = 2·2^α·(2p)^{α−1} — the O(p^{α−1}) of the theorem.
+        let cs = random_instance(7, 6, 6, 10);
+        let alpha = 3.0;
+        let ratio = thm2_xy_upper_bound(&cs, alpha) / thm2_manhattan_lower_bound(&cs, alpha);
+        let expected = 2.0 * 2f64.powf(alpha) * 12f64.powf(alpha - 1.0);
+        assert!((ratio - expected).abs() < 1e-6 * expected);
+    }
+}

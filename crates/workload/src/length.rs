@@ -1,0 +1,163 @@
+//! Length-targeted communication sets (Figure 9 of the paper: sensitivity
+//! to the average communication length).
+
+use pamr_mesh::{Coord, Mesh};
+use pamr_routing::{Comm, CommSet};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Generator drawing communications "whose length is around the target
+/// average length" (§6.3): each source/sink pair is sampled uniformly among
+/// the pairs at Manhattan distance `target ± 1` (clamped to the distances
+/// that exist on the mesh).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LengthTargetedWorkload {
+    /// Number of communications to draw.
+    pub n: usize,
+    /// Smallest possible weight.
+    pub w_min: f64,
+    /// Largest possible weight.
+    pub w_max: f64,
+    /// Target Manhattan distance between source and sink.
+    pub target_len: usize,
+}
+
+impl LengthTargetedWorkload {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    /// Panics unless `0 < w_min ≤ w_max` and `target_len ≥ 1`.
+    pub fn new(n: usize, w_min: f64, w_max: f64, target_len: usize) -> Self {
+        assert!(w_min > 0.0 && w_min <= w_max, "invalid weight range");
+        assert!(target_len >= 1, "target length must be at least 1");
+        LengthTargetedWorkload {
+            n,
+            w_min,
+            w_max,
+            target_len,
+        }
+    }
+
+    /// Draws one instance on `mesh`.
+    pub fn generate<R: Rng + ?Sized>(&self, mesh: &Mesh, rng: &mut R) -> CommSet {
+        let buckets = PairBuckets::new(mesh);
+        let lo = self.target_len.saturating_sub(1).max(1).min(buckets.max_len());
+        let hi = (self.target_len + 1).min(buckets.max_len());
+        let comms = (0..self.n)
+            .map(|_| {
+                let len = rng.gen_range(lo..=hi);
+                let (src, snk) = buckets.sample(len, rng);
+                let weight = if self.w_min == self.w_max {
+                    self.w_min
+                } else {
+                    rng.gen_range(self.w_min..=self.w_max)
+                };
+                Comm::new(src, snk, weight)
+            })
+            .collect();
+        CommSet::new(*mesh, comms)
+    }
+}
+
+/// All ordered core pairs of a mesh, bucketed by Manhattan distance.
+///
+/// Built once per mesh (O(cores²)) and reused across samples.
+#[derive(Debug, Clone)]
+pub struct PairBuckets {
+    by_len: Vec<Vec<(Coord, Coord)>>,
+}
+
+impl PairBuckets {
+    /// Enumerates every ordered pair of distinct cores.
+    pub fn new(mesh: &Mesh) -> Self {
+        let max = mesh.rows() + mesh.cols() - 2;
+        let mut by_len: Vec<Vec<(Coord, Coord)>> = vec![Vec::new(); max + 1];
+        for a in mesh.cores() {
+            for b in mesh.cores() {
+                if a != b {
+                    by_len[a.manhattan(b)].push((a, b));
+                }
+            }
+        }
+        PairBuckets { by_len }
+    }
+
+    /// Largest distance with at least one pair.
+    pub fn max_len(&self) -> usize {
+        self.by_len.len() - 1
+    }
+
+    /// Number of ordered pairs at exactly distance `len`.
+    pub fn count(&self, len: usize) -> usize {
+        self.by_len.get(len).map_or(0, Vec::len)
+    }
+
+    /// Uniformly samples a pair at exactly distance `len`.
+    ///
+    /// # Panics
+    /// Panics if no pair exists at that distance.
+    pub fn sample<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> (Coord, Coord) {
+        let bucket = &self.by_len[len];
+        assert!(!bucket.is_empty(), "no core pair at distance {len}");
+        bucket[rng.gen_range(0..bucket.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn buckets_cover_all_pairs() {
+        let mesh = Mesh::new(4, 4);
+        let b = PairBuckets::new(&mesh);
+        let total: usize = (1..=b.max_len()).map(|l| b.count(l)).sum();
+        assert_eq!(total, 16 * 15);
+        assert_eq!(b.count(0), 0);
+        assert_eq!(b.max_len(), 6);
+        // Exactly two ordered pairs at the maximum distance per corner pair:
+        // (0,0)↔(3,3) and (0,3)↔(3,0).
+        assert_eq!(b.count(6), 4);
+    }
+
+    #[test]
+    fn generated_lengths_stay_near_target() {
+        let mesh = Mesh::new(8, 8);
+        let gen = LengthTargetedWorkload::new(200, 200.0, 800.0, 10);
+        let cs = gen.generate(&mesh, &mut SmallRng::seed_from_u64(3));
+        for c in cs.comms() {
+            let l = c.len();
+            assert!((9..=11).contains(&l), "length {l} outside target band");
+        }
+        let mean = cs.mean_length();
+        assert!((mean - 10.0).abs() < 0.5, "mean length {mean}");
+    }
+
+    #[test]
+    fn extreme_targets_are_clamped() {
+        let mesh = Mesh::new(8, 8);
+        // Target beyond the mesh diameter (14): must clamp to 13..14.
+        let gen = LengthTargetedWorkload::new(50, 100.0, 200.0, 20);
+        let cs = gen.generate(&mesh, &mut SmallRng::seed_from_u64(9));
+        for c in cs.comms() {
+            assert!(c.len() >= 13);
+        }
+        // Target 1: lengths in 1..=2.
+        let gen = LengthTargetedWorkload::new(50, 100.0, 200.0, 1);
+        let cs = gen.generate(&mesh, &mut SmallRng::seed_from_u64(9));
+        for c in cs.comms() {
+            assert!((1..=2).contains(&c.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mesh = Mesh::new(8, 8);
+        let gen = LengthTargetedWorkload::new(25, 100.0, 3500.0, 7);
+        let a = gen.generate(&mesh, &mut SmallRng::seed_from_u64(11));
+        let b = gen.generate(&mesh, &mut SmallRng::seed_from_u64(11));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,29 @@
+//! # pamr-workload — communication-set generators
+//!
+//! Produces the problem instances of the paper's evaluation (§6) and of
+//! the example applications:
+//!
+//! * [`UniformWorkload`] — `n` communications with uniformly random distinct
+//!   source/sink cores and uniformly random weights (the generator behind
+//!   Figures 7 and 8);
+//! * [`LengthTargetedWorkload`] — same, but source/sink pairs are drawn at a
+//!   target Manhattan distance (Figure 9's sweep over the average
+//!   communication length);
+//! * [`taskgraph`] — synthetic application task graphs (pipeline, stencil,
+//!   transpose, hotspot, butterfly) with explicit task→core mappings,
+//!   modelling the paper's system-level story of several mapped applications
+//!   generating communications (§1, §3.2).
+//!
+//! All generators are deterministic given an RNG state; experiments seed
+//! them per-trial for reproducibility.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod length;
+pub mod taskgraph;
+pub mod uniform;
+
+pub use length::LengthTargetedWorkload;
+pub use taskgraph::{Mapping, TaskGraph};
+pub use uniform::UniformWorkload;

@@ -1,0 +1,285 @@
+//! Application task graphs and their mapping onto the mesh.
+//!
+//! The paper's problem arises at the system level: "several applications,
+//! described as task graphs, are executed on a CMP, and each task is already
+//! mapped to a core" (§1). This module provides classic synthetic task
+//! graphs and task→core mappings so the examples can build realistic
+//! multi-application instances.
+
+use pamr_mesh::{Coord, Mesh};
+use pamr_routing::{Comm, CommSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A directed task graph: `n_tasks` tasks and weighted communication edges
+/// `(producer, consumer, bytes/s)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    n_tasks: usize,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl TaskGraph {
+    /// Builds a task graph from raw edges.
+    ///
+    /// # Panics
+    /// Panics if an edge references a task `≥ n_tasks`, is a self-loop, or
+    /// has a non-positive weight.
+    pub fn new(n_tasks: usize, edges: Vec<(usize, usize, f64)>) -> Self {
+        for &(a, b, w) in &edges {
+            assert!(a < n_tasks && b < n_tasks, "edge ({a},{b}) out of range");
+            assert!(a != b, "self-loop on task {a}");
+            assert!(w > 0.0, "edge weight must be positive");
+        }
+        TaskGraph { n_tasks, edges }
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// The communication edges.
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// Linear pipeline `0 → 1 → … → n−1`, every stage streaming `weight`.
+    pub fn pipeline(n: usize, weight: f64) -> Self {
+        assert!(n >= 2);
+        TaskGraph::new(n, (0..n - 1).map(|i| (i, i + 1, weight)).collect())
+    }
+
+    /// Fork–join: a source scatters to `width` workers which gather into a
+    /// sink (`width + 2` tasks).
+    pub fn fork_join(width: usize, weight: f64) -> Self {
+        assert!(width >= 1);
+        let mut edges = Vec::with_capacity(2 * width);
+        for w in 0..width {
+            edges.push((0, 1 + w, weight));
+            edges.push((1 + w, width + 1, weight));
+        }
+        TaskGraph::new(width + 2, edges)
+    }
+
+    /// 2-D 4-point stencil on an `a × b` task grid: every task exchanges
+    /// `weight` with its right and down neighbours (both directions).
+    pub fn stencil(a: usize, b: usize, weight: f64) -> Self {
+        let id = |u: usize, v: usize| u * b + v;
+        let mut edges = Vec::new();
+        for u in 0..a {
+            for v in 0..b {
+                if v + 1 < b {
+                    edges.push((id(u, v), id(u, v + 1), weight));
+                    edges.push((id(u, v + 1), id(u, v), weight));
+                }
+                if u + 1 < a {
+                    edges.push((id(u, v), id(u + 1, v), weight));
+                    edges.push((id(u + 1, v), id(u, v), weight));
+                }
+            }
+        }
+        TaskGraph::new(a * b, edges)
+    }
+
+    /// All-to-one hotspot: every task streams `weight` to task 0 (e.g. a
+    /// memory-controller tile).
+    pub fn hotspot(n: usize, weight: f64) -> Self {
+        assert!(n >= 2);
+        TaskGraph::new(n, (1..n).map(|i| (i, 0, weight)).collect())
+    }
+
+    /// Matrix-transpose traffic on an `a × a` task grid: task `(u,v)` sends
+    /// to task `(v,u)` for `u ≠ v`.
+    pub fn transpose(a: usize, weight: f64) -> Self {
+        let id = |u: usize, v: usize| u * a + v;
+        let mut edges = Vec::new();
+        for u in 0..a {
+            for v in 0..a {
+                if u != v {
+                    edges.push((id(u, v), id(v, u), weight));
+                }
+            }
+        }
+        TaskGraph::new(a * a, edges)
+    }
+
+    /// Butterfly (FFT) stage traffic for `n = 2^k` tasks: in each stage `s`,
+    /// task `i` exchanges with task `i XOR 2^s`.
+    pub fn butterfly(log2_n: u32, weight: f64) -> Self {
+        let n = 1usize << log2_n;
+        let mut edges = Vec::new();
+        for s in 0..log2_n {
+            for i in 0..n {
+                let j = i ^ (1 << s);
+                if i < j {
+                    edges.push((i, j, weight));
+                    edges.push((j, i, weight));
+                }
+            }
+        }
+        TaskGraph::new(n, edges)
+    }
+
+    /// Instantiates the communications of this graph under `mapping`,
+    /// dropping edges whose endpoints land on the same core (they become
+    /// core-local and use no link).
+    pub fn to_comms(&self, mapping: &Mapping) -> Vec<Comm> {
+        assert!(mapping.len() >= self.n_tasks, "mapping too small");
+        self.edges
+            .iter()
+            .filter_map(|&(a, b, w)| {
+                let (ca, cb) = (mapping.core_of(a), mapping.core_of(b));
+                (ca != cb).then(|| Comm::new(ca, cb, w))
+            })
+            .collect()
+    }
+}
+
+/// A task→core mapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    cores: Vec<Coord>,
+}
+
+impl Mapping {
+    /// Row-major identity: task `i` on core `i` (row-major order).
+    ///
+    /// # Panics
+    /// Panics if there are more tasks than cores.
+    pub fn row_major(mesh: &Mesh, n_tasks: usize) -> Self {
+        assert!(n_tasks <= mesh.num_cores(), "more tasks than cores");
+        Mapping {
+            cores: (0..n_tasks).map(|i| mesh.core_at(i)).collect(),
+        }
+    }
+
+    /// Uniformly random one-task-per-core placement.
+    pub fn random<R: Rng + ?Sized>(mesh: &Mesh, n_tasks: usize, rng: &mut R) -> Self {
+        assert!(n_tasks <= mesh.num_cores(), "more tasks than cores");
+        let mut all: Vec<Coord> = mesh.cores().collect();
+        all.shuffle(rng);
+        all.truncate(n_tasks);
+        Mapping { cores: all }
+    }
+
+    /// Explicit placement.
+    pub fn explicit(cores: Vec<Coord>) -> Self {
+        Mapping { cores }
+    }
+
+    /// Number of mapped tasks.
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// True when no task is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// Core of task `t`.
+    pub fn core_of(&self, t: usize) -> Coord {
+        self.cores[t]
+    }
+}
+
+/// Merges several mapped applications into one system-level instance (the
+/// paper routes the union of all applications' communications, §3.2).
+pub fn merge_applications(mesh: &Mesh, apps: &[(&TaskGraph, &Mapping)]) -> CommSet {
+    let mut comms = Vec::new();
+    for (tg, m) in apps {
+        comms.extend(tg.to_comms(m));
+    }
+    CommSet::new(*mesh, comms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pipeline_shape() {
+        let tg = TaskGraph::pipeline(5, 100.0);
+        assert_eq!(tg.n_tasks(), 5);
+        assert_eq!(tg.edges().len(), 4);
+    }
+
+    #[test]
+    fn stencil_edge_count() {
+        // 3×3 grid: 2·(3·2 + 2·3) = 24 directed edges.
+        let tg = TaskGraph::stencil(3, 3, 1.0);
+        assert_eq!(tg.edges().len(), 24);
+    }
+
+    #[test]
+    fn butterfly_edge_count() {
+        // n=8, 3 stages, n/2 pairs each, ×2 directions = 24.
+        let tg = TaskGraph::butterfly(3, 1.0);
+        assert_eq!(tg.n_tasks(), 8);
+        assert_eq!(tg.edges().len(), 24);
+    }
+
+    #[test]
+    fn transpose_skips_diagonal() {
+        let tg = TaskGraph::transpose(3, 1.0);
+        assert_eq!(tg.edges().len(), 6);
+    }
+
+    #[test]
+    fn hotspot_converges_on_task0() {
+        let tg = TaskGraph::hotspot(5, 2.0);
+        assert!(tg.edges().iter().all(|&(_, b, _)| b == 0));
+    }
+
+    #[test]
+    fn row_major_mapping_round_trips() {
+        let mesh = Mesh::new(4, 4);
+        let m = Mapping::row_major(&mesh, 16);
+        assert_eq!(m.core_of(0), Coord::new(0, 0));
+        assert_eq!(m.core_of(5), Coord::new(1, 1));
+        assert_eq!(m.core_of(15), Coord::new(3, 3));
+    }
+
+    #[test]
+    fn random_mapping_is_injective() {
+        let mesh = Mesh::new(4, 4);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let m = Mapping::random(&mesh, 12, &mut rng);
+        let set: std::collections::HashSet<_> = (0..12).map(|t| m.core_of(t)).collect();
+        assert_eq!(set.len(), 12);
+    }
+
+    #[test]
+    fn to_comms_drops_core_local_edges() {
+        let tg = TaskGraph::pipeline(3, 10.0);
+        // Map tasks 0 and 1 to the same core.
+        let m = Mapping::explicit(vec![Coord::new(0, 0), Coord::new(0, 0), Coord::new(1, 1)]);
+        let comms = tg.to_comms(&m);
+        assert_eq!(comms.len(), 1);
+        assert_eq!(comms[0].src, Coord::new(0, 0));
+        assert_eq!(comms[0].snk, Coord::new(1, 1));
+    }
+
+    #[test]
+    fn merged_applications_form_one_instance() {
+        let mesh = Mesh::new(4, 4);
+        let fft = TaskGraph::butterfly(2, 500.0);
+        let pipe = TaskGraph::pipeline(4, 900.0);
+        let m1 = Mapping::row_major(&mesh, 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m2 = Mapping::random(&mesh, 4, &mut rng);
+        let cs = merge_applications(&mesh, &[(&fft, &m1), (&pipe, &m2)]);
+        assert!(cs.len() >= pipe.edges().len());
+        assert!(cs.len() <= fft.edges().len() + pipe.edges().len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        let _ = TaskGraph::new(3, vec![(1, 1, 1.0)]);
+    }
+}

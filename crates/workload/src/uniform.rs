@@ -1,0 +1,126 @@
+//! Uniform random communication sets (Figures 7 & 8 of the paper).
+
+use pamr_mesh::{Coord, Mesh};
+use pamr_routing::{Comm, CommSet};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Generator drawing `n` communications with uniformly random **distinct**
+/// source and sink cores and weights uniform in `[w_min, w_max]` (the
+/// paper uses e.g. U[100, 1500] Mb/s for "small" communications).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformWorkload {
+    /// Number of communications to draw.
+    pub n: usize,
+    /// Smallest possible weight.
+    pub w_min: f64,
+    /// Largest possible weight.
+    pub w_max: f64,
+}
+
+impl UniformWorkload {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    /// Panics unless `0 < w_min ≤ w_max`.
+    pub fn new(n: usize, w_min: f64, w_max: f64) -> Self {
+        assert!(w_min > 0.0 && w_min <= w_max, "invalid weight range");
+        UniformWorkload { n, w_min, w_max }
+    }
+
+    /// Draws one instance on `mesh`.
+    ///
+    /// # Panics
+    /// Panics on a 1×1 mesh (no distinct pair exists).
+    pub fn generate<R: Rng + ?Sized>(&self, mesh: &Mesh, rng: &mut R) -> CommSet {
+        assert!(mesh.num_cores() >= 2, "need at least two cores");
+        let comms = (0..self.n)
+            .map(|_| {
+                let (src, snk) = random_distinct_pair(mesh, rng);
+                Comm::new(src, snk, self.weight(rng))
+            })
+            .collect();
+        CommSet::new(*mesh, comms)
+    }
+
+    fn weight<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.w_min == self.w_max {
+            self.w_min
+        } else {
+            rng.gen_range(self.w_min..=self.w_max)
+        }
+    }
+}
+
+/// Draws two distinct uniformly random cores.
+pub fn random_distinct_pair<R: Rng + ?Sized>(mesh: &Mesh, rng: &mut R) -> (Coord, Coord) {
+    let n = mesh.num_cores();
+    let a = rng.gen_range(0..n);
+    // Sample the sink among the other n−1 cores without rejection.
+    let mut b = rng.gen_range(0..n - 1);
+    if b >= a {
+        b += 1;
+    }
+    (mesh.core_at(a), mesh.core_at(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_count_and_ranges() {
+        let mesh = Mesh::new(8, 8);
+        let gen = UniformWorkload::new(50, 100.0, 1500.0);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let cs = gen.generate(&mesh, &mut rng);
+        assert_eq!(cs.len(), 50);
+        for c in cs.comms() {
+            assert_ne!(c.src, c.snk);
+            assert!(c.weight >= 100.0 && c.weight <= 1500.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mesh = Mesh::new(8, 8);
+        let gen = UniformWorkload::new(20, 100.0, 2500.0);
+        let a = gen.generate(&mesh, &mut SmallRng::seed_from_u64(7));
+        let b = gen.generate(&mesh, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = gen.generate(&mesh, &mut SmallRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn distinct_pair_covers_all_cores() {
+        let mesh = Mesh::new(2, 2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen_src = [false; 4];
+        let mut seen_snk = [false; 4];
+        for _ in 0..400 {
+            let (s, t) = random_distinct_pair(&mesh, &mut rng);
+            assert_ne!(s, t);
+            seen_src[mesh.core_index(s)] = true;
+            seen_snk[mesh.core_index(t)] = true;
+        }
+        assert!(seen_src.iter().all(|&b| b));
+        assert!(seen_snk.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn degenerate_weight_range() {
+        let mesh = Mesh::new(3, 3);
+        let gen = UniformWorkload::new(5, 700.0, 700.0);
+        let cs = gen.generate(&mesh, &mut SmallRng::seed_from_u64(0));
+        assert!(cs.comms().iter().all(|c| c.weight == 700.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_range_rejected() {
+        let _ = UniformWorkload::new(5, 200.0, 100.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Executes routings on the packet-level NoC simulator: the flow-level
+//! power model says a routing is feasible/infeasible — the simulator shows
+//! what that *means* (bounded queues and low latency vs unbounded backlog).
+//!
+//! Run with: `cargo run --release --example noc_simulation`
+
+use pamr::nocsim::{simulate, SimConfig};
+use pamr::prelude::*;
+
+fn main() {
+    let mesh = Mesh::new(8, 8);
+    let model = PowerModel::kim_horowitz();
+
+    // A hotspot pattern: eight producers stream into one consumer tile,
+    // plus two heavy flows crossing from the same source tile; XY stacks
+    // them, Manhattan routing spreads them.
+    let cs = CommSet::new(
+        mesh,
+        vec![
+            Comm::new(Coord::new(0, 0), Coord::new(4, 4), 2000.0),
+            Comm::new(Coord::new(0, 0), Coord::new(4, 4), 2000.0),
+            Comm::new(Coord::new(1, 2), Coord::new(4, 4), 800.0),
+            Comm::new(Coord::new(7, 7), Coord::new(4, 4), 800.0),
+            Comm::new(Coord::new(6, 1), Coord::new(4, 4), 800.0),
+            Comm::new(Coord::new(2, 6), Coord::new(4, 4), 800.0),
+        ],
+    );
+    let cfg = SimConfig {
+        horizon_us: 200.0,
+        packet_bits: 512.0,
+    };
+
+    println!("packet-level execution of 6 flows on an 8×8 NoC ({} µs horizon)\n", cfg.horizon_us);
+    println!(
+        "{:<6} {:>9} {:>13} {:>13} {:>12} {:>9}",
+        "policy", "feasible", "mean lat µs", "backlog µs", "energy µJ", "clamped"
+    );
+    for kind in [HeuristicKind::Xy, HeuristicKind::Xyi, HeuristicKind::Pr] {
+        let routing = kind.route(&cs, &model);
+        let feasible = routing.is_feasible(&cs, &model);
+        let rep = simulate(&cs, &routing, &model, &cfg);
+        println!(
+            "{:<6} {:>9} {:>13.2} {:>13.2} {:>12.2} {:>9}",
+            kind.name(),
+            feasible,
+            rep.mean_latency_us(),
+            rep.max_backlog_us,
+            rep.energy_nj / 1000.0,
+            rep.clamped
+        );
+    }
+
+    println!(
+        "\nThe flow-level verdict (feasible / infeasible) matches the packet-level\n\
+         behaviour: infeasible routings are clamped at the top frequency and build\n\
+         unbounded backlog; feasible Manhattan routings sustain the same demand\n\
+         with bounded queues."
+    );
+}

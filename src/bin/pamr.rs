@@ -1,0 +1,218 @@
+//! `pamr` — command-line front end for power-aware Manhattan routing.
+//!
+//! ```text
+//! pamr random --mesh 8x8 --n 20 --wmin 100 --wmax 2500 [--seed S] > inst.json
+//! pamr route  --instance inst.json [--heuristic BEST|XY|SG|IG|TB|XYI|PR]
+//!             [--model kim-horowitz|continuous] [--split S] [--json]
+//! pamr demo
+//! ```
+//!
+//! Instances are JSON (`{"mesh": {"p":8,"q":8}, "comms": [{"src":…}]}` —
+//! exactly serde's view of [`CommSet`]); `route` prints per-communication
+//! paths, the power breakdown and the link heatmap, or a machine-readable
+//! JSON report with `--json`.
+
+use pamr::prelude::*;
+use pamr::sim::viz::render_heatmap;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  pamr random --mesh PxQ --n N [--wmin W] [--wmax W] [--seed S]\n  \
+         pamr route --instance FILE [--heuristic NAME] [--model NAME] [--split S] [--json]\n  \
+         pamr demo"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("random") => cmd_random(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
+        Some("demo") => cmd_demo(),
+        _ => usage(),
+    }
+}
+
+fn opt(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn cmd_random(args: &[String]) {
+    let mesh_spec = opt(args, "--mesh").unwrap_or_else(|| "8x8".into());
+    let (p, q) = mesh_spec
+        .split_once('x')
+        .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+        .unwrap_or_else(|| usage());
+    let n: usize = opt(args, "--n").and_then(|v| v.parse().ok()).unwrap_or(20);
+    let w_min: f64 = opt(args, "--wmin").and_then(|v| v.parse().ok()).unwrap_or(100.0);
+    let w_max: f64 = opt(args, "--wmax").and_then(|v| v.parse().ok()).unwrap_or(2500.0);
+    let seed: u64 = opt(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let mesh = Mesh::new(p, q);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let cs = UniformWorkload::new(n, w_min, w_max).generate(&mesh, &mut rng);
+    println!("{}", serde_json::to_string_pretty(&cs).expect("serialise"));
+}
+
+#[derive(Serialize)]
+struct RouteReport {
+    heuristic: String,
+    feasible: bool,
+    power_mw: Option<f64>,
+    leakage_mw: Option<f64>,
+    dynamic_mw: Option<f64>,
+    active_links: Option<usize>,
+    max_link_load: f64,
+    paths: Vec<Vec<String>>,
+}
+
+fn build_model(name: &str, mesh_capacity_hint: f64) -> PowerModel {
+    match name {
+        "kim-horowitz" | "kh" => PowerModel::kim_horowitz(),
+        "continuous" => PowerModel::kim_horowitz_continuous(),
+        "fig2" => PowerModel::fig2(),
+        "theory" => PowerModel::theory(3.0),
+        other => {
+            let _ = mesh_capacity_hint;
+            eprintln!("unknown model {other:?} (kim-horowitz | continuous | fig2 | theory)");
+            exit(2);
+        }
+    }
+}
+
+fn cmd_route(args: &[String]) {
+    let path = opt(args, "--instance").unwrap_or_else(|| usage());
+    let data = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let cs: CommSet = serde_json::from_str(&data).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1);
+    });
+    let model = build_model(
+        &opt(args, "--model").unwrap_or_else(|| "kim-horowitz".into()),
+        0.0,
+    );
+    let name = opt(args, "--heuristic").unwrap_or_else(|| "BEST".into());
+    let split: usize = opt(args, "--split").and_then(|v| v.parse().ok()).unwrap_or(1);
+
+    let (label, routing): (String, Routing) = if name.eq_ignore_ascii_case("best") {
+        match Best::default().route(&cs, &model) {
+            Some((kind, routing, _)) => (format!("BEST={kind}"), routing),
+            None => {
+                // Report the XY attempt so the user still sees loads.
+                ("BEST=none(XY shown)".into(), xy_routing(&cs))
+            }
+        }
+    } else {
+        let kind = HeuristicKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(&name))
+            .unwrap_or_else(|| {
+                eprintln!("unknown heuristic {name:?} (XY SG IG TB XYI PR BEST)");
+                exit(2);
+            });
+        if split > 1 {
+            // s-MP lift of the chosen single-path heuristic.
+            struct ByKind(HeuristicKind);
+            impl Heuristic for ByKind {
+                fn name(&self) -> &'static str {
+                    self.0.name()
+                }
+                fn route(&self, cs: &CommSet, model: &PowerModel) -> Routing {
+                    self.0.route(cs, model)
+                }
+            }
+            (
+                format!("{}-{}MP", kind.name(), split),
+                SplitMp::new(ByKind(kind), split).route(&cs, &model),
+            )
+        } else {
+            (kind.name().into(), kind.route(&cs, &model))
+        }
+    };
+
+    let loads = routing.loads(&cs);
+    let breakdown = routing.power(&cs, &model).ok();
+    let report = RouteReport {
+        heuristic: label.clone(),
+        feasible: breakdown.is_some(),
+        power_mw: breakdown.map(|b| b.total()),
+        leakage_mw: breakdown.map(|b| b.leakage),
+        dynamic_mw: breakdown.map(|b| b.dynamic),
+        active_links: breakdown.map(|b| b.active_links),
+        max_link_load: loads.max_load(),
+        paths: (0..cs.len())
+            .map(|i| {
+                routing
+                    .flows(i)
+                    .iter()
+                    .map(|(p, r)| format!("{p} @{r:.1}"))
+                    .collect()
+            })
+            .collect(),
+    };
+
+    if flag(args, "--json") {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serialise"));
+        return;
+    }
+    println!("routed {} communications with {label}", cs.len());
+    match breakdown {
+        Some(b) => println!(
+            "power: {:.1} mW ({} active links, {:.1} leakage + {:.1} dynamic)",
+            b.total(),
+            b.active_links,
+            b.leakage,
+            b.dynamic
+        ),
+        None => println!("INFEASIBLE: max link load {:.0} exceeds capacity", loads.max_load()),
+    }
+    // Per-heuristic comparison footer.
+    let mut comparison: HashMap<&str, Option<f64>> = HashMap::new();
+    for kind in HeuristicKind::ALL {
+        let r = kind.route(&cs, &model);
+        comparison.insert(kind.name(), r.power(&cs, &model).ok().map(|b| b.total()));
+    }
+    println!("\nall policies:");
+    for kind in HeuristicKind::ALL {
+        match comparison[kind.name()] {
+            Some(p) => println!("  {:<4} {p:>10.1} mW", kind.name()),
+            None => println!("  {:<4} {:>10}", kind.name(), "failed"),
+        }
+    }
+    println!("\nutilisation heatmap:");
+    print!("{}", render_heatmap(cs.mesh(), &loads, model.capacity));
+}
+
+fn cmd_demo() {
+    let mesh = Mesh::new(8, 8);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let cs = UniformWorkload::new(25, 100.0, 2500.0).generate(&mesh, &mut rng);
+    let model = PowerModel::kim_horowitz();
+    println!("demo: 25 random communications on an 8×8 CMP\n");
+    for kind in HeuristicKind::ALL {
+        let r = kind.route(&cs, &model);
+        match r.power(&cs, &model) {
+            Ok(b) => println!("  {:<4} {:>10.1} mW", kind.name(), b.total()),
+            Err(_) => println!("  {:<4} {:>10}", kind.name(), "failed"),
+        }
+    }
+    if let Some((kind, routing, power)) = Best::default().route(&cs, &model) {
+        println!("\nBEST = {kind} at {power:.1} mW");
+        println!("{}", render_heatmap(&mesh, &routing.loads(&cs), model.capacity));
+    }
+}

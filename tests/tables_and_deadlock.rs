@@ -1,0 +1,79 @@
+//! Integration test: the system-level artefacts around a routing — compiled
+//! forwarding tables and wormhole-deadlock analysis — through the facade.
+
+use pamr::nocsim::{escape_channels_needed, has_cycle, channel_dependency_graph};
+use pamr::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn tables_compile_and_verify_for_the_whole_portfolio() {
+    let mesh = Mesh::new(8, 8);
+    let model = PowerModel::kim_horowitz();
+    let gen = UniformWorkload::new(25, 100.0, 2000.0);
+    let mut rng = SmallRng::seed_from_u64(99);
+    let cs = gen.generate(&mesh, &mut rng);
+    for kind in HeuristicKind::ALL {
+        let routing = kind.route(&cs, &model);
+        let tables = RoutingTables::compile(&cs, &routing).expect("compiles");
+        assert!(tables.verify(&cs, &routing), "{kind} tables diverge");
+        // Table footprint sanity: entries = Σ hops over flows.
+        let hops: usize = (0..cs.len())
+            .flat_map(|i| routing.flows(i).iter().map(|(p, _)| p.len()))
+            .sum();
+        assert_eq!(tables.total_entries(), hops);
+    }
+}
+
+#[test]
+fn split_routing_tables_track_multiple_paths_per_comm() {
+    let mesh = Mesh::new(6, 6);
+    let model = PowerModel::kim_horowitz();
+    let cs = CommSet::new(
+        mesh,
+        vec![
+            Comm::new(Coord::new(0, 0), Coord::new(5, 5), 3000.0),
+            Comm::new(Coord::new(5, 0), Coord::new(0, 5), 2500.0),
+        ],
+    );
+    let r = SplitMp::new(PathRemover, 3).route(&cs, &model);
+    let tables = RoutingTables::compile(&cs, &r).unwrap();
+    assert!(tables.verify(&cs, &r));
+    // Each path of a split communication has its own flow id.
+    for i in 0..cs.len() {
+        for pi in 0..r.flows(i).len() {
+            let f = FlowId { comm: i, path: pi };
+            let walked = tables.walk(r.flows(i)[pi].0.src(), f);
+            assert_eq!(walked.snk(), cs.comms()[i].snk);
+        }
+    }
+}
+
+#[test]
+fn xy_needs_no_escape_channels_but_manhattan_may() {
+    let mesh = Mesh::new(8, 8);
+    let model = PowerModel::kim_horowitz();
+    let gen = UniformWorkload::new(40, 100.0, 1200.0);
+    let mut xy_cycles = 0;
+    let mut manhattan_cycles = 0;
+    for seed in 0..10u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cs = gen.generate(&mesh, &mut rng);
+        if escape_channels_needed(&cs, &xy_routing(&cs)) {
+            xy_cycles += 1;
+        }
+        let pr = PathRemover.route(&cs, &model);
+        if escape_channels_needed(&cs, &pr) {
+            manhattan_cycles += 1;
+        }
+        // The CDG itself is well-formed either way.
+        let g = channel_dependency_graph(&cs, &pr);
+        assert!(g.num_edges() > 0);
+        let _ = has_cycle(&g);
+    }
+    assert_eq!(xy_cycles, 0, "XY is dimension-ordered: never cyclic");
+    assert!(
+        manhattan_cycles > 0,
+        "free Manhattan routing should occasionally need the escape mechanism the paper assumes"
+    );
+}

@@ -1,0 +1,125 @@
+//! Integration tests tying the Section 4 constructions to the routing
+//! machinery.
+
+use pamr::prelude::*;
+use pamr::theory::{
+    fig4_pattern, lemma2_instance, partition_exists, reduction_instance, xy_corner_power,
+};
+use pamr::theory::np::routing_from_partition;
+
+#[test]
+fn heuristics_rescue_the_lemma2_instance() {
+    // On the anti-diagonal instance, every Manhattan heuristic must beat
+    // XY by a wide margin (YX-like routings are in reach of all of them).
+    let cs = lemma2_instance(6);
+    let model = PowerModel::theory(3.0);
+    let p_xy = xy_routing(&cs).power(&cs, &model).unwrap().total();
+    let p_yx = yx_routing(&cs).power(&cs, &model).unwrap().total();
+    for kind in [HeuristicKind::Sg, HeuristicKind::Ig, HeuristicKind::Tb, HeuristicKind::Pr] {
+        let p = kind
+            .route(&cs, &model)
+            .power(&cs, &model)
+            .unwrap()
+            .total();
+        assert!(
+            p <= p_xy / 2.0,
+            "{kind} at {p} did not substantially beat XY ({p_xy})"
+        );
+        assert!(p + 1e-9 >= p_yx, "{kind} beat the disjoint lower bound?!");
+    }
+}
+
+#[test]
+fn fig4_pattern_beats_every_single_path_routing_of_one_flow() {
+    // Theorem 1's setting: ALL traffic shares one source and one sink. As a
+    // single unsplittable communication, any Manhattan path carries the
+    // full K on each of its 2p−2 links, so every single-path policy costs
+    // exactly (2p−2)·K^α — which the multi-path Fig. 4 pattern beats by a
+    // factor growing with p.
+    let p_prime = 4;
+    let k_total = 4.0;
+    let model = PowerModel::theory(3.0);
+    let pat = fig4_pattern(p_prime, k_total);
+    let mesh = Mesh::new(2 * p_prime, 2 * p_prime);
+    let cs = CommSet::new(
+        mesh,
+        vec![Comm::new(
+            Coord::new(0, 0),
+            Coord::new(2 * p_prime - 1, 2 * p_prime - 1),
+            k_total,
+        )],
+    );
+    let pat_power = pat.power(&model);
+    let single_path = xy_corner_power(2 * p_prime, k_total, &model);
+    for kind in HeuristicKind::ALL {
+        let p = kind
+            .route(&cs, &model)
+            .power(&cs, &model)
+            .unwrap()
+            .total();
+        assert!(
+            (p - single_path).abs() < 1e-9,
+            "{kind}: any single path of one flow costs (2p−2)K^α, got {p}"
+        );
+        assert!(pat_power < p, "{kind} ({p}) beat the max-MP pattern ({pat_power})");
+    }
+    // The proof's explicit bound: P_max ≤ 4·K^α·(2 − 1/p').
+    let proof_bound = 4.0 * k_total.powi(3) * (2.0 - 1.0 / p_prime as f64);
+    assert!(pat_power <= proof_bound + 1e-9);
+}
+
+#[test]
+fn frank_wolfe_confirms_fig4_is_within_a_constant_of_optimal() {
+    // The Fig. 4 pattern is a *bounding* construction, not the optimum (it
+    // funnels all K through one corner link — the k=1 term of the proof's
+    // Σ k·h_k^α). Frank–Wolfe approximates the true max-MP optimum; the
+    // pattern must sit above it but within the proof's constant (the gap is
+    // O(1), independent of p).
+    let model = PowerModel::theory(3.0);
+    let k_total = 1.0;
+    let mut gaps = Vec::new();
+    for p_prime in [2usize, 3, 4] {
+        let mesh = Mesh::new(2 * p_prime, 2 * p_prime);
+        let cs = CommSet::new(
+            mesh,
+            vec![Comm::new(
+                Coord::new(0, 0),
+                Coord::new(2 * p_prime - 1, 2 * p_prime - 1),
+                k_total,
+            )],
+        );
+        let fw = frank_wolfe(&cs, &model, 500);
+        let pat = fig4_pattern(p_prime, k_total).power(&model);
+        assert!(fw.lower_bound <= pat + 1e-9);
+        assert!(fw.dynamic_power <= pat + 1e-9, "the optimum is below the pattern");
+        gaps.push(pat / fw.dynamic_power);
+    }
+    // Constant-factor gap: bounded and not growing with p.
+    for g in &gaps {
+        assert!(*g < 10.0, "pattern/optimum gap {g} too large");
+    }
+    assert!(
+        gaps.last().unwrap() / gaps.first().unwrap() < 1.8,
+        "gap grows with p: {gaps:?}"
+    );
+}
+
+#[test]
+fn np_reduction_instances_route_like_the_proof_says() {
+    // YES instance: the proof routing is feasible and the generic solver
+    // machinery agrees an s-MP solution exists.
+    let a = [2u64, 3, 1, 2];
+    let inst = reduction_instance(&a, 2);
+    assert!(inst.horizontal_headroom_ok());
+    let chosen = partition_exists(&a).expect("2+3+1+2 = 8 partitions into 4+4");
+    let routing = routing_from_partition(&inst, &chosen);
+    assert!(routing.is_structurally_valid(&inst.cs, 2));
+    assert!(routing.is_feasible(&inst.cs, &inst.model()));
+
+    // The same integers shifted to kill every partition: no feasible
+    // proof-shaped routing remains.
+    let bad = [2u64, 3, 1, 1];
+    let inst = reduction_instance(&bad, 2);
+    assert!(partition_exists(&bad).is_none());
+    assert!(!pamr::theory::reduction_feasible(&inst));
+}

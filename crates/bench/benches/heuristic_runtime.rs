@@ -14,11 +14,9 @@ fn heuristic_runtime(c: &mut Criterion) {
     for n in [20usize, 40, 80] {
         let cs = uniform_instance(&mesh, n, 100.0, 2500.0, 0xBEEF + n as u64);
         for kind in HeuristicKind::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &cs,
-                |b, cs| b.iter(|| black_box(kind.route(black_box(cs), &model))),
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &cs, |b, cs| {
+                b.iter(|| black_box(kind.route(black_box(cs), &model)))
+            });
         }
     }
     group.finish();

@@ -156,7 +156,11 @@ mod tests {
         let band = Band::new(&mesh, Coord::new(1, 0), Coord::new(1, 3));
         assert_eq!(band.len(), 3);
         for t in 0..3 {
-            assert_eq!(band.group(t).len(), 1, "straight band groups are singletons");
+            assert_eq!(
+                band.group(t).len(),
+                1,
+                "straight band groups are singletons"
+            );
         }
     }
 

@@ -129,10 +129,7 @@ mod tests {
 
     #[test]
     fn paper_d_numbers() {
-        assert_eq!(
-            Quadrant::ALL.map(|d| d.paper_d()),
-            [1, 2, 3, 4]
-        );
+        assert_eq!(Quadrant::ALL.map(|d| d.paper_d()), [1, 2, 3, 4]);
         assert_eq!(Quadrant::DownLeft.to_string(), "d2");
     }
 }

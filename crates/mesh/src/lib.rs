@@ -264,7 +264,10 @@ mod tests {
         assert_eq!(m.step(Coord::new(2, 2), Step::Right), None);
         assert_eq!(m.step(Coord::new(1, 1), Step::Down), Some(Coord::new(2, 1)));
         assert_eq!(m.step(Coord::new(1, 1), Step::Up), Some(Coord::new(0, 1)));
-        assert_eq!(m.step(Coord::new(1, 1), Step::Right), Some(Coord::new(1, 2)));
+        assert_eq!(
+            m.step(Coord::new(1, 1), Step::Right),
+            Some(Coord::new(1, 2))
+        );
         assert_eq!(m.step(Coord::new(1, 1), Step::Left), Some(Coord::new(1, 0)));
     }
 

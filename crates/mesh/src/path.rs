@@ -106,9 +106,7 @@ impl Path {
     pub fn links<'a>(&'a self, mesh: &'a Mesh) -> impl Iterator<Item = LinkId> + 'a {
         let mut cur = self.src;
         self.moves.iter().map(move |&s| {
-            let id = mesh
-                .link_id(cur, s)
-                .expect("path leaves the mesh");
+            let id = mesh.link_id(cur, s).expect("path leaves the mesh");
             cur = mesh.step(cur, s).unwrap();
             id
         })
@@ -290,8 +288,8 @@ mod tests {
         assert_eq!(binomial(5, 5), 1);
         assert_eq!(binomial(5, 2), 10);
         assert_eq!(binomial(14, 7), 3432); // 8×8 corner-to-corner (Lemma 1)
-        // A 64×64 mesh: the result fits u128 even though the naive
-        // multiply-then-divide intermediates would overflow.
+                                           // A 64×64 mesh: the result fits u128 even though the naive
+                                           // multiply-then-divide intermediates would overflow.
         assert_eq!(
             binomial(126, 63),
             6_034_934_435_761_406_706_427_864_636_568_328_000
@@ -327,7 +325,13 @@ mod tests {
         let p = Path::xy(src, snk);
         assert_eq!(
             p.moves(),
-            &[Step::Right, Step::Right, Step::Right, Step::Down, Step::Down]
+            &[
+                Step::Right,
+                Step::Right,
+                Step::Right,
+                Step::Down,
+                Step::Down
+            ]
         );
         assert_eq!(p.snk(), snk);
         assert!(p.bends() <= 1);

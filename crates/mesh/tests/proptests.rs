@@ -6,9 +6,7 @@ use proptest::prelude::*;
 /// Strategy: a mesh (≤ 6×6) and two cores on it.
 fn mesh_and_pair() -> impl Strategy<Value = (Mesh, Coord, Coord)> {
     (1usize..=6, 1usize..=6)
-        .prop_flat_map(|(p, q)| {
-            ((Just(p), Just(q)), (0..p, 0..q), (0..p, 0..q))
-        })
+        .prop_flat_map(|(p, q)| ((Just(p), Just(q)), (0..p, 0..q), (0..p, 0..q)))
         .prop_map(|((p, q), (au, av), (bu, bv))| {
             (Mesh::new(p, q), Coord::new(au, av), Coord::new(bu, bv))
         })

@@ -171,7 +171,10 @@ mod tests {
         ];
         let r = pamr_routing::Routing::single(&cs, paths);
         assert!(r.is_structurally_valid(&cs, 1));
-        assert!(escape_channels_needed(&cs, &r), "the 4-flow turn cycle must be detected");
+        assert!(
+            escape_channels_needed(&cs, &r),
+            "the 4-flow turn cycle must be detected"
+        );
     }
 
     #[test]

@@ -172,9 +172,8 @@ pub fn simulate(cs: &CommSet, routing: &Routing, model: &PowerModel, cfg: &SimCo
         };
         service[l.index()] = eff;
         // Energy at the level actually run (clamped links burn top power).
-        energy_nj += (model.p_leak
-            + model.p0 * (eff * model.load_unit).powf(model.alpha))
-            * cfg.horizon_us;
+        energy_nj +=
+            (model.p_leak + model.p0 * (eff * model.load_unit).powf(model.alpha)) * cfg.horizon_us;
     }
 
     // Inject CBR packets per flow with a deterministic per-flow phase.
@@ -348,11 +347,7 @@ mod tests {
         let rep = simulate(&cs, &xy_routing(&cs), &model, &SimConfig::default());
         assert!(!rep.clamped);
         // Shared-link utilisation ≈ 3400/3500.
-        let max_util = rep
-            .utilization
-            .iter()
-            .map(|&(_, u)| u)
-            .fold(0.0, f64::max);
+        let max_util = rep.utilization.iter().map(|&(_, u)| u).fold(0.0, f64::max);
         assert!((max_util - 3400.0 / 3500.0).abs() < 0.05, "util {max_util}");
         assert!(rep.sustains(2.0), "backlog {}", rep.max_backlog_us);
     }

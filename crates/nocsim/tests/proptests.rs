@@ -1,9 +1,9 @@
 //! Property-based tests for the packet simulator.
 
 use pamr_mesh::{Coord, Mesh};
+use pamr_nocsim::{simulate, SimConfig};
 use pamr_power::PowerModel;
 use pamr_routing::{xy_routing, Comm, CommSet, Heuristic, PathRemover};
-use pamr_nocsim::{simulate, SimConfig};
 use proptest::prelude::*;
 
 fn instance() -> impl Strategy<Value = CommSet> {
@@ -17,9 +17,7 @@ fn instance() -> impl Strategy<Value = CommSet> {
             mesh,
             comms
                 .into_iter()
-                .map(|((a, b), (c, d), w)| {
-                    Comm::new(Coord::new(a, b), Coord::new(c, d), w as f64)
-                })
+                .map(|((a, b), (c, d), w)| Comm::new(Coord::new(a, b), Coord::new(c, d), w as f64))
                 .collect(),
         )
     })

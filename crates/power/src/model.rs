@@ -32,10 +32,9 @@ impl FrequencyScale {
         let slack = capacity * CAPACITY_EPS;
         match self {
             FrequencyScale::Continuous => (load <= capacity + slack).then_some(load.min(capacity)),
-            FrequencyScale::Discrete(levels) => levels
-                .iter()
-                .copied()
-                .find(|&lv| load <= lv + slack),
+            FrequencyScale::Discrete(levels) => {
+                levels.iter().copied().find(|&lv| load <= lv + slack)
+            }
         }
     }
 }
@@ -108,7 +107,10 @@ pub struct PowerModel {
 impl PowerModel {
     /// Continuous-frequency model in abstract units.
     pub fn continuous(p_leak: f64, p0: f64, alpha: f64, capacity: f64) -> Self {
-        assert!(alpha > 1.0, "the model needs a strictly convex dynamic term");
+        assert!(
+            alpha > 1.0,
+            "the model needs a strictly convex dynamic term"
+        );
         PowerModel {
             p_leak,
             p0,
@@ -156,7 +158,9 @@ impl PowerModel {
 
     /// True iff a single link can legally carry `load`.
     pub fn is_feasible(&self, load: f64) -> bool {
-        self.scale.effective_bandwidth(load, self.capacity).is_some()
+        self.scale
+            .effective_bandwidth(load, self.capacity)
+            .is_some()
     }
 
     /// The effective bandwidth (in load units) the link must run at to carry

@@ -211,7 +211,10 @@ mod tests {
     #[should_panic]
     fn off_mesh_comm_rejected() {
         let mesh = Mesh::new(2, 2);
-        let _ = CommSet::new(mesh, vec![Comm::new(Coord::new(0, 0), Coord::new(2, 2), 1.0)]);
+        let _ = CommSet::new(
+            mesh,
+            vec![Comm::new(Coord::new(0, 0), Coord::new(2, 2), 1.0)],
+        );
     }
 
     #[test]

@@ -152,9 +152,7 @@ mod tests {
             ],
         );
         let model = PowerModel::fig2();
-        let (routing, power) = optimal_single_path(&cs, &model, 1 << 20)
-            .unwrap()
-            .unwrap();
+        let (routing, power) = optimal_single_path(&cs, &model, 1 << 20).unwrap().unwrap();
         assert!((power - 56.0).abs() < 1e-9);
         assert!(routing.is_structurally_valid(&cs, 1));
     }
@@ -178,7 +176,10 @@ mod tests {
             .collect();
         let cs = CommSet::new(mesh, comms);
         let model = PowerModel::theory(3.0);
-        assert_eq!(optimal_single_path(&cs, &model, 10), Err(BudgetExceeded).map(|_: ()| None));
+        assert_eq!(
+            optimal_single_path(&cs, &model, 10),
+            Err(BudgetExceeded).map(|_: ()| None)
+        );
     }
 
     #[test]
@@ -224,9 +225,7 @@ mod tests {
             ],
         );
         let model = PowerModel::fig2();
-        let (routing, power) = optimal_single_path(&cs, &model, 1 << 16)
-            .unwrap()
-            .unwrap();
+        let (routing, power) = optimal_single_path(&cs, &model, 1 << 16).unwrap().unwrap();
         assert!((power - 108.0).abs() < 1e-9);
         assert!(routing.is_feasible(&cs, &model));
     }

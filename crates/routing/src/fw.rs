@@ -50,13 +50,7 @@ fn dynamic_power(model: &PowerModel, loads: &LoadMap) -> f64 {
 
 /// Cheapest Manhattan path for `src → snk` under per-link costs, by dynamic
 /// programming over the band (diagonal order).
-fn cheapest_path(
-    mesh: &Mesh,
-    costs: &LoadMap,
-    model: &PowerModel,
-    src: Coord,
-    snk: Coord,
-) -> Path {
+fn cheapest_path(mesh: &Mesh, costs: &LoadMap, model: &PowerModel, src: Coord, snk: Coord) -> Path {
     if src == snk {
         return Path::from_moves(src, vec![]);
     }
@@ -206,7 +200,11 @@ mod tests {
             res.dynamic_power
         );
         assert!(res.lower_bound <= res.dynamic_power + 1e-9);
-        assert!(res.lower_bound > 31.0, "lower bound {} too loose", res.lower_bound);
+        assert!(
+            res.lower_bound > 31.0,
+            "lower bound {} too loose",
+            res.lower_bound
+        );
         assert!(res.routing.is_structurally_valid(&cs, usize::MAX));
     }
 
@@ -227,7 +225,10 @@ mod tests {
         let pr = crate::pr::PathRemover.route(&cs, &model);
         let p_pr = pr.power(&cs, &model).unwrap().total();
         assert!(res.lower_bound <= p_pr + 1e-9);
-        assert!(res.dynamic_power <= p_pr + 1e-9, "multi-path must beat single-path");
+        assert!(
+            res.dynamic_power <= p_pr + 1e-9,
+            "multi-path must beat single-path"
+        );
     }
 
     #[test]
@@ -259,6 +260,9 @@ mod tests {
         let p = cheapest_path(&mesh, &costs, &model, Coord::new(0, 0), Coord::new(2, 2));
         assert!(p.is_manhattan(&mesh));
         let crossing: Vec<_> = p.links(&mesh).filter(|l| costs.get(*l) > 0.0).collect();
-        assert!(crossing.is_empty(), "cheapest path re-used loaded links {crossing:?}");
+        assert!(
+            crossing.is_empty(),
+            "cheapest path re-used loaded links {crossing:?}"
+        );
     }
 }

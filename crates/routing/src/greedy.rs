@@ -275,7 +275,10 @@ mod tests {
             ],
         );
         let model = PowerModel::kim_horowitz();
-        for h in [&SimpleGreedy::default() as &dyn Heuristic, &ImprovedGreedy::default()] {
+        for h in [
+            &SimpleGreedy::default() as &dyn Heuristic,
+            &ImprovedGreedy::default(),
+        ] {
             let r = check_valid(h, &cs, &model);
             assert!(r.path(0).is_empty());
             assert_eq!(r.path(1).len(), 3);
@@ -313,6 +316,9 @@ mod tests {
         let r = ImprovedGreedy::default().route(&cs, &model);
         // Optimal 1-MP on Fig. 2 is 56: one comm on XY, the other on YX.
         let p = r.power(&cs, &model).unwrap().total();
-        assert!((p - 56.0).abs() < 1e-9, "IG should find the Fig. 2 1-MP optimum, got {p}");
+        assert!(
+            (p - 56.0).abs() < 1e-9,
+            "IG should find the Fig. 2 1-MP optimum, got {p}"
+        );
     }
 }

@@ -136,11 +136,7 @@ impl Best {
 
     /// Runs every member and returns the best feasible `(kind, routing,
     /// power)`, or `None` if all members fail.
-    pub fn route(
-        &self,
-        cs: &CommSet,
-        model: &PowerModel,
-    ) -> Option<(HeuristicKind, Routing, f64)> {
+    pub fn route(&self, cs: &CommSet, model: &PowerModel) -> Option<(HeuristicKind, Routing, f64)> {
         let mut best: Option<(HeuristicKind, Routing, f64)> = None;
         for &kind in &self.portfolio {
             let routing = kind.route(cs, model);

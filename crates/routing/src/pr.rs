@@ -153,10 +153,7 @@ impl PrComm {
             let j = self.alive[t].iter().position(|&a| a).unwrap();
             let link = g[j];
             let (from, to) = mesh.link_endpoints(link);
-            assert_eq!(
-                from, cur,
-                "resolved PR links do not chain into a path"
-            );
+            assert_eq!(from, cur, "resolved PR links do not chain into a path");
             moves.push(mesh.link_step(link));
             cur = to;
         }
@@ -226,7 +223,10 @@ impl Heuristic for PathRemover {
                     }
                 }
             }
-            debug_assert!(removed, "an unresolved communication always has a removable link");
+            debug_assert!(
+                removed,
+                "an unresolved communication always has a removable link"
+            );
             if !removed {
                 break;
             }
@@ -276,7 +276,10 @@ mod tests {
         let model = PowerModel::fig2();
         let r = PathRemover.route(&cs, &model);
         let p = r.power(&cs, &model).unwrap().total();
-        assert!((p - 56.0).abs() < 1e-9, "PR should reach the 1-MP optimum 56, got {p}");
+        assert!(
+            (p - 56.0).abs() < 1e-9,
+            "PR should reach the 1-MP optimum 56, got {p}"
+        );
     }
 
     #[test]
@@ -293,7 +296,11 @@ mod tests {
         let loads = r.loads(&cs);
         // The two links out of the corner must carry 2.0 each (perfect
         // split); interior spread keeps the maximum at 2.0.
-        assert!(loads.max_load() <= 2.0 + 1e-9, "max load {}", loads.max_load());
+        assert!(
+            loads.max_load() <= 2.0 + 1e-9,
+            "max load {}",
+            loads.max_load()
+        );
         let p_xy = xy_routing(&cs).power(&cs, &model).unwrap().total();
         let p_pr = r.power(&cs, &model).unwrap().total();
         assert!(p_pr < p_xy);

@@ -124,10 +124,14 @@ impl RoutingTables {
     /// exactly.
     pub fn verify(&self, cs: &CommSet, routing: &Routing) -> bool {
         (0..routing.len()).all(|comm| {
-            routing.flows(comm).iter().enumerate().all(|(pi, (path, _))| {
-                let walked = self.walk(path.src(), FlowId { comm, path: pi });
-                walked == *path && walked.snk() == cs.comms()[comm].snk
-            })
+            routing
+                .flows(comm)
+                .iter()
+                .enumerate()
+                .all(|(pi, (path, _))| {
+                    let walked = self.walk(path.src(), FlowId { comm, path: pi });
+                    walked == *path && walked.snk() == cs.comms()[comm].snk
+                })
         })
     }
 }
@@ -218,10 +222,7 @@ mod tests {
             vec![Comm::new(Coord::new(0, 0), Coord::new(0, 0), 1.0)],
         );
         // Right, Left, Right revisits (0,0) with a second outgoing move.
-        let walk = Path::from_moves(
-            Coord::new(0, 0),
-            vec![Step::Right, Step::Left, Step::Right],
-        );
+        let walk = Path::from_moves(Coord::new(0, 0), vec![Step::Right, Step::Left, Step::Right]);
         let r = Routing::multi(vec![vec![(walk, 1.0)]]);
         assert!(matches!(
             RoutingTables::compile(&cs, &r),

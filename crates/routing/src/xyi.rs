@@ -40,7 +40,9 @@ pub struct XyImprover {
 
 impl Default for XyImprover {
     fn default() -> Self {
-        XyImprover { max_moves: 1_000_000 }
+        XyImprover {
+            max_moves: 1_000_000,
+        }
     }
 }
 
@@ -48,11 +50,7 @@ impl Default for XyImprover {
 /// `None` when the move would violate the Manhattan-path constraint.
 ///
 /// Returns the new path together with the two removed and two added links.
-fn flip_move(
-    mesh: &Mesh,
-    path: &Path,
-    link: LinkId,
-) -> Option<(Path, [LinkId; 2], [LinkId; 2])> {
+fn flip_move(mesh: &Mesh, path: &Path, link: LinkId) -> Option<(Path, [LinkId; 2], [LinkId; 2])> {
     let links: Vec<LinkId> = path.links(mesh).collect();
     let j = links.iter().position(|&l| l == link)?;
     let moves = path.moves();
@@ -123,9 +121,7 @@ impl Heuristic for XyImprover {
                             delta += surrogate_link_cost(model, load + c.weight)
                                 - surrogate_link_cost(model, load);
                         }
-                        if delta < -IMPROVE_EPS
-                            && best.as_ref().is_none_or(|(b, ..)| delta < *b)
-                        {
+                        if delta < -IMPROVE_EPS && best.as_ref().is_none_or(|(b, ..)| delta < *b) {
                             best = Some((delta, i, np, rem, add));
                         }
                     }
@@ -165,7 +161,10 @@ mod tests {
         let p = Path::xy(Coord::new(0, 0), Coord::new(2, 2));
         let link = mesh.link_id(Coord::new(0, 2), Step::Down).unwrap();
         let (np, rem, add) = flip_move(&mesh, &p, link).unwrap();
-        assert_eq!(np.moves(), &[Step::Right, Step::Down, Step::Right, Step::Down]);
+        assert_eq!(
+            np.moves(),
+            &[Step::Right, Step::Down, Step::Right, Step::Down]
+        );
         assert!(rem.contains(&link));
         assert!(!np.crosses(&mesh, link));
         assert!(np.is_manhattan(&mesh));
@@ -188,7 +187,10 @@ mod tests {
         assert!(flip_move(&mesh, &p, l1).is_none());
         let l2 = mesh.link_id(Coord::new(0, 1), Step::Right).unwrap();
         let (np, _, add) = flip_move(&mesh, &p, l2).unwrap();
-        assert_eq!(np.moves(), &[Step::Right, Step::Down, Step::Right, Step::Down]);
+        assert_eq!(
+            np.moves(),
+            &[Step::Right, Step::Down, Step::Right, Step::Down]
+        );
         // The replacement vertical link leaves the same core (0,1).
         let leaving = add
             .iter()
@@ -223,7 +225,10 @@ mod tests {
         let p = r.power(&cs, &model).unwrap().total();
         let p_xy = xy_routing(&cs).power(&cs, &model).unwrap().total();
         assert!(p < p_xy, "XYI ({p}) must beat XY ({p_xy})");
-        assert!((p - 56.0).abs() < 1e-9, "XYI should reach the 1-MP optimum 56, got {p}");
+        assert!(
+            (p - 56.0).abs() < 1e-9,
+            "XYI should reach the 1-MP optimum 56, got {p}"
+        );
     }
 
     #[test]

@@ -3,18 +3,15 @@
 use pamr_mesh::{Coord, Mesh};
 use pamr_power::PowerModel;
 use pamr_routing::{
-    optimal_single_path, surrogate_link_cost, Comm, CommSet, Heuristic, HeuristicKind,
-    PathRemover, SplitMp,
+    optimal_single_path, surrogate_link_cost, Comm, CommSet, Heuristic, HeuristicKind, PathRemover,
+    SplitMp,
 };
 use proptest::prelude::*;
 
 fn small_instance() -> impl Strategy<Value = CommSet> {
     (2usize..=4, 2usize..=4)
         .prop_flat_map(|(p, q)| {
-            let comms = prop::collection::vec(
-                ((0..p, 0..q), (0..p, 0..q), 1u32..=50),
-                1..=4,
-            );
+            let comms = prop::collection::vec(((0..p, 0..q), (0..p, 0..q), 1u32..=50), 1..=4);
             (Just((p, q)), comms)
         })
         .prop_map(|((p, q), comms)| {

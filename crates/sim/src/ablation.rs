@@ -74,7 +74,11 @@ pub fn leak_sweep(mesh: &Mesh, leaks: &[f64], trials: usize, seed: u64) -> Vec<L
                 pr_wins,
                 xyi_wins,
                 both_feasible: both,
-                mean_ratio: if both == 0 { 0.0 } else { ratio_sum / both as f64 },
+                mean_ratio: if both == 0 {
+                    0.0
+                } else {
+                    ratio_sum / both as f64
+                },
             }
         })
         .collect()
@@ -94,12 +98,7 @@ pub struct SmpRow {
 /// Sweeps the split factor of `SplitMp<PathRemover>` on heavy traffic
 /// (12 communications, U\[2000, 3400\] Mb/s) and reports success rates and
 /// mean power, plus the continuous-frequency Frank–Wolfe reference.
-pub fn smp_sweep(
-    mesh: &Mesh,
-    ss: &[usize],
-    trials: usize,
-    seed: u64,
-) -> (Vec<SmpRow>, f64) {
+pub fn smp_sweep(mesh: &Mesh, ss: &[usize], trials: usize, seed: u64) -> (Vec<SmpRow>, f64) {
     let gen = UniformWorkload::new(12, 2000.0, 3400.0);
     let model = PowerModel::kim_horowitz();
     // Per trial, evaluate every s on the same instance.

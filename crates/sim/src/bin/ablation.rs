@@ -22,17 +22,26 @@ fn main() {
     }
 
     println!("\n== s-MP ablation: SplitMp<PathRemover> on heavy traffic ==");
-    println!("(12 communications U[2000,3400] Mb/s, {} trials)", opts.trials);
+    println!(
+        "(12 communications U[2000,3400] Mb/s, {} trials)",
+        opts.trials
+    );
     println!("{:>4} {:>10} {:>14}", "s", "successes", "mean power mW");
     let (rows, fw_lb) = smp_sweep(&mesh, &[1, 2, 3, 4], opts.trials, opts.seed);
     for row in &rows {
-        println!("{:>4} {:>10} {:>14.1}", row.s, row.successes, row.mean_power);
+        println!(
+            "{:>4} {:>10} {:>14.1}",
+            row.s, row.successes, row.mean_power
+        );
     }
     println!("continuous max-MP lower bound on the comparable set: {fw_lb:.1} mW");
 
     println!("\n== processing-order ablation: 'decreasing weights gives the best results' (§5) ==");
     println!("(TB on 30 mixed communications, {} trials)", opts.trials);
-    println!("{:>20} {:>10} {:>14}", "order", "successes", "mean power mW");
+    println!(
+        "{:>20} {:>10} {:>14}",
+        "order", "successes", "mean power mW"
+    );
     for row in order_sweep(&mesh, opts.trials, opts.seed) {
         println!(
             "{:>20} {:>10} {:>14.1}",

@@ -50,7 +50,11 @@ fn main() {
             inst.q(),
             inst.bw,
             if part.is_some() { "EXISTS" } else { "none" },
-            if part.is_some() { "feasible" } else { "infeasible" },
+            if part.is_some() {
+                "feasible"
+            } else {
+                "infeasible"
+            },
         );
     }
 }

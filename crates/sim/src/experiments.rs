@@ -165,16 +165,32 @@ pub fn fig9() -> Vec<Experiment> {
         points: (2..=14)
             .map(|len| SweepPoint {
                 x: len as f64,
-                workload: WorkloadSpec::Length(LengthTargetedWorkload::new(
-                    n, w_min, w_max, len,
-                )),
+                workload: WorkloadSpec::Length(LengthTargetedWorkload::new(n, w_min, w_max, len)),
             })
             .collect(),
     };
     vec![
-        mk("fig9a", "numerous small communications (100, U[200,800])", 100, 200.0, 800.0),
-        mk("fig9b", "some mid-weighted communications (25, U[100,3500])", 25, 100.0, 3500.0),
-        mk("fig9c", "few big communications (12, U[2700,3300])", 12, 2700.0, 3300.0),
+        mk(
+            "fig9a",
+            "numerous small communications (100, U[200,800])",
+            100,
+            200.0,
+            800.0,
+        ),
+        mk(
+            "fig9b",
+            "some mid-weighted communications (25, U[100,3500])",
+            25,
+            100.0,
+            3500.0,
+        ),
+        mk(
+            "fig9c",
+            "few big communications (12, U[2700,3300])",
+            12,
+            2700.0,
+            3300.0,
+        ),
     ]
 }
 
@@ -208,10 +224,7 @@ pub fn run_experiment(
             (point.x, stats)
         })
         .collect();
-    ExperimentResult {
-        id: exp.id,
-        points,
-    }
+    ExperimentResult { id: exp.id, points }
 }
 
 #[cfg(test)]

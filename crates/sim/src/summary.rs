@@ -74,10 +74,8 @@ impl Summary {
         // success counts.
         let (mut num, mut den) = (0.0, 0usize);
         for k in HeuristicKind::ALL {
-            let agg = &self.pooled.per_heur[HeuristicKind::ALL
-                .iter()
-                .position(|&x| x == k)
-                .unwrap()];
+            let agg =
+                &self.pooled.per_heur[HeuristicKind::ALL.iter().position(|&x| x == k).unwrap()];
             num += agg.sum_static_frac;
             den += agg.successes;
         }
@@ -94,9 +92,21 @@ impl Summary {
         let _ = writeln!(s, "§6.4 summary statistics (paper → measured)");
         let _ = writeln!(s, "------------------------------------------");
         let rows = [
-            ("XY success rate", 0.15, self.success_rate(HeuristicKind::Xy)),
-            ("XYI success rate", 0.46, self.success_rate(HeuristicKind::Xyi)),
-            ("PR success rate", 0.50, self.success_rate(HeuristicKind::Pr)),
+            (
+                "XY success rate",
+                0.15,
+                self.success_rate(HeuristicKind::Xy),
+            ),
+            (
+                "XYI success rate",
+                0.46,
+                self.success_rate(HeuristicKind::Xyi),
+            ),
+            (
+                "PR success rate",
+                0.50,
+                self.success_rate(HeuristicKind::Pr),
+            ),
             ("BEST success rate", 0.51, self.best_success_rate()),
             (
                 "XYI inv-power ratio vs XY",
@@ -118,7 +128,10 @@ impl Summary {
         for (name, paper, ours) in rows {
             let _ = writeln!(s, "{name:<30} {paper:>8.3} → {ours:>8.3}");
         }
-        let _ = writeln!(s, "\nmean routing time (paper: XYI 24 ms, PR 38 ms; different hardware)");
+        let _ = writeln!(
+            s,
+            "\nmean routing time (paper: XYI 24 ms, PR 38 ms; different hardware)"
+        );
         for k in [HeuristicKind::Xyi, HeuristicKind::Pr] {
             let _ = writeln!(s, "{:<30} {:>8.3} ms", k.name(), self.pooled.mean_millis(k));
         }

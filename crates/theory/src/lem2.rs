@@ -22,8 +22,8 @@ pub fn lemma2_instance(p_prime: usize) -> CommSet {
     let comms = (1..=p_prime)
         .map(|i| {
             Comm::new(
-                Coord::new(0, i - 1),         // paper C_{1,i}
-                Coord::new(i - 1, p_prime),   // paper C_{i,p'+1}
+                Coord::new(0, i - 1),       // paper C_{1,i}
+                Coord::new(i - 1, p_prime), // paper C_{i,p'+1}
                 1.0,
             )
         })
@@ -78,7 +78,9 @@ mod tests {
         let model = PowerModel::theory(3.0);
         let (p_xy, p_yx) = lemma2_ratio(p_prime, &model);
         let expected_xy: f64 = (1..=p_prime).map(|v| (v as f64).powi(3)).sum::<f64>()
-            + (1..=p_prime).map(|u| ((p_prime - u) as f64).powi(3)).sum::<f64>();
+            + (1..=p_prime)
+                .map(|u| ((p_prime - u) as f64).powi(3))
+                .sum::<f64>();
         assert!((p_xy - expected_xy).abs() < 1e-9, "{p_xy} vs {expected_xy}");
         // P_YX: all unit loads; total links = Σ length = p'·p'.
         let expected_yx = (p_prime * p_prime) as f64;
@@ -97,7 +99,11 @@ mod tests {
         let r16 = ratio(16);
         let r32 = ratio(32);
         assert!(r16 / r8 > 3.0 && r16 / r8 < 5.0, "r16/r8 = {}", r16 / r8);
-        assert!(r32 / r16 > 3.2 && r32 / r16 < 4.8, "r32/r16 = {}", r32 / r16);
+        assert!(
+            r32 / r16 > 3.2 && r32 / r16 < 4.8,
+            "r32/r16 = {}",
+            r32 / r16
+        );
     }
 
     #[test]

@@ -24,11 +24,7 @@ mod tests {
         for (p, q) in [(1, 1), (1, 7), (2, 2), (3, 4), (4, 4), (5, 3)] {
             let mesh = Mesh::new(p, q);
             let n = Path::enumerate_all(&mesh, Coord::new(0, 0), Coord::new(p - 1, q - 1)).len();
-            assert_eq!(
-                manhattan_path_count(p, q),
-                n as u128,
-                "mismatch on {p}×{q}"
-            );
+            assert_eq!(manhattan_path_count(p, q), n as u128, "mismatch on {p}×{q}");
         }
     }
 

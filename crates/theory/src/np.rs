@@ -68,7 +68,10 @@ impl ReductionInstance {
 /// # Panics
 /// Panics if `a` is empty, any `a_i` is zero, or `s < 2`.
 pub fn reduction_instance(a: &[u64], s: usize) -> ReductionInstance {
-    assert!(!a.is_empty() && a.iter().all(|&x| x > 0), "invalid 2-PARTITION input");
+    assert!(
+        !a.is_empty() && a.iter().all(|&x| x > 0),
+        "invalid 2-PARTITION input"
+    );
     assert!(s >= 2, "the reduction needs s ≥ 2");
     let n = a.len();
     let q = (s - 1) * n + 2;
@@ -219,8 +222,7 @@ mod tests {
         assert_eq!(inst.cs.len(), 8);
         assert!((inst.bw - 8.0).abs() < 1e-12);
         // Total weight saturates all vertical capacity: q·BW.
-        let vertical_total: f64 = inst.cs.total_weight()
-            - 0.0; // all comms eventually cross a vertical link once
+        let vertical_total: f64 = inst.cs.total_weight() - 0.0; // all comms eventually cross a vertical link once
         assert!((vertical_total - inst.q() as f64 * inst.bw).abs() < 1e-9);
     }
 

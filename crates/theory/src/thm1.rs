@@ -138,7 +138,10 @@ impl Fig4Pattern {
 /// Power of the XY routing of the same corner-to-corner traffic: all `K`
 /// bytes cross each of the `2p − 2` links of the single XY path.
 pub fn xy_corner_power(p: usize, k_total: f64, model: &PowerModel) -> f64 {
-    (2 * p - 2) as f64 * model.link_power(k_total).expect("XY corner load infeasible")
+    (2 * p - 2) as f64
+        * model
+            .link_power(k_total)
+            .expect("XY corner load infeasible")
 }
 
 #[cfg(test)]

@@ -79,9 +79,7 @@ mod tests {
     use super::*;
     use pamr_mesh::{Coord, Mesh};
     use pamr_power::PowerModel;
-    use pamr_routing::{
-        frank_wolfe, ideal_power_lower_bound, xy_routing, Comm, HeuristicKind,
-    };
+    use pamr_routing::{frank_wolfe, ideal_power_lower_bound, xy_routing, Comm, HeuristicKind};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
@@ -89,13 +87,11 @@ mod tests {
         let mesh = Mesh::new(p, q);
         let mut rng = SmallRng::seed_from_u64(seed);
         let comms = (0..n)
-            .map(|_| {
-                loop {
-                    let a = Coord::new(rng.gen_range(0..p), rng.gen_range(0..q));
-                    let b = Coord::new(rng.gen_range(0..p), rng.gen_range(0..q));
-                    if a != b {
-                        return Comm::new(a, b, rng.gen_range(1.0..5.0));
-                    }
+            .map(|_| loop {
+                let a = Coord::new(rng.gen_range(0..p), rng.gen_range(0..q));
+                let b = Coord::new(rng.gen_range(0..p), rng.gen_range(0..q));
+                if a != b {
+                    return Comm::new(a, b, rng.gen_range(1.0..5.0));
                 }
             })
             .collect();
@@ -140,11 +136,7 @@ mod tests {
             let cs = random_instance(seed, 5, 5, 8);
             let lb = thm2_manhattan_lower_bound(&cs, alpha);
             for kind in HeuristicKind::ALL {
-                let p = kind
-                    .route(&cs, &model)
-                    .power(&cs, &model)
-                    .unwrap()
-                    .total();
+                let p = kind.route(&cs, &model).power(&cs, &model).unwrap().total();
                 assert!(lb <= p + 1e-9, "seed {seed}: {kind} below the LB");
             }
             // …and even the multi-path relaxation respects it.

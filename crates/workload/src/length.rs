@@ -41,7 +41,11 @@ impl LengthTargetedWorkload {
     /// Draws one instance on `mesh`.
     pub fn generate<R: Rng + ?Sized>(&self, mesh: &Mesh, rng: &mut R) -> CommSet {
         let buckets = PairBuckets::new(mesh);
-        let lo = self.target_len.saturating_sub(1).max(1).min(buckets.max_len());
+        let lo = self
+            .target_len
+            .saturating_sub(1)
+            .max(1)
+            .min(buckets.max_len());
         let hi = (self.target_len + 1).min(buckets.max_len());
         let comms = (0..self.n)
             .map(|_| {

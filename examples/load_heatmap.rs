@@ -28,7 +28,11 @@ fn main() {
             .power(&cs, &model)
             .map(|p| format!("{:.0} mW", p.total()))
             .unwrap_or_else(|_| "INFEASIBLE".into());
-        println!("── {} routing — {power} (max link load {:.0} Mb/s)", kind.name(), loads.max_load());
+        println!(
+            "── {} routing — {power} (max link load {:.0} Mb/s)",
+            kind.name(),
+            loads.max_load()
+        );
         println!("{}", render_loads(&mesh, &loads));
         println!("utilisation heatmap (capacity 3500 Mb/s):");
         println!("{}", render_heatmap(&mesh, &loads, model.capacity));

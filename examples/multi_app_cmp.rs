@@ -19,11 +19,7 @@ fn main() {
 
     // Application 1: a 16-point FFT on the top-left 4×4 quadrant.
     let fft = TaskGraph::butterfly(4, 450.0);
-    let fft_map = Mapping::explicit(
-        (0..16)
-            .map(|i| Coord::new(i / 4, i % 4))
-            .collect(),
-    );
+    let fft_map = Mapping::explicit((0..16).map(|i| Coord::new(i / 4, i % 4)).collect());
 
     // Application 2: a video pipeline snaking down the right columns.
     let pipeline = TaskGraph::pipeline(8, 1900.0);
@@ -47,7 +43,11 @@ fn main() {
 
     let cs = pamr::workload::taskgraph::merge_applications(
         &mesh,
-        &[(&fft, &fft_map), (&pipeline, &pipe_map), (&stencil, &stencil_map)],
+        &[
+            (&fft, &fft_map),
+            (&pipeline, &pipe_map),
+            (&stencil, &stencil_map),
+        ],
     );
     println!(
         "system instance: {} communications, total demand {:.0} Mb/s, mean length {:.2}\n",
@@ -56,7 +56,10 @@ fn main() {
         cs.mean_length()
     );
 
-    println!("{:<6} {:>10} {:>9} {:>10}", "policy", "power mW", "links", "max load");
+    println!(
+        "{:<6} {:>10} {:>9} {:>10}",
+        "policy", "power mW", "links", "max load"
+    );
     let mut xy_power = None;
     for kind in HeuristicKind::ALL {
         let routing = kind.route(&cs, &model);

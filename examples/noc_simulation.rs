@@ -30,7 +30,10 @@ fn main() {
         packet_bits: 512.0,
     };
 
-    println!("packet-level execution of 6 flows on an 8×8 NoC ({} µs horizon)\n", cfg.horizon_us);
+    println!(
+        "packet-level execution of 6 flows on an 8×8 NoC ({} µs horizon)\n",
+        cfg.horizon_us
+    );
     println!(
         "{:<6} {:>9} {:>13} {:>13} {:>12} {:>9}",
         "policy", "feasible", "mean lat µs", "backlog µs", "energy µJ", "clamped"

@@ -43,9 +43,14 @@ fn main() {
         // The chain of inequalities the theory promises:
         assert!(diag_lb <= opt + 1e-6);
         assert!(fw.lower_bound <= fw.dynamic_power + 1e-6);
-        assert!(fw.dynamic_power <= opt + 1e-6, "multi-path beats single-path");
+        assert!(
+            fw.dynamic_power <= opt + 1e-6,
+            "multi-path beats single-path"
+        );
         assert!(opt <= best + 1e-6, "exact optimum bounds every heuristic");
         assert!(best <= xy + 1e-6, "BEST includes XY");
     }
-    println!("\nevery instance satisfies  diag-LB ≤ opt-1MP,  FW-LB ≤ multi-MP ≤ opt-1MP ≤ BEST ≤ XY");
+    println!(
+        "\nevery instance satisfies  diag-LB ≤ opt-1MP,  FW-LB ≤ multi-MP ≤ opt-1MP ≤ BEST ≤ XY"
+    );
 }

@@ -26,7 +26,10 @@ fn main() {
     );
 
     println!("routing {} communications on an 8×8 CMP\n", cs.len());
-    println!("{:<6} {:>10} {:>9} {:>13} {:>12}", "policy", "power mW", "links", "static frac", "max load");
+    println!(
+        "{:<6} {:>10} {:>9} {:>13} {:>12}",
+        "policy", "power mW", "links", "static frac", "max load"
+    );
     for kind in HeuristicKind::ALL {
         let routing = kind.route(&cs, &model);
         let loads = routing.loads(&cs);

@@ -57,9 +57,15 @@ fn cmd_random(args: &[String]) {
         .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
         .unwrap_or_else(|| usage());
     let n: usize = opt(args, "--n").and_then(|v| v.parse().ok()).unwrap_or(20);
-    let w_min: f64 = opt(args, "--wmin").and_then(|v| v.parse().ok()).unwrap_or(100.0);
-    let w_max: f64 = opt(args, "--wmax").and_then(|v| v.parse().ok()).unwrap_or(2500.0);
-    let seed: u64 = opt(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let w_min: f64 = opt(args, "--wmin")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100.0);
+    let w_max: f64 = opt(args, "--wmax")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2500.0);
+    let seed: u64 = opt(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let mesh = Mesh::new(p, q);
     let mut rng = SmallRng::seed_from_u64(seed);
     let cs = UniformWorkload::new(n, w_min, w_max).generate(&mesh, &mut rng);
@@ -107,7 +113,9 @@ fn cmd_route(args: &[String]) {
         0.0,
     );
     let name = opt(args, "--heuristic").unwrap_or_else(|| "BEST".into());
-    let split: usize = opt(args, "--split").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let split: usize = opt(args, "--split")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
 
     let (label, routing): (String, Routing) = if name.eq_ignore_ascii_case("best") {
         match Best::default().route(&cs, &model) {
@@ -167,7 +175,10 @@ fn cmd_route(args: &[String]) {
     };
 
     if flag(args, "--json") {
-        println!("{}", serde_json::to_string_pretty(&report).expect("serialise"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serialise")
+        );
         return;
     }
     println!("routed {} communications with {label}", cs.len());
@@ -179,7 +190,10 @@ fn cmd_route(args: &[String]) {
             b.leakage,
             b.dynamic
         ),
-        None => println!("INFEASIBLE: max link load {:.0} exceeds capacity", loads.max_load()),
+        None => println!(
+            "INFEASIBLE: max link load {:.0} exceeds capacity",
+            loads.max_load()
+        ),
     }
     // Per-heuristic comparison footer.
     let mut comparison: HashMap<&str, Option<f64>> = HashMap::new();
@@ -213,6 +227,9 @@ fn cmd_demo() {
     }
     if let Some((kind, routing, power)) = Best::default().route(&cs, &model) {
         println!("\nBEST = {kind} at {power:.1} mW");
-        println!("{}", render_heatmap(&mesh, &routing.loads(&cs), model.capacity));
+        println!(
+            "{}",
+            render_heatmap(&mesh, &routing.loads(&cs), model.capacity)
+        );
     }
 }

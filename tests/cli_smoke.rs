@@ -1,0 +1,66 @@
+//! Smoke test for the `pamr` command-line front end: generate a random
+//! instance on a tiny mesh, route it with every heuristic name the CLI
+//! accepts, and check the JSON report parses.
+
+use std::process::Command;
+
+fn pamr(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pamr"))
+        .args(args)
+        .output()
+        .expect("failed to spawn pamr");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn random_then_route_round_trip() {
+    let dir = std::env::temp_dir().join("pamr_cli_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst = dir.join("inst.json");
+
+    let (json, stderr, ok) = pamr(&[
+        "random", "--mesh", "4x4", "--n", "6", "--wmin", "100", "--wmax", "900", "--seed", "11",
+    ]);
+    assert!(ok, "pamr random failed: {stderr}");
+    std::fs::write(&inst, &json).unwrap();
+
+    // The generated instance is valid JSON for a 4×4 CommSet.
+    let cs: pamr::routing::CommSet = serde_json::from_str(&json).expect("instance parses");
+    assert_eq!(cs.len(), 6);
+
+    for heuristic in ["BEST", "XY", "SG", "IG", "TB", "XYI", "PR"] {
+        let (out, stderr, ok) = pamr(&[
+            "route",
+            "--instance",
+            inst.to_str().unwrap(),
+            "--heuristic",
+            heuristic,
+        ]);
+        assert!(ok, "pamr route --heuristic {heuristic} failed: {stderr}");
+        assert!(!out.is_empty(), "route {heuristic} printed nothing");
+    }
+
+    // Machine-readable report.
+    let (out, stderr, ok) = pamr(&["route", "--instance", inst.to_str().unwrap(), "--json"]);
+    assert!(ok, "pamr route --json failed: {stderr}");
+    assert!(
+        out.trim_start().starts_with('{'),
+        "--json must print a JSON object, got:\n{out}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn demo_runs() {
+    let (out, stderr, ok) = pamr(&["demo"]);
+    assert!(ok, "pamr demo failed: {stderr}");
+    assert!(
+        out.contains("BEST"),
+        "demo output missing BEST line:\n{out}"
+    );
+}

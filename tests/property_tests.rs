@@ -8,14 +8,7 @@ use proptest::prelude::*;
 fn instance_strategy() -> impl Strategy<Value = CommSet> {
     (2usize..=5, 2usize..=5)
         .prop_flat_map(|(p, q)| {
-            let comms = prop::collection::vec(
-                (
-                    (0..p, 0..q),
-                    (0..p, 0..q),
-                    1u32..=400,
-                ),
-                1..=8,
-            );
+            let comms = prop::collection::vec(((0..p, 0..q), (0..p, 0..q), 1u32..=400), 1..=8);
             (Just((p, q)), comms)
         })
         .prop_map(|((p, q), comms)| {

@@ -1,7 +1,7 @@
 //! Integration test: the system-level artefacts around a routing — compiled
 //! forwarding tables and wormhole-deadlock analysis — through the facade.
 
-use pamr::nocsim::{escape_channels_needed, has_cycle, channel_dependency_graph};
+use pamr::nocsim::{channel_dependency_graph, escape_channels_needed, has_cycle};
 use pamr::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

@@ -2,10 +2,10 @@
 //! machinery.
 
 use pamr::prelude::*;
+use pamr::theory::np::routing_from_partition;
 use pamr::theory::{
     fig4_pattern, lemma2_instance, partition_exists, reduction_instance, xy_corner_power,
 };
-use pamr::theory::np::routing_from_partition;
 
 #[test]
 fn heuristics_rescue_the_lemma2_instance() {
@@ -15,12 +15,13 @@ fn heuristics_rescue_the_lemma2_instance() {
     let model = PowerModel::theory(3.0);
     let p_xy = xy_routing(&cs).power(&cs, &model).unwrap().total();
     let p_yx = yx_routing(&cs).power(&cs, &model).unwrap().total();
-    for kind in [HeuristicKind::Sg, HeuristicKind::Ig, HeuristicKind::Tb, HeuristicKind::Pr] {
-        let p = kind
-            .route(&cs, &model)
-            .power(&cs, &model)
-            .unwrap()
-            .total();
+    for kind in [
+        HeuristicKind::Sg,
+        HeuristicKind::Ig,
+        HeuristicKind::Tb,
+        HeuristicKind::Pr,
+    ] {
+        let p = kind.route(&cs, &model).power(&cs, &model).unwrap().total();
         assert!(
             p <= p_xy / 2.0,
             "{kind} at {p} did not substantially beat XY ({p_xy})"
@@ -52,16 +53,15 @@ fn fig4_pattern_beats_every_single_path_routing_of_one_flow() {
     let pat_power = pat.power(&model);
     let single_path = xy_corner_power(2 * p_prime, k_total, &model);
     for kind in HeuristicKind::ALL {
-        let p = kind
-            .route(&cs, &model)
-            .power(&cs, &model)
-            .unwrap()
-            .total();
+        let p = kind.route(&cs, &model).power(&cs, &model).unwrap().total();
         assert!(
             (p - single_path).abs() < 1e-9,
             "{kind}: any single path of one flow costs (2p−2)K^α, got {p}"
         );
-        assert!(pat_power < p, "{kind} ({p}) beat the max-MP pattern ({pat_power})");
+        assert!(
+            pat_power < p,
+            "{kind} ({p}) beat the max-MP pattern ({pat_power})"
+        );
     }
     // The proof's explicit bound: P_max ≤ 4·K^α·(2 − 1/p').
     let proof_bound = 4.0 * k_total.powi(3) * (2.0 - 1.0 / p_prime as f64);
@@ -91,7 +91,10 @@ fn frank_wolfe_confirms_fig4_is_within_a_constant_of_optimal() {
         let fw = frank_wolfe(&cs, &model, 500);
         let pat = fig4_pattern(p_prime, k_total).power(&model);
         assert!(fw.lower_bound <= pat + 1e-9);
-        assert!(fw.dynamic_power <= pat + 1e-9, "the optimum is below the pattern");
+        assert!(
+            fw.dynamic_power <= pat + 1e-9,
+            "the optimum is below the pattern"
+        );
         gaps.push(pat / fw.dynamic_power);
     }
     // Constant-factor gap: bounded and not growing with p.

@@ -1,0 +1,236 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the API surface the workspace's benches use — groups,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `criterion_group!` /
+//! `criterion_main!` — backed by a simple median-of-samples wall-clock
+//! measurement printed to stdout. No statistics, plots or history: the
+//! numbers are indicative, which is all the ROADMAP's shape-comparisons
+//! need until the real criterion can be restored.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepted for API compatibility; command-line filtering is not
+    /// implemented in the offline stand-in.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = name.to_string();
+        run_benchmark(self, &label, f);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the per-iteration throughput (printed, not analysed).
+    pub fn throughput(&mut self, t: Throughput) {
+        match t {
+            Throughput::Elements(n) => {
+                println!("{}: throughput {} elements/iter", self.name, n)
+            }
+            Throughput::Bytes(n) => println!("{}: throughput {} bytes/iter", self.name, n),
+        }
+    }
+
+    /// Benchmarks `f` with the given input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, &label, |b| f(b, input));
+    }
+
+    /// Benchmarks `f` without an input parameter.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_benchmark(self.criterion, &label, |b| f(b));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(config: &Criterion, label: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: Vec::new(),
+        budget: config.warm_up_time,
+        warmup: true,
+    };
+    f(&mut b); // warm-up pass
+    b.samples.clear();
+    b.warmup = false;
+    b.budget = config.measurement_time;
+    let deadline = Instant::now() + config.measurement_time;
+    for _ in 0..config.sample_size {
+        f(&mut b);
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    if let Some(med) = b.median() {
+        println!("{label}: median {med:?} over {} samples", b.samples.len());
+    }
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    warmup: bool,
+}
+
+impl Bencher {
+    /// Times one execution of `f` (plus enough repeats to be measurable).
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        self.samples.push(start.elapsed());
+    }
+
+    fn median(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut s = self.samples.clone();
+        s.sort();
+        Some(s[s.len() / 2])
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `name` at sweep parameter `param`.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{param}"),
+        }
+    }
+
+    /// A benchmark identified by its parameter alone.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Per-iteration work declaration, for throughput reporting.
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Re-export of [`std::hint::black_box`] under criterion's historical name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, as the real criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, as the real criterion does.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

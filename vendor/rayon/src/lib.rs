@@ -1,0 +1,145 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the `into_par_iter / map / fold / reduce / collect` surface the
+//! workspace uses, executed **sequentially**. Rayon's contract (associative
+//! reduction with an identity, order-independent folds) means a sequential
+//! execution is an admissible schedule: results are bit-identical to a
+//! single-threaded rayon run, so every seeded experiment stays reproducible.
+//! Swapping the real rayon back in is a one-line change in `Cargo.toml`.
+
+#![forbid(unsafe_code)]
+
+/// Sequential stand-in for rayon's parallel iterators.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each item, as `ParallelIterator::map`.
+    pub fn map<R, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// Filters items, as `ParallelIterator::filter`.
+    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter {
+            inner: self.inner.filter(f),
+        }
+    }
+
+    /// Folds all items into per-"thread" accumulators. Sequentially there is
+    /// one accumulator, so this yields a single folded value.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: FnOnce() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter {
+            inner: std::iter::once(self.inner.fold(identity(), fold_op)),
+        }
+    }
+
+    /// Reduces all items with `op`, starting from `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: FnOnce() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// Sums the items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.inner.sum()
+    }
+
+    /// Collects into any `FromIterator` collection.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.inner.collect()
+    }
+}
+
+/// Conversion into a (sequential) parallel iterator.
+pub trait IntoParallelIterator {
+    /// The underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The item type.
+    type Item;
+
+    /// Converts `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Iter = std::ops::Range<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// Borrowing conversion, as rayon's `par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The item type.
+    type Item: 'a;
+
+    /// Returns a [`ParIter`] over references.
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.as_slice().iter(),
+        }
+    }
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}

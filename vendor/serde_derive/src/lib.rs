@@ -1,0 +1,395 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Supports `#[derive(Serialize)]` / `#[derive(Deserialize)]` on
+//! non-generic structs and enums **without** `#[serde(...)]` attributes —
+//! exactly the shapes that appear in this workspace. Since neither `syn`
+//! nor `quote` is available offline, the input is parsed directly from the
+//! token stream and the generated impl is emitted as source text.
+//!
+//! Encoding (matching real serde where the workspace observes it):
+//! named structs → objects; newtype structs → transparent; tuple structs →
+//! arrays; unit enum variants → strings; data-carrying variants →
+//! externally tagged single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a parsed `struct` or `enum`.
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum { variants: Vec<Variant> },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple { arity: usize },
+    Struct { fields: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    gen_serialize(&name, &shape)
+        .parse()
+        .expect("serde_derive: generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    gen_deserialize(&name, &shape)
+        .parse()
+        .expect("serde_derive: generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (offline stub): generic type `{name}` is not supported");
+    }
+
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    (name, shape)
+}
+
+/// Advances `i` past outer attributes (`#[...]`) and visibility
+/// (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream on top-level commas, treating `<...>` as nesting.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle: i32 = 0;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.last_mut().unwrap().push(tt);
+    }
+    if out.last().is_some_and(Vec::is_empty) {
+        out.pop();
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|seg| {
+            let mut i = 0;
+            skip_attrs_and_vis(&seg, &mut i);
+            match &seg[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: expected field name, found `{other}`"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|seg| {
+            let mut i = 0;
+            skip_attrs_and_vis(&seg, &mut i);
+            let name = match &seg[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, found `{other}`"),
+            };
+            i += 1;
+            let kind = match seg.get(i) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple {
+                        arity: count_tuple_fields(g.stream()),
+                    }
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct {
+                        fields: parse_named_fields(g.stream()),
+                    }
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantKind::Unit,
+                other => panic!("serde_derive: unexpected variant body: {other:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn bindings(arity: usize) -> Vec<String> {
+    (0..arity).map(|k| format!("__f{k}")).collect()
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct { fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct { arity: 1 } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple { arity: 1 } => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple { arity } => {
+                            let binds = bindings(*arity);
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct { fields } => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn field_expr(ty_name: &str, field: &str) -> String {
+    format!(
+        "::serde::Deserialize::from_value(__v.get(\"{field}\").ok_or_else(|| \
+         ::serde::Error::custom(\"missing field `{field}` in {ty_name}\"))?)?"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: {}", field_expr(name, f)))
+                .collect();
+            format!(
+                "if __v.as_object().is_none() {{\n\
+                     return Err(::serde::Error::custom(format!(\n\
+                         \"expected object for {name}, found {{}}\", __v.kind())));\n\
+                 }}\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct { arity: 1 } => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __items.len() != {arity} {{\n\
+                     return Err(::serde::Error::custom(\"wrong tuple length for {name}\"));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum { variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple { arity: 1 } => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantKind::Tuple { arity } => {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&__items[{k}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let __items = __inner.as_array().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                                     if __items.len() != {arity} {{\n\
+                                         return Err(::serde::Error::custom(\
+                                         \"wrong tuple length for {name}::{vn}\"));\n\
+                                     }}\n\
+                                     Ok({name}::{vn}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct { fields } => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         __inner.get(\"{f}\").ok_or_else(|| ::serde::Error::custom(\
+                                         \"missing field `{f}` in {name}::{vn}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit}\n\
+                         __other => Err(::serde::Error::custom(format!(\n\
+                             \"unknown variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged}\n\
+                             __other => Err(::serde::Error::custom(format!(\n\
+                                 \"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => Err(::serde::Error::custom(format!(\n\
+                         \"expected enum {name}, found {{}}\", __other.kind()))),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

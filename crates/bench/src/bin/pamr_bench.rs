@@ -1,0 +1,232 @@
+//! `pamr-bench` — the campaign benchmark runner behind the CI `bench` lane.
+//!
+//! Measures the wall time of the §6 figure campaigns twice — once on a
+//! single worker thread (the sequential baseline) and once on the full
+//! work-pool — and emits a machine-readable `BENCH_summary.json` so the
+//! perf trajectory is tracked from one PR to the next.
+//!
+//! ```text
+//! pamr-bench run [--profile smoke|full] [--trials N] [--seed S] [--out FILE]
+//! pamr-bench check --baseline FILE --current FILE [--max-ratio R]
+//! ```
+//!
+//! `run` executes the campaigns and writes the report; `check` compares a
+//! fresh report against a committed baseline and exits non-zero when the
+//! parallel wall time regressed by more than `--max-ratio` (default 2.0) —
+//! lenient enough to absorb runner-to-runner noise, tight enough to catch
+//! a genuine hot-path regression.
+
+use pamr_sim::experiments::{fig7, fig8, fig9, Experiment};
+use pamr_sim::Campaign;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Per-figure measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FigureBench {
+    /// Figure id (`fig7` / `fig8` / `fig9`).
+    id: String,
+    /// Total instances routed per pass (sweep points × trials).
+    instances: usize,
+    /// Wall time of the 1-thread pass, milliseconds.
+    wall_ms_seq: f64,
+    /// Wall time of the N-thread pass, milliseconds.
+    wall_ms_par: f64,
+    /// `wall_ms_seq / wall_ms_par`.
+    speedup: f64,
+    /// Instances per second of the parallel pass.
+    trials_per_sec: f64,
+}
+
+/// The whole report (`BENCH_summary.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchReport {
+    /// Report format version.
+    schema: u32,
+    /// Profile name (`smoke` / `full` / `custom`).
+    profile: String,
+    /// Worker threads of the parallel pass.
+    threads: usize,
+    /// Trials per sweep point.
+    trials: usize,
+    /// Master seed.
+    seed: u64,
+    /// Per-figure measurements.
+    figures: Vec<FigureBench>,
+    /// Sum of the sequential passes, milliseconds.
+    total_wall_ms_seq: f64,
+    /// Sum of the parallel passes, milliseconds.
+    total_wall_ms_par: f64,
+    /// Overall sequential/parallel speedup.
+    speedup: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  pamr-bench run [--profile smoke|full] [--trials N] [--seed S] [--out FILE]\n  \
+         pamr-bench check --baseline FILE --current FILE [--max-ratio R]"
+    );
+    std::process::exit(2);
+}
+
+fn opt(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// Runs one figure group at a fixed thread count, returning the wall time.
+fn time_group(exps: &[Experiment], trials: usize, seed: u64, threads: usize) -> f64 {
+    rayon::set_num_threads(threads);
+    let mesh = pamr_sim::paper_mesh();
+    let model = pamr_sim::paper_model();
+    let campaign = Campaign {
+        mesh: &mesh,
+        model: &model,
+        trials,
+        seed,
+    };
+    let start = Instant::now();
+    for exp in exps {
+        let res = campaign.run_experiment(exp);
+        assert!(
+            res.points.iter().all(|(_, s)| s.trials == trials),
+            "campaign dropped trials"
+        );
+    }
+    rayon::set_num_threads(0);
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn cmd_run(args: &[String]) {
+    let profile = opt(args, "--profile").unwrap_or_else(|| "smoke".into());
+    let mut trials = match profile.as_str() {
+        "smoke" => 10,
+        "full" => 200,
+        other => {
+            eprintln!("unknown profile {other:?} (smoke|full)");
+            std::process::exit(2);
+        }
+    };
+    if let Some(t) = opt(args, "--trials") {
+        trials = t.parse().expect("--trials needs a positive integer");
+        assert!(trials > 0, "--trials must be positive");
+    }
+    let seed: u64 = opt(args, "--seed")
+        .map(|s| s.parse().expect("--seed needs an integer"))
+        .unwrap_or(0xC0FFEE);
+    let out = opt(args, "--out").unwrap_or_else(|| "BENCH_summary.json".into());
+
+    let threads = rayon::current_num_threads();
+    eprintln!(
+        "pamr-bench: profile {profile}, {trials} trials/point, seq (1 thread) vs par ({threads} threads)"
+    );
+
+    let groups: [(&str, Vec<Experiment>); 3] =
+        [("fig7", fig7()), ("fig8", fig8()), ("fig9", fig9())];
+    let mut figures = Vec::new();
+    for (id, exps) in &groups {
+        let instances: usize = exps.iter().map(|e| e.points.len() * trials).sum();
+        let wall_ms_seq = time_group(exps, trials, seed, 1);
+        let wall_ms_par = time_group(exps, trials, seed, 0);
+        let fig = FigureBench {
+            id: (*id).to_string(),
+            instances,
+            wall_ms_seq,
+            wall_ms_par,
+            speedup: wall_ms_seq / wall_ms_par,
+            trials_per_sec: instances as f64 / (wall_ms_par / 1e3),
+        };
+        eprintln!(
+            "  {id}: seq {:.0} ms, par {:.0} ms, speedup {:.2}x, {:.0} instances/s",
+            fig.wall_ms_seq, fig.wall_ms_par, fig.speedup, fig.trials_per_sec
+        );
+        figures.push(fig);
+    }
+
+    let total_wall_ms_seq: f64 = figures.iter().map(|f| f.wall_ms_seq).sum();
+    let total_wall_ms_par: f64 = figures.iter().map(|f| f.wall_ms_par).sum();
+    let report = BenchReport {
+        schema: 1,
+        profile,
+        threads,
+        trials,
+        seed,
+        figures,
+        total_wall_ms_seq,
+        total_wall_ms_par,
+        speedup: total_wall_ms_seq / total_wall_ms_par,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("{json}");
+    eprintln!(
+        "pamr-bench: total seq {total_wall_ms_seq:.0} ms, par {total_wall_ms_par:.0} ms, \
+         speedup {:.2}x → {out}",
+        report.speedup
+    );
+}
+
+fn cmd_check(args: &[String]) {
+    let baseline_path = opt(args, "--baseline").unwrap_or_else(|| usage());
+    let current_path = opt(args, "--current").unwrap_or_else(|| usage());
+    let max_ratio: f64 = opt(args, "--max-ratio")
+        .map(|s| s.parse().expect("--max-ratio needs a number"))
+        .unwrap_or(2.0);
+    let load = |path: &str| -> BenchReport {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+    };
+    let baseline = load(&baseline_path);
+    let current = load(&current_path);
+    assert_eq!(
+        baseline.schema, current.schema,
+        "baseline and current use different report schemas"
+    );
+    assert_eq!(
+        baseline.profile, current.profile,
+        "baseline and current measure different profiles"
+    );
+    assert_eq!(
+        baseline.trials, current.trials,
+        "baseline and current measure different trial budgets \
+         (refresh the committed baseline after changing the profile)"
+    );
+    assert_eq!(
+        baseline.figures.iter().map(|f| &f.id).collect::<Vec<_>>(),
+        current.figures.iter().map(|f| &f.id).collect::<Vec<_>>(),
+        "baseline and current measure different figure sets"
+    );
+    let ratio = current.total_wall_ms_par / baseline.total_wall_ms_par;
+    println!(
+        "bench check: baseline {:.0} ms, current {:.0} ms, ratio {ratio:.2} (limit {max_ratio:.2})",
+        baseline.total_wall_ms_par, current.total_wall_ms_par
+    );
+    for (b, c) in baseline.figures.iter().zip(&current.figures) {
+        println!(
+            "  {}: {:.0} ms → {:.0} ms ({:.2}x)",
+            c.id,
+            b.wall_ms_par,
+            c.wall_ms_par,
+            c.wall_ms_par / b.wall_ms_par
+        );
+    }
+    if ratio > max_ratio {
+        eprintln!(
+            "REGRESSION: parallel campaign wall time grew {ratio:.2}x over the committed \
+             baseline (limit {max_ratio:.2}x)"
+        );
+        std::process::exit(1);
+    }
+    println!("bench check: OK");
+}

@@ -15,12 +15,26 @@ pub struct LoadMap {
     loads: Vec<f64>,
 }
 
+impl Default for LoadMap {
+    /// An empty load map, to be sized with [`LoadMap::fit`] before use.
+    fn default() -> Self {
+        LoadMap { loads: Vec::new() }
+    }
+}
+
 impl LoadMap {
     /// An all-zero load map for `mesh`.
     pub fn new(mesh: &Mesh) -> Self {
         LoadMap {
             loads: vec![0.0; mesh.num_link_slots()],
         }
+    }
+
+    /// Resizes to `mesh`'s link slots and zeroes every load, keeping the
+    /// allocation when the capacity already suffices (scratch-buffer reuse).
+    pub fn fit(&mut self, mesh: &Mesh) {
+        self.loads.clear();
+        self.loads.resize(mesh.num_link_slots(), 0.0);
     }
 
     /// Load currently on `link`.

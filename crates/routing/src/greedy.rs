@@ -2,10 +2,10 @@
 //! (§5.2).
 
 use crate::comm::{Comm, CommSet, SortOrder};
-use crate::fractional::comm_ideal_contribution;
 use crate::heuristic::{surrogate_link_cost, Heuristic};
 use crate::routing::Routing;
-use pamr_mesh::{Band, Coord, LoadMap, Mesh, Path, Step};
+use crate::scratch::RouteScratch;
+use pamr_mesh::{Band, Coord, LoadMap, Mesh, Path, Rect, Step};
 use pamr_power::PowerModel;
 
 /// **SG — Simple greedy** (§5.1).
@@ -25,13 +25,14 @@ impl Heuristic for SimpleGreedy {
         "SG"
     }
 
-    fn route(&self, cs: &CommSet, _model: &PowerModel) -> Routing {
+    fn route_with(&self, cs: &CommSet, _model: &PowerModel, scratch: &mut RouteScratch) -> Routing {
         let mesh = cs.mesh();
-        let mut loads = LoadMap::new(mesh);
+        scratch.loads.fit(mesh);
+        let loads = &mut scratch.loads;
         let mut paths: Vec<Option<Path>> = vec![None; cs.len()];
         for &i in &cs.by_order(self.order) {
             let c = &cs.comms()[i];
-            let path = sg_route_one(mesh, &loads, c);
+            let path = sg_route_one(mesh, loads, c);
             loads.add_path(mesh, &path, c.weight);
             paths[i] = Some(path);
         }
@@ -105,29 +106,25 @@ impl Heuristic for ImprovedGreedy {
         "IG"
     }
 
-    fn route(&self, cs: &CommSet, model: &PowerModel) -> Routing {
+    fn route_with(&self, cs: &CommSet, model: &PowerModel, scratch: &mut RouteScratch) -> Routing {
         let mesh = cs.mesh();
-        let mut loads = LoadMap::new(mesh);
-        // Virtual pre-routing of every communication.
-        let contributions: Vec<Vec<(pamr_mesh::LinkId, f64)>> = cs
-            .comms()
-            .iter()
-            .map(|c| comm_ideal_contribution(mesh, c))
-            .collect();
-        for contrib in &contributions {
-            for &(l, share) in contrib {
-                loads.add(l, share);
-            }
+        scratch.loads.fit(mesh);
+        let loads = &mut scratch.loads;
+        // One band per communication, computed once and reused both for the
+        // virtual pre-routing (Figure 3 ideal sharing) and for the per-hop
+        // tail bound below — the tail bound used to rebuild a `Band` for
+        // every candidate hop, which dominated IG's runtime.
+        let bands: Vec<Band> = cs.comms().iter().map(|c| c.band(mesh)).collect();
+        for (c, band) in cs.comms().iter().zip(&bands) {
+            apply_ideal(loads, band, c.weight, 1.0);
         }
         let mut paths: Vec<Option<Path>> = vec![None; cs.len()];
         for &i in &cs.by_order(self.order) {
             let c = &cs.comms()[i];
             // Remove this communication's own pre-routing before choosing
             // its real path.
-            for &(l, share) in &contributions[i] {
-                loads.add(l, -share);
-            }
-            let path = ig_route_one(mesh, &loads, model, c);
+            apply_ideal(loads, &bands[i], c.weight, -1.0);
+            let path = ig_route_one(mesh, loads, model, c, &bands[i]);
             loads.add_path(mesh, &path, c.weight);
             paths[i] = Some(path);
         }
@@ -135,31 +132,50 @@ impl Heuristic for ImprovedGreedy {
     }
 }
 
+/// Adds (`sign = 1.0`) or removes (`-1.0`) a communication's Figure 3 ideal
+/// fractional contribution: `weight / |group|` on every band-group link.
+fn apply_ideal(loads: &mut LoadMap, band: &Band, weight: f64, sign: f64) {
+    for g in band.groups() {
+        let share = sign * weight / g.len() as f64;
+        for &l in g {
+            loads.add(l, share);
+        }
+    }
+}
+
 /// Lower bound on the power to go from `from` to `snk` assuming for each
 /// remaining diagonal crossing the least-loaded reachable link can be used.
+///
+/// `band` is the *communication's* full band, `t_from` the diagonal
+/// crossings already taken and `rect` the bounding box of the remaining
+/// sub-path: the links of the `from → snk` sub-band are exactly the band
+/// links of the remaining groups whose endpoints lie in `rect`, so no
+/// sub-band needs to be built.
 fn ig_tail_bound(
     mesh: &Mesh,
     loads: &LoadMap,
     model: &PowerModel,
-    from: Coord,
-    snk: Coord,
+    band: &Band,
+    t_from: usize,
+    rect: Rect,
     weight: f64,
 ) -> f64 {
-    if from == snk {
-        return 0.0;
+    let mut total = 0.0;
+    for g in &band.groups()[t_from..] {
+        let mut cheapest = f64::INFINITY;
+        for &l in g {
+            let (a, b) = mesh.link_endpoints(l);
+            if rect.contains(a) && rect.contains(b) {
+                let cost = surrogate_link_cost(model, loads.get(l) + weight);
+                cheapest = cheapest.min(cost);
+            }
+        }
+        total += cheapest;
     }
-    let sub = Band::new(mesh, from, snk);
-    sub.groups()
-        .iter()
-        .map(|g| {
-            g.iter()
-                .map(|&l| surrogate_link_cost(model, loads.get(l) + weight))
-                .fold(f64::INFINITY, f64::min)
-        })
-        .sum()
+    total
 }
 
-fn ig_route_one(mesh: &Mesh, loads: &LoadMap, model: &PowerModel, c: &Comm) -> Path {
+fn ig_route_one(mesh: &Mesh, loads: &LoadMap, model: &PowerModel, c: &Comm, band: &Band) -> Path {
     let (sv, sh) = c.quadrant().steps();
     let mut cur = c.src;
     let mut moves = Vec::with_capacity(c.len());
@@ -172,8 +188,20 @@ fn ig_route_one(mesh: &Mesh, loads: &LoadMap, model: &PowerModel, c: &Comm) -> P
                 for s in [sv, sh] {
                     let link = mesh.link_id(cur, s).unwrap();
                     let next = mesh.step(cur, s).unwrap();
-                    let bound = surrogate_link_cost(model, loads.get(link) + c.weight)
-                        + ig_tail_bound(mesh, loads, model, next, c.snk, c.weight);
+                    let tail = if next == c.snk {
+                        0.0
+                    } else {
+                        ig_tail_bound(
+                            mesh,
+                            loads,
+                            model,
+                            band,
+                            moves.len() + 1,
+                            Rect::spanning(next, c.snk),
+                            c.weight,
+                        )
+                    };
+                    let bound = surrogate_link_cost(model, loads.get(link) + c.weight) + tail;
                     // Strict `<` keeps the vertical move on ties (sv first).
                     if bound < best.0 {
                         best = (bound, s);

@@ -6,6 +6,7 @@ use crate::greedy::{ImprovedGreedy, SimpleGreedy};
 use crate::pr::PathRemover;
 use crate::routing::Routing;
 use crate::rules::xy_routing;
+use crate::scratch::RouteScratch;
 use crate::two_bend::TwoBend;
 use crate::xyi::XyImprover;
 use pamr_power::PowerModel;
@@ -45,7 +46,14 @@ pub trait Heuristic {
     /// Routes the instance. The returned routing is always structurally
     /// valid; it may still be *infeasible* (some link over capacity), in
     /// which case the heuristic is counted as failed on this instance.
-    fn route(&self, cs: &CommSet, model: &PowerModel) -> Routing;
+    fn route(&self, cs: &CommSet, model: &PowerModel) -> Routing {
+        self.route_with(cs, model, &mut RouteScratch::new())
+    }
+
+    /// Routes the instance reusing `scratch`'s buffers. The result is
+    /// bit-identical to [`Heuristic::route`]; campaign workers call this to
+    /// keep the per-trial hot path allocation-free.
+    fn route_with(&self, cs: &CommSet, model: &PowerModel, scratch: &mut RouteScratch) -> Routing;
 }
 
 /// Identifier for the six routing policies compared in §6.
@@ -90,13 +98,24 @@ impl HeuristicKind {
 
     /// Runs this policy on an instance.
     pub fn route(&self, cs: &CommSet, model: &PowerModel) -> Routing {
+        self.route_with(cs, model, &mut RouteScratch::new())
+    }
+
+    /// Runs this policy reusing `scratch`'s buffers (same result as
+    /// [`HeuristicKind::route`], without the per-call allocations).
+    pub fn route_with(
+        &self,
+        cs: &CommSet,
+        model: &PowerModel,
+        scratch: &mut RouteScratch,
+    ) -> Routing {
         match self {
             HeuristicKind::Xy => xy_routing(cs),
-            HeuristicKind::Sg => SimpleGreedy::default().route(cs, model),
-            HeuristicKind::Ig => ImprovedGreedy::default().route(cs, model),
-            HeuristicKind::Tb => TwoBend::default().route(cs, model),
-            HeuristicKind::Xyi => XyImprover::default().route(cs, model),
-            HeuristicKind::Pr => PathRemover.route(cs, model),
+            HeuristicKind::Sg => SimpleGreedy::default().route_with(cs, model, scratch),
+            HeuristicKind::Ig => ImprovedGreedy::default().route_with(cs, model, scratch),
+            HeuristicKind::Tb => TwoBend::default().route_with(cs, model, scratch),
+            HeuristicKind::Xyi => XyImprover::default().route_with(cs, model, scratch),
+            HeuristicKind::Pr => PathRemover.route_with(cs, model, scratch),
         }
     }
 }
@@ -137,9 +156,10 @@ impl Best {
     /// Runs every member and returns the best feasible `(kind, routing,
     /// power)`, or `None` if all members fail.
     pub fn route(&self, cs: &CommSet, model: &PowerModel) -> Option<(HeuristicKind, Routing, f64)> {
+        let mut scratch = RouteScratch::new();
         let mut best: Option<(HeuristicKind, Routing, f64)> = None;
         for &kind in &self.portfolio {
-            let routing = kind.route(cs, model);
+            let routing = kind.route_with(cs, model, &mut scratch);
             if let Ok(p) = routing.power(cs, model) {
                 let total = p.total();
                 if best.as_ref().is_none_or(|(_, _, bp)| total < *bp) {

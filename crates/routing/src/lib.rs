@@ -55,6 +55,7 @@ pub mod multipath;
 pub mod pr;
 pub mod routing;
 pub mod rules;
+pub mod scratch;
 pub mod tables;
 pub mod two_bend;
 pub mod xyi;
@@ -69,6 +70,7 @@ pub use multipath::SplitMp;
 pub use pr::PathRemover;
 pub use routing::Routing;
 pub use rules::{xy_routing, yx_routing};
+pub use scratch::RouteScratch;
 pub use tables::{FlowId, RoutingTables};
 pub use two_bend::TwoBend;
 pub use xyi::XyImprover;

@@ -12,6 +12,7 @@
 use crate::comm::{Comm, CommSet};
 use crate::heuristic::Heuristic;
 use crate::routing::Routing;
+use crate::scratch::RouteScratch;
 use pamr_mesh::{Path, Step};
 use pamr_power::PowerModel;
 use std::collections::HashMap;
@@ -46,9 +47,9 @@ impl<H: Heuristic> Heuristic for SplitMp<H> {
         "s-MP"
     }
 
-    fn route(&self, cs: &CommSet, model: &PowerModel) -> Routing {
+    fn route_with(&self, cs: &CommSet, model: &PowerModel, scratch: &mut RouteScratch) -> Routing {
         if self.s == 1 {
-            return self.inner.route(cs, model);
+            return self.inner.route_with(cs, model, scratch);
         }
         // Expand: s sub-communications per original, interleaved so the
         // inner heuristic's decreasing-weight order treats the parts of one
@@ -62,7 +63,7 @@ impl<H: Heuristic> Heuristic for SplitMp<H> {
             }
         }
         let sub = CommSet::new(*cs.mesh(), expanded);
-        let routed = self.inner.route(&sub, model);
+        let routed = self.inner.route_with(&sub, model, scratch);
         // Fold back, merging identical paths.
         let mut merged: Vec<HashMap<Vec<Step>, f64>> = vec![HashMap::new(); cs.len()];
         for (j, &i) in origin.iter().enumerate() {

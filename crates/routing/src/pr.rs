@@ -3,6 +3,7 @@
 use crate::comm::CommSet;
 use crate::heuristic::Heuristic;
 use crate::routing::Routing;
+use crate::scratch::{reset_flags, select_max, RouteScratch};
 use pamr_mesh::{Band, Coord, LinkId, LoadMap, Mesh, Path, Step};
 use pamr_power::PowerModel;
 
@@ -65,17 +66,30 @@ impl PrComm {
         }
     }
 
-    /// Drops alive links that no longer lie on any source→sink path
-    /// (the paper's "path cleaning"), then recomputes the per-group shares
-    /// and the resolved flag.
-    fn clean_and_reshare(&mut self, mesh: &Mesh) {
-        if self.band.is_empty() {
-            self.resolved = true;
-            return;
-        }
+    /// Removes link `(t_rm, j_rm)` and performs the paper's "path cleaning"
+    /// and re-sharing, updating `loads` **incrementally**: only the links
+    /// whose fractional contribution actually changed are touched (the
+    /// removed link, newly-unreachable links, and the survivors of groups
+    /// whose alive count shrank). Groups left untouched by the removal cost
+    /// nothing — previously every removal re-applied the full band twice.
+    ///
+    /// `fwd` / `bwd` are reusable per-core reachability buffers.
+    fn remove_and_reshare(
+        &mut self,
+        mesh: &Mesh,
+        t_rm: usize,
+        j_rm: usize,
+        loads: &mut LoadMap,
+        fwd: &mut Vec<bool>,
+        bwd: &mut Vec<bool>,
+    ) {
+        // Subtract the removed link's current share and kill it.
+        loads.add(self.band.group(t_rm)[j_rm], -self.share[t_rm]);
+        self.alive[t_rm][j_rm] = false;
+
         // Forward reachability from the source, diagonal by diagonal.
         let n = mesh.num_cores();
-        let mut fwd = vec![false; n];
+        reset_flags(fwd, n);
         fwd[mesh.core_index(self.band.src())] = true;
         for (t, g) in self.band.groups().iter().enumerate() {
             for (j, &l) in g.iter().enumerate() {
@@ -88,7 +102,7 @@ impl PrComm {
             }
         }
         // Backward reachability from the sink.
-        let mut bwd = vec![false; n];
+        reset_flags(bwd, n);
         bwd[mesh.core_index(self.band.snk())] = true;
         for (t, g) in self.band.groups().iter().enumerate().rev() {
             for (j, &l) in g.iter().enumerate() {
@@ -101,9 +115,10 @@ impl PrComm {
             }
         }
         // A link is useful iff it is alive and joins a forward-reachable
-        // core to a backward-reachable one.
+        // core to a backward-reachable one. Re-share each changed group.
         self.resolved = true;
         for (t, g) in self.band.groups().iter().enumerate() {
+            let old_share = self.share[t];
             let mut count = 0usize;
             for (j, &l) in g.iter().enumerate() {
                 if self.alive[t][j] {
@@ -112,11 +127,22 @@ impl PrComm {
                         count += 1;
                     } else {
                         self.alive[t][j] = false;
+                        loads.add(l, -old_share);
                     }
                 }
             }
             debug_assert!(count > 0, "cleaning must preserve at least one path");
-            self.share[t] = self.weight / count as f64;
+            let new_share = self.weight / count as f64;
+            // Exact comparison: an unchanged count reproduces the identical
+            // quotient, so untouched groups skip the load updates entirely.
+            if new_share != old_share {
+                for (j, &l) in g.iter().enumerate() {
+                    if self.alive[t][j] {
+                        loads.add(l, new_share - old_share);
+                    }
+                }
+                self.share[t] = new_share;
+            }
             if count > 1 {
                 self.resolved = false;
             }
@@ -167,56 +193,78 @@ impl Heuristic for PathRemover {
         "PR"
     }
 
-    fn route(&self, cs: &CommSet, _model: &PowerModel) -> Routing {
+    fn route_with(&self, cs: &CommSet, _model: &PowerModel, scratch: &mut RouteScratch) -> Routing {
         let mesh = cs.mesh();
         let mut comms: Vec<PrComm> = cs
             .comms()
             .iter()
             .map(|c| PrComm::new(mesh, c.src, c.snk, c.weight))
             .collect();
-        let mut loads = LoadMap::new(mesh);
+        scratch.loads.fit(mesh);
         for c in &comms {
-            c.apply_loads(&mut loads, 1.0);
+            c.apply_loads(&mut scratch.loads, 1.0);
         }
-        // Which communications' bands contain each link (static superset).
-        let mut users: Vec<Vec<usize>> = vec![Vec::new(); mesh.num_link_slots()];
+        // Which communications' bands contain each link (static superset,
+        // built in reused buffers).
+        let nslots = mesh.num_link_slots();
+        for v in scratch.users.iter_mut() {
+            v.clear();
+        }
+        if scratch.users.len() < nslots {
+            scratch.users.resize_with(nslots, Vec::new);
+        }
         for (i, c) in comms.iter().enumerate() {
             for l in c.band.links() {
-                users[l.index()].push(i);
+                scratch.users[l.index()].push(i);
             }
         }
 
         // Iteratively remove the most loaded link from the largest
         // removable communication crossing it.
-        while comms.iter().any(|c| !c.resolved) {
-            let mut active: Vec<(LinkId, f64)> = loads.iter_active().collect();
-            active.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let mut unresolved = comms.iter().filter(|c| !c.resolved).count();
+        while unresolved > 0 {
+            scratch.active.clear();
+            scratch.active.extend(scratch.loads.iter_active());
             let mut removed = false;
-            'links: for (link, _) in active {
+            let mut next = 0;
+            // Lazily select links in decreasing-load order: a removal
+            // usually happens within the first few, so the full sort the
+            // paper's description implies is almost never needed.
+            'links: while let Some((link, _)) = select_max(&mut scratch.active, next) {
+                next += 1;
                 // Candidate communications by decreasing weight.
-                let mut cands: Vec<usize> = users[link.index()]
-                    .iter()
-                    .copied()
-                    .filter(|&i| !comms[i].resolved)
-                    .collect();
-                cands.sort_by(|&a, &b| {
+                scratch.cands.clear();
+                scratch.cands.extend(
+                    scratch.users[link.index()]
+                        .iter()
+                        .copied()
+                        .filter(|&i| !comms[i].resolved),
+                );
+                scratch.cands.sort_by(|&a, &b| {
                     comms[b]
                         .weight
                         .partial_cmp(&comms[a].weight)
                         .unwrap()
                         .then(a.cmp(&b))
                 });
-                for i in cands {
+                for &i in &scratch.cands {
                     // Removable iff the link is alive for the communication
                     // and its group keeps another alive link (every alive
                     // link lies on some path after cleaning, so a sibling
                     // link guarantees a surviving path).
                     if let Some((t, j, count)) = comms[i].locate(mesh, link) {
                         if count >= 2 {
-                            comms[i].apply_loads(&mut loads, -1.0);
-                            comms[i].alive[t][j] = false;
-                            comms[i].clean_and_reshare(mesh);
-                            comms[i].apply_loads(&mut loads, 1.0);
+                            comms[i].remove_and_reshare(
+                                mesh,
+                                t,
+                                j,
+                                &mut scratch.loads,
+                                &mut scratch.fwd,
+                                &mut scratch.bwd,
+                            );
+                            if comms[i].resolved {
+                                unresolved -= 1;
+                            }
                             removed = true;
                             break 'links;
                         }

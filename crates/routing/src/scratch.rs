@@ -1,0 +1,164 @@
+//! Reusable buffers for the heuristics' hot paths.
+//!
+//! One §6 campaign trial routes the same instance with all six policies,
+//! and a full campaign runs hundreds of thousands of trials. Before this
+//! module every `route` call allocated its own [`LoadMap`], sorted-link
+//! lists, reachability flags and per-link user tables; a [`RouteScratch`]
+//! owns those buffers instead, so a worker thread allocates once and reuses
+//! them for every subsequent trial ([`Heuristic::route_with`]).
+//!
+//! [`Heuristic::route_with`]: crate::heuristic::Heuristic::route_with
+
+use pamr_mesh::{LinkId, LoadMap};
+
+/// Reusable working memory for [`Heuristic::route_with`].
+///
+/// Buffers grow to the largest mesh/instance seen and stay allocated. A
+/// scratch carries **no state between calls** — every heuristic fully
+/// re-initialises what it uses, so routing through a reused scratch is
+/// bit-identical to routing through a fresh one.
+///
+/// [`Heuristic::route_with`]: crate::heuristic::Heuristic::route_with
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    /// Link-load accumulator (sized per mesh by `LoadMap::fit`).
+    pub(crate) loads: LoadMap,
+    /// Sorted `(link, load)` working list (XYI's and PR's loaded-link scan).
+    pub(crate) active: Vec<(LinkId, f64)>,
+    /// Forward-reachability flags, one per core (PR's path cleaning).
+    pub(crate) fwd: Vec<bool>,
+    /// Backward-reachability flags, one per core (PR's path cleaning).
+    pub(crate) bwd: Vec<bool>,
+    /// Per-link list of communications whose band contains the link (PR).
+    pub(crate) users: Vec<Vec<usize>>,
+    /// Candidate-communication index buffer (PR's per-link scan).
+    pub(crate) cands: Vec<usize>,
+}
+
+impl RouteScratch {
+    /// A new, empty scratch. Buffers are grown on first use.
+    pub fn new() -> Self {
+        RouteScratch::default()
+    }
+}
+
+/// Resets a flag buffer to `n` `false` entries, keeping its allocation.
+pub(crate) fn reset_flags(buf: &mut Vec<bool>, n: usize) {
+    buf.clear();
+    buf.resize(n, false);
+}
+
+/// Selection-scan: moves the entry of `active[k..]` with the highest load
+/// (ties broken towards the smallest link id) into `active[k]` and returns
+/// it; `None` when `k` is past the end.
+///
+/// PR and XYI examine loaded links in decreasing-load order but almost
+/// always act on the first few, so lazily selecting each next maximum
+/// (`O(n)` per examined link) beats sorting the whole list (`O(n log n)`)
+/// on every iteration of their improvement loops. Consuming `k = 0, 1, …`
+/// yields exactly the fully-sorted order.
+pub(crate) fn select_max(active: &mut [(LinkId, f64)], k: usize) -> Option<(LinkId, f64)> {
+    if k >= active.len() {
+        return None;
+    }
+    let mut best = k;
+    for i in k + 1..active.len() {
+        let (bl, bv) = active[best];
+        let (il, iv) = active[i];
+        if iv > bv || (iv == bv && il < bl) {
+            best = i;
+        }
+    }
+    active.swap(k, best);
+    Some(active[k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{Comm, CommSet};
+    use crate::heuristic::{Heuristic, HeuristicKind};
+    use pamr_mesh::{Coord, Mesh};
+    use pamr_power::PowerModel;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(mesh: Mesh, n: usize, seed: u64) -> CommSet {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (p, q) = (mesh.rows(), mesh.cols());
+        let comms = (0..n)
+            .map(|_| {
+                let a = Coord::new(rng.gen_range(0..p), rng.gen_range(0..q));
+                let b = Coord::new(rng.gen_range(0..p), rng.gen_range(0..q));
+                Comm::new(a, b, rng.gen_range(100.0..2500.0))
+            })
+            .collect();
+        CommSet::new(mesh, comms)
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical_to_fresh() {
+        let model = PowerModel::kim_horowitz();
+        let mut scratch = RouteScratch::new();
+        for seed in 0..8u64 {
+            // Alternate mesh sizes so buffers must re-fit between calls.
+            let mesh = if seed % 2 == 0 {
+                Mesh::new(8, 8)
+            } else {
+                Mesh::new(5, 6)
+            };
+            let cs = random_instance(mesh, 12 + seed as usize, seed);
+            for kind in HeuristicKind::ALL {
+                let fresh = kind.route(&cs, &model);
+                let reused = kind.route_with(&cs, &model, &mut scratch);
+                assert_eq!(
+                    fresh.loads(&cs),
+                    reused.loads(&cs),
+                    "seed {seed}: {kind} differs between fresh and reused scratch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_usable_across_heuristics_interleaved() {
+        let mesh = Mesh::new(6, 6);
+        let model = PowerModel::kim_horowitz();
+        let mut scratch = RouteScratch::new();
+        let a = random_instance(mesh, 20, 3);
+        let b = random_instance(mesh, 4, 4);
+        // PR (uses every buffer) then SG (uses only loads) then PR again.
+        let pr1 = crate::pr::PathRemover.route_with(&a, &model, &mut scratch);
+        let _sg = crate::greedy::SimpleGreedy::default().route_with(&b, &model, &mut scratch);
+        let pr2 = crate::pr::PathRemover.route_with(&a, &model, &mut scratch);
+        assert_eq!(pr1.loads(&a), pr2.loads(&a));
+    }
+
+    #[test]
+    fn select_max_yields_sorted_order() {
+        let mk = |i: usize| LinkId(i);
+        let mut active = vec![(mk(3), 1.0), (mk(1), 5.0), (mk(0), 5.0), (mk(2), 3.0)];
+        let mut order = Vec::new();
+        let mut k = 0;
+        while let Some((l, v)) = select_max(&mut active, k) {
+            order.push((l, v));
+            k += 1;
+        }
+        // Decreasing load, ties towards the smaller link id.
+        assert_eq!(
+            order,
+            vec![(mk(0), 5.0), (mk(1), 5.0), (mk(2), 3.0), (mk(3), 1.0)]
+        );
+        assert!(select_max(&mut active, 4).is_none());
+    }
+
+    #[test]
+    fn reset_flags_clears_previous_state() {
+        let mut buf = vec![true; 10];
+        reset_flags(&mut buf, 4);
+        assert_eq!(buf, vec![false; 4]);
+        reset_flags(&mut buf, 12);
+        assert_eq!(buf.len(), 12);
+        assert!(buf.iter().all(|&b| !b));
+    }
+}

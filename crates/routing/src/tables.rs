@@ -14,7 +14,6 @@ use crate::comm::CommSet;
 use crate::routing::Routing;
 use pamr_mesh::{Coord, Mesh, Path, Step};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Identifier of one flow: communication index plus path index within the
 /// communication's flow list (0 for single-path routings).
@@ -26,11 +25,25 @@ pub struct FlowId {
     pub path: usize,
 }
 
+/// One forwarding-table entry: a flow and its outgoing port.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableEntry {
+    /// The flow this entry forwards.
+    pub flow: FlowId,
+    /// The outgoing step.
+    pub step: Step,
+}
+
 /// Per-core forwarding tables for a compiled routing.
+///
+/// Each core's table is a flat vector sorted by [`FlowId`]; lookups binary
+/// search it. Per-router tables hold at most one entry per flow, so the
+/// flat layout beats hashing at these sizes and keeps the per-core memory
+/// contiguous (it is also the natural model of a TCAM/SRAM table).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoutingTables {
-    /// `tables[core_index][flow] = outgoing step`.
-    tables: Vec<HashMap<FlowId, Step>>,
+    /// `tables[core_index]`, sorted by flow id.
+    tables: Vec<Vec<TableEntry>>,
     mesh: Mesh,
 }
 
@@ -66,43 +79,50 @@ impl RoutingTables {
     /// (shortest paths never revisit a core).
     pub fn compile(cs: &CommSet, routing: &Routing) -> Result<RoutingTables, TableError> {
         let mesh = *cs.mesh();
-        let mut tables: Vec<HashMap<FlowId, Step>> = vec![HashMap::new(); mesh.num_cores()];
+        let mut tables: Vec<Vec<TableEntry>> = vec![Vec::new(); mesh.num_cores()];
+        // Flows are walked in increasing (comm, path) order, and a simple
+        // Manhattan path visits each core at most once, so every per-core
+        // vector is built already sorted by flow id. A revisit would push a
+        // second entry for the current flow — always the row's last entry,
+        // since no later flow has been walked yet.
         for comm in 0..routing.len() {
             for (pi, (path, _)) in routing.flows(comm).iter().enumerate() {
                 let flow = FlowId { comm, path: pi };
                 let mut cur = path.src();
                 for &step in path.moves() {
-                    let slot = tables[mesh.core_index(cur)].entry(flow);
-                    match slot {
-                        std::collections::hash_map::Entry::Occupied(_) => {
-                            return Err(TableError::RevisitedCore { flow, core: cur });
-                        }
-                        std::collections::hash_map::Entry::Vacant(v) => {
-                            v.insert(step);
-                        }
+                    let row = &mut tables[mesh.core_index(cur)];
+                    if row.last().is_some_and(|e| e.flow == flow) {
+                        return Err(TableError::RevisitedCore { flow, core: cur });
                     }
+                    row.push(TableEntry { flow, step });
                     cur = mesh.step(cur, step).expect("path leaves the mesh");
                 }
             }
         }
+        debug_assert!(tables
+            .iter()
+            .all(|row| row.windows(2).all(|w| w[0].flow < w[1].flow)));
         Ok(RoutingTables { tables, mesh })
     }
 
     /// Forwarding decision of `core` for `flow`: `Some(step)` to forward,
     /// `None` when the flow terminates here (or never passes through).
     pub fn lookup(&self, core: Coord, flow: FlowId) -> Option<Step> {
-        self.tables[self.mesh.core_index(core)].get(&flow).copied()
+        let row = &self.tables[self.mesh.core_index(core)];
+        row.binary_search_by(|e| e.flow.cmp(&flow))
+            .ok()
+            .map(|i| row[i].step)
     }
 
     /// Total number of table entries across all cores (a proxy for the
     /// TCAM/SRAM footprint of the routing).
     pub fn total_entries(&self) -> usize {
-        self.tables.iter().map(HashMap::len).sum()
+        self.tables.iter().map(Vec::len).sum()
     }
 
     /// Largest single-core table (the per-router resource bound).
     pub fn max_entries_per_core(&self) -> usize {
-        self.tables.iter().map(HashMap::len).max().unwrap_or(0)
+        self.tables.iter().map(Vec::len).max().unwrap_or(0)
     }
 
     /// Walks the tables from `src` for `flow`, reconstructing the path.

@@ -3,7 +3,8 @@
 use crate::comm::{CommSet, SortOrder};
 use crate::heuristic::{surrogate_link_cost, Heuristic};
 use crate::routing::Routing;
-use pamr_mesh::{LoadMap, Path};
+use crate::scratch::RouteScratch;
+use pamr_mesh::Path;
 use pamr_power::PowerModel;
 
 /// **TB — Two-bend** (§5.3).
@@ -23,9 +24,10 @@ impl Heuristic for TwoBend {
         "TB"
     }
 
-    fn route(&self, cs: &CommSet, model: &PowerModel) -> Routing {
+    fn route_with(&self, cs: &CommSet, model: &PowerModel, scratch: &mut RouteScratch) -> Routing {
         let mesh = cs.mesh();
-        let mut loads = LoadMap::new(mesh);
+        scratch.loads.fit(mesh);
+        let loads = &mut scratch.loads;
         let mut paths: Vec<Option<Path>> = vec![None; cs.len()];
         for &i in &cs.by_order(self.order) {
             let c = &cs.comms()[i];

@@ -3,7 +3,8 @@
 use crate::comm::CommSet;
 use crate::heuristic::{surrogate_link_cost, Heuristic};
 use crate::routing::Routing;
-use pamr_mesh::{LinkId, LoadMap, Mesh, Path};
+use crate::scratch::{select_max, RouteScratch};
+use pamr_mesh::{LinkId, Mesh, Path};
 use pamr_power::PowerModel;
 
 /// Relative improvement below which a modification is not considered an
@@ -46,38 +47,78 @@ impl Default for XyImprover {
     }
 }
 
-/// The paper's single candidate modification of `path` to avoid `link`, or
-/// `None` when the move would violate the Manhattan-path constraint.
+/// The paper's single candidate modification of `path` to avoid `link`,
+/// without building the new path: the position of the move swap plus the
+/// two removed and two added links. `None` when the move would violate the
+/// Manhattan-path constraint.
 ///
-/// Returns the new path together with the two removed and two added links.
-fn flip_move(mesh: &Mesh, path: &Path, link: LinkId) -> Option<(Path, [LinkId; 2], [LinkId; 2])> {
-    let links: Vec<LinkId> = path.links(mesh).collect();
-    let j = links.iter().position(|&l| l == link)?;
+/// Only the two links at `swap_at` / `swap_at + 1` differ between the old
+/// and new paths, so the candidate is fully described — and its surrogate
+/// delta evaluable — with zero allocations.
+fn flip_candidate(
+    mesh: &Mesh,
+    path: &Path,
+    link: LinkId,
+) -> Option<(usize, [LinkId; 2], [LinkId; 2])> {
     let moves = path.moves();
+    // Walk the path to find the link's position and the cores around it.
+    let mut cur = path.src();
+    let mut prev = cur;
+    let mut j = usize::MAX;
+    for (idx, &m) in moves.iter().enumerate() {
+        if mesh.link_id(cur, m) == Some(link) {
+            j = idx;
+            break;
+        }
+        prev = cur;
+        cur = mesh.step(cur, m)?;
+    }
+    if j == usize::MAX {
+        return None; // path does not cross the link
+    }
     let vertical = mesh.link_step(link).is_vertical();
     // Pick the adjacent orthogonal move to swap with.
-    let swap_at = if vertical {
+    let (swap_at, corner) = if vertical {
         // Need the preceding move to be horizontal: swap (j-1, j).
         if j == 0 || !moves[j - 1].is_horizontal() {
             return None;
         }
-        j - 1
+        (j - 1, prev)
     } else {
         // Need the following move to be vertical: swap (j, j+1).
         if j + 1 >= moves.len() || !moves[j + 1].is_vertical() {
             return None;
         }
-        j
+        (j, cur)
     };
-    let mut new_moves = moves.to_vec();
+    let (a, b) = (moves[swap_at], moves[swap_at + 1]);
+    // Swapping orthogonal moves a,b around `corner` stays in the path's
+    // bounding box, so every link id below exists.
+    let via_a = mesh.step(corner, a).expect("path stays on the mesh");
+    let via_b = mesh
+        .step(corner, b)
+        .expect("swapped corner stays on the mesh");
+    let removed = [
+        mesh.link_id(corner, a).expect("removed links exist"),
+        mesh.link_id(via_a, b).expect("removed links exist"),
+    ];
+    let added = [
+        mesh.link_id(corner, b).expect("added links exist"),
+        mesh.link_id(via_b, a).expect("added links exist"),
+    ];
+    debug_assert!(removed.contains(&link));
+    debug_assert!(!added.contains(&link));
+    Some((swap_at, removed, added))
+}
+
+/// [`flip_candidate`] plus the rebuilt path (test-only convenience; the
+/// improvement loop builds the path lazily on acceptance).
+#[cfg(test)]
+fn flip_move(mesh: &Mesh, path: &Path, link: LinkId) -> Option<(Path, [LinkId; 2], [LinkId; 2])> {
+    let (swap_at, removed, added) = flip_candidate(mesh, path, link)?;
+    let mut new_moves = path.moves().to_vec();
     new_moves.swap(swap_at, swap_at + 1);
-    let new_path = Path::from_moves(path.src(), new_moves);
-    let new_links: Vec<LinkId> = new_path.links(mesh).collect();
-    debug_assert_eq!(new_links.len(), links.len());
-    let removed = [links[swap_at], links[swap_at + 1]];
-    let added = [new_links[swap_at], new_links[swap_at + 1]];
-    debug_assert!(!new_links.contains(&link));
-    Some((new_path, removed, added))
+    Some((Path::from_moves(path.src(), new_moves), removed, added))
 }
 
 impl Heuristic for XyImprover {
@@ -85,28 +126,30 @@ impl Heuristic for XyImprover {
         "XYI"
     }
 
-    fn route(&self, cs: &CommSet, model: &PowerModel) -> Routing {
+    fn route_with(&self, cs: &CommSet, model: &PowerModel, scratch: &mut RouteScratch) -> Routing {
         let mesh = cs.mesh();
         let mut paths: Vec<Path> = cs.comms().iter().map(|c| Path::xy(c.src, c.snk)).collect();
-        let mut loads = LoadMap::new(mesh);
+        scratch.loads.fit(mesh);
+        let loads = &mut scratch.loads;
         for (c, p) in cs.comms().iter().zip(&paths) {
             loads.add_path(mesh, p, c.weight);
         }
         let mut moves_done = 0;
         'outer: while moves_done < self.max_moves {
-            // List of loaded links by decreasing load.
-            let mut list: Vec<(LinkId, f64)> = loads.iter_active().collect();
-            list.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-            for (link, _) in list {
+            // Loaded links examined in decreasing-load order, selected
+            // lazily: an improving modification is usually found within the
+            // first few links, so the full sort is almost never needed.
+            scratch.active.clear();
+            scratch.active.extend(loads.iter_active());
+            let mut next = 0;
+            while let Some((link, _)) = select_max(&mut scratch.active, next) {
+                next += 1;
                 // Best modification among the communications on this link:
-                // (delta, comm index, new path, removed links, added links).
-                type Candidate = (f64, usize, Path, [LinkId; 2], [LinkId; 2]);
+                // (delta, comm index, swap position, removed, added links).
+                type Candidate = (f64, usize, usize, [LinkId; 2], [LinkId; 2]);
                 let mut best: Option<Candidate> = None;
                 for (i, c) in cs.comms().iter().enumerate() {
-                    if !paths[i].crosses(mesh, link) {
-                        continue;
-                    }
-                    if let Some((np, rem, add)) = flip_move(mesh, &paths[i], link) {
+                    if let Some((swap_at, rem, add)) = flip_candidate(mesh, &paths[i], link) {
                         let mut delta = 0.0;
                         // Cost after removing the comm from `rem` and adding
                         // it to `add`, minus current cost, over the affected
@@ -122,11 +165,11 @@ impl Heuristic for XyImprover {
                                 - surrogate_link_cost(model, load);
                         }
                         if delta < -IMPROVE_EPS && best.as_ref().is_none_or(|(b, ..)| delta < *b) {
-                            best = Some((delta, i, np, rem, add));
+                            best = Some((delta, i, swap_at, rem, add));
                         }
                     }
                 }
-                if let Some((_, i, np, rem, add)) = best {
+                if let Some((_, i, swap_at, rem, add)) = best {
                     let w = cs.comms()[i].weight;
                     for l in rem {
                         loads.add(l, -w);
@@ -134,7 +177,11 @@ impl Heuristic for XyImprover {
                     for l in add {
                         loads.add(l, w);
                     }
-                    paths[i] = np;
+                    // Only now build the accepted path (one allocation per
+                    // applied move instead of one per evaluated candidate).
+                    let mut new_moves = paths[i].moves().to_vec();
+                    new_moves.swap(swap_at, swap_at + 1);
+                    paths[i] = Path::from_moves(paths[i].src(), new_moves);
                     moves_done += 1;
                     continue 'outer; // re-sort and restart from the top
                 }

@@ -7,11 +7,11 @@
 //!   [`smp_sweep`] runs the s-MP lift of PR for growing `s` against the
 //!   single-path baseline and the Frank–Wolfe max-MP bound.
 
-use crate::runner::run_instance;
+use crate::runner::run_instance_with;
 use pamr_mesh::Mesh;
 use pamr_power::{FrequencyScale, PowerModel};
 use pamr_routing::{
-    frank_wolfe, Heuristic, HeuristicKind, PathRemover, SortOrder, SplitMp, TwoBend,
+    frank_wolfe, Heuristic, HeuristicKind, PathRemover, RouteScratch, SortOrder, SplitMp, TwoBend,
 };
 use pamr_workload::UniformWorkload;
 use rand::rngs::SmallRng;
@@ -46,25 +46,33 @@ pub fn leak_sweep(mesh: &Mesh, leaks: &[f64], trials: usize, seed: u64) -> Vec<L
             };
             let (pr_wins, xyi_wins, both, ratio_sum) = (0..trials)
                 .into_par_iter()
-                .map(|t| {
-                    let mut rng =
-                        SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
-                    let cs = gen.generate(mesh, &mut rng);
-                    let out = run_instance(&cs, &model);
-                    let pr = out.of(HeuristicKind::Pr);
-                    let xyi = out.of(HeuristicKind::Xyi);
-                    if pr.feasible && xyi.feasible {
-                        let pr_better = pr.power < xyi.power;
+                .fold(
+                    || ((0usize, 0usize, 0usize, 0.0f64), RouteScratch::new()),
+                    |(acc, mut scratch), t| {
+                        let mut rng =
+                            SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+                        let cs = gen.generate(mesh, &mut rng);
+                        let out = run_instance_with(&cs, &model, &mut scratch);
+                        let pr = out.of(HeuristicKind::Pr);
+                        let xyi = out.of(HeuristicKind::Xyi);
+                        let d = if pr.feasible && xyi.feasible {
+                            let pr_better = pr.power < xyi.power;
+                            (
+                                pr_better as usize,
+                                !pr_better as usize,
+                                1usize,
+                                pr.power / xyi.power,
+                            )
+                        } else {
+                            (0, 0, 0, 0.0)
+                        };
                         (
-                            pr_better as usize,
-                            !pr_better as usize,
-                            1usize,
-                            pr.power / xyi.power,
+                            (acc.0 + d.0, acc.1 + d.1, acc.2 + d.2, acc.3 + d.3),
+                            scratch,
                         )
-                    } else {
-                        (0, 0, 0, 0.0)
-                    }
-                })
+                    },
+                )
+                .map(|(acc, _)| acc)
                 .reduce(
                     || (0, 0, 0, 0.0),
                     |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3),
@@ -101,30 +109,37 @@ pub struct SmpRow {
 pub fn smp_sweep(mesh: &Mesh, ss: &[usize], trials: usize, seed: u64) -> (Vec<SmpRow>, f64) {
     let gen = UniformWorkload::new(12, 2000.0, 3400.0);
     let model = PowerModel::kim_horowitz();
-    // Per trial, evaluate every s on the same instance.
-    let per_trial: Vec<(Vec<Option<f64>>, f64)> = (0..trials)
+    // Per trial, evaluate every s on the same instance (scratch reused
+    // across the trials of a chunk).
+    let chunks: Vec<Vec<(Vec<Option<f64>>, f64)>> = (0..trials)
         .into_par_iter()
-        .map(|t| {
-            let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0xD1B5_4A33));
-            let cs = gen.generate(mesh, &mut rng);
-            let powers: Vec<Option<f64>> = ss
-                .iter()
-                .map(|&s| {
-                    let r = SplitMp::new(PathRemover, s).route(&cs, &model);
-                    r.power(&cs, &model).ok().map(|p| p.total())
-                })
-                .collect();
-            let fw = frank_wolfe(
-                &cs,
-                &PowerModel {
-                    scale: FrequencyScale::Continuous,
-                    ..model.clone()
-                },
-                100,
-            );
-            (powers, fw.lower_bound)
-        })
+        .fold(
+            || (Vec::new(), RouteScratch::new()),
+            |(mut out, mut scratch), t| {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0xD1B5_4A33));
+                let cs = gen.generate(mesh, &mut rng);
+                let powers: Vec<Option<f64>> = ss
+                    .iter()
+                    .map(|&s| {
+                        let r = SplitMp::new(PathRemover, s).route_with(&cs, &model, &mut scratch);
+                        r.power(&cs, &model).ok().map(|p| p.total())
+                    })
+                    .collect();
+                let fw = frank_wolfe(
+                    &cs,
+                    &PowerModel {
+                        scale: FrequencyScale::Continuous,
+                        ..model.clone()
+                    },
+                    100,
+                );
+                out.push((powers, fw.lower_bound));
+                (out, scratch)
+            },
+        )
+        .map(|(out, _)| out)
         .collect();
+    let per_trial: Vec<(Vec<Option<f64>>, f64)> = chunks.into_iter().flatten().collect();
     let mut rows: Vec<SmpRow> = ss
         .iter()
         .map(|&s| SmpRow {
@@ -181,20 +196,28 @@ pub fn order_sweep(mesh: &Mesh, trials: usize, seed: u64) -> Vec<OrderRow> {
         SortOrder::DecreasingLength,
         SortOrder::DecreasingDensity,
     ];
-    let per_trial: Vec<Vec<Option<f64>>> = (0..trials)
+    let chunks: Vec<Vec<Vec<Option<f64>>>> = (0..trials)
         .into_par_iter()
-        .map(|t| {
-            let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0xBF58_476D));
-            let cs = gen.generate(mesh, &mut rng);
-            orders
-                .iter()
-                .map(|&order| {
-                    let r = TwoBend { order }.route(&cs, &model);
-                    r.power(&cs, &model).ok().map(|p| p.total())
-                })
-                .collect()
-        })
+        .fold(
+            || (Vec::new(), RouteScratch::new()),
+            |(mut out, mut scratch), t| {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0xBF58_476D));
+                let cs = gen.generate(mesh, &mut rng);
+                out.push(
+                    orders
+                        .iter()
+                        .map(|&order| {
+                            let r = TwoBend { order }.route_with(&cs, &model, &mut scratch);
+                            r.power(&cs, &model).ok().map(|p| p.total())
+                        })
+                        .collect(),
+                );
+                (out, scratch)
+            },
+        )
+        .map(|(out, _)| out)
         .collect();
+    let per_trial: Vec<Vec<Option<f64>>> = chunks.into_iter().flatten().collect();
     let mut rows: Vec<OrderRow> = orders
         .iter()
         .map(|&order| OrderRow {

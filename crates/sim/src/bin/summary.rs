@@ -1,5 +1,9 @@
 //! Regenerates the §6.4 summary statistics: success rates, inverse-power
 //! ratios versus XY, the static-power fraction and mean runtimes.
+//!
+//! Stdout carries only seed-determined text (byte-identical at any thread
+//! count — the determinism CI lane diffs 1-thread vs N-thread runs);
+//! wall-clock-dependent lines (progress, mean routing times) go to stderr.
 
 use pamr_sim::cli::Options;
 use pamr_sim::summary::Summary;
@@ -9,10 +13,12 @@ fn main() {
     let mesh = pamr_sim::paper_mesh();
     let model = pamr_sim::paper_model();
     eprintln!(
-        "running the full campaign ({} trials per sweep point) ...",
-        opts.trials
+        "running the full campaign ({} trials per sweep point, {} worker thread(s)) ...",
+        opts.trials,
+        rayon::current_num_threads()
     );
     let s = Summary::run(&mesh, &model, opts.trials, opts.seed);
     println!("{}", s.render());
     println!("pooled over {} instances", s.pooled.trials);
+    eprint!("{}", s.render_timings());
 }

@@ -1,0 +1,223 @@
+//! The multi-threaded campaign engine: fans the trials of every sweep
+//! point out over the rayon work-pool, with per-trial seeds and per-worker
+//! scratch reuse.
+//!
+//! The §6 campaign is embarrassingly parallel — every trial draws its own
+//! instance from a seed derived from `(experiment, point, trial)` and folds
+//! into a [`PointStats`] accumulator whose merge is associative — the same
+//! structure Pettersson & Ozlen (arXiv:1701.08920) exploit for parallel
+//! bi-objective sweeps. Two properties make the fan-out safe:
+//!
+//! * **Determinism.** Seeds depend only on indices, never on scheduling,
+//!   and the work-pool combines chunk results in a fixed order, so the
+//!   campaign output is byte-identical at any thread count.
+//! * **Allocation discipline.** Each fold chunk carries a
+//!   [`RouteScratch`], so the routing hot paths reuse load maps, sorted
+//!   link lists and reachability buffers across all trials of the chunk
+//!   instead of reallocating them per heuristic call.
+
+use crate::experiments::{fig7, fig8, fig9, Experiment, ExperimentResult, SweepPoint};
+use crate::runner::run_instance_with;
+use crate::stats::PointStats;
+use pamr_mesh::Mesh;
+use pamr_power::PowerModel;
+use pamr_routing::RouteScratch;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// One campaign: a platform, a trial budget and a master seed.
+#[derive(Debug, Clone, Copy)]
+pub struct Campaign<'a> {
+    /// The mesh every instance lives on.
+    pub mesh: &'a Mesh,
+    /// The link power model.
+    pub model: &'a PowerModel,
+    /// Random trials per sweep point.
+    pub trials: usize,
+    /// Master seed; every trial derives its own stream from it.
+    pub seed: u64,
+}
+
+/// Seed of one `(sweep point, trial)` pair: distinct odd-multiplier mixes
+/// keep the streams disjoint (the layout the sequential engine used, so
+/// seeded results carry over).
+pub fn trial_seed(campaign_seed: u64, point_index: usize, trial: usize) -> u64 {
+    campaign_seed
+        ^ (point_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (trial as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
+/// Seed of one experiment within the pooled summary campaign.
+pub fn experiment_seed(campaign_seed: u64, figure_index: usize, exp_index: usize) -> u64 {
+    campaign_seed ^ ((figure_index * 16 + exp_index) as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+}
+
+/// Per-chunk fold state: the statistics accumulator plus the reusable
+/// routing buffers (one `RouteScratch` per chunk, reused by all its trials).
+struct ChunkAcc {
+    stats: PointStats,
+    scratch: RouteScratch,
+}
+
+impl Default for ChunkAcc {
+    fn default() -> Self {
+        ChunkAcc {
+            stats: PointStats::default(),
+            scratch: RouteScratch::new(),
+        }
+    }
+}
+
+impl Campaign<'_> {
+    /// Runs all trials of one sweep point in parallel and merges their
+    /// statistics deterministically.
+    pub fn run_point(&self, point_index: usize, point: &SweepPoint) -> PointStats {
+        let (mesh, model, seed) = (self.mesh, self.model, self.seed);
+        (0..self.trials)
+            .into_par_iter()
+            .fold(ChunkAcc::default, |mut acc, t| {
+                let mut rng = SmallRng::seed_from_u64(trial_seed(seed, point_index, t));
+                let cs = point.workload.generate(mesh, &mut rng);
+                acc.stats
+                    .add(&run_instance_with(&cs, model, &mut acc.scratch));
+                acc
+            })
+            .map(|acc| acc.stats)
+            .reduce(PointStats::default, PointStats::merge)
+    }
+
+    /// Runs one experiment: `trials` instances per sweep point.
+    pub fn run_experiment(&self, exp: &Experiment) -> ExperimentResult {
+        let points = exp
+            .points
+            .iter()
+            .enumerate()
+            .map(|(pi, point)| (point.x, self.run_point(pi, point)))
+            .collect();
+        ExperimentResult { id: exp.id, points }
+    }
+
+    /// Runs the full §6 campaign (all nine sub-figures) and pools every
+    /// trial into one accumulator — the summary statistics' input.
+    pub fn run_pooled(&self) -> PointStats {
+        let mut pooled = PointStats::default();
+        for (fi, fig) in [fig7(), fig8(), fig9()].into_iter().enumerate() {
+            for (ei, exp) in fig.iter().enumerate() {
+                let sub = Campaign {
+                    seed: experiment_seed(self.seed, fi, ei),
+                    ..*self
+                };
+                let res = sub.run_experiment(exp);
+                for (_, stats) in res.points {
+                    pooled = pooled.merge(stats);
+                }
+            }
+        }
+        pooled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::WorkloadSpec;
+    use pamr_workload::UniformWorkload;
+
+    fn tiny_experiment() -> Experiment {
+        Experiment {
+            id: "tiny",
+            title: "tiny",
+            xlabel: "n",
+            points: vec![
+                SweepPoint {
+                    x: 6.0,
+                    workload: WorkloadSpec::Uniform(UniformWorkload::new(6, 100.0, 1500.0)),
+                },
+                SweepPoint {
+                    x: 12.0,
+                    workload: WorkloadSpec::Uniform(UniformWorkload::new(12, 100.0, 2500.0)),
+                },
+            ],
+        }
+    }
+
+    /// Serialises the stats fields that must match bit-for-bit.
+    fn fingerprint(stats: &PointStats) -> String {
+        let mut s = format!("{}/{}", stats.trials, stats.best_successes);
+        for agg in &stats.per_heur {
+            s.push_str(&format!(
+                "|{}:{}:{}:{}",
+                agg.successes,
+                agg.sum_norm_inv.to_bits(),
+                agg.sum_inv.to_bits(),
+                agg.sum_static_frac.to_bits(),
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn campaign_bit_identical_across_thread_counts() {
+        let mesh = crate::paper_mesh();
+        let model = crate::paper_model();
+        let exp = tiny_experiment();
+        let campaign = Campaign {
+            mesh: &mesh,
+            model: &model,
+            trials: 20,
+            seed: 42,
+        };
+        let run = |threads: usize| {
+            rayon::set_num_threads(threads);
+            let out = campaign.run_experiment(&exp);
+            rayon::set_num_threads(0);
+            out
+        };
+        let one = run(1);
+        for threads in [2, 4, 9] {
+            let many = run(threads);
+            for ((xa, sa), (xb, sb)) in one.points.iter().zip(&many.points) {
+                assert_eq!(xa, xb);
+                assert_eq!(
+                    fingerprint(sa),
+                    fingerprint(sb),
+                    "{threads}-thread campaign diverged from 1-thread"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trial_seeds_are_disjoint_streams() {
+        let mut seen = std::collections::HashSet::new();
+        for pi in 0..20 {
+            for t in 0..100 {
+                assert!(
+                    seen.insert(trial_seed(7, pi, t)),
+                    "seed collision at ({pi},{t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_campaign_counts_every_trial() {
+        let mesh = crate::paper_mesh();
+        let model = crate::paper_model();
+        let campaign = Campaign {
+            mesh: &mesh,
+            model: &model,
+            trials: 1,
+            seed: 3,
+        };
+        let pooled = campaign.run_pooled();
+        // Nine sub-figures, each with its sweep points, one trial each.
+        let expected: usize = [fig7(), fig8(), fig9()]
+            .iter()
+            .flatten()
+            .map(|e| e.points.len())
+            .sum();
+        assert_eq!(pooled.trials, expected);
+    }
+}

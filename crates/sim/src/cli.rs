@@ -9,6 +9,8 @@ pub struct Options {
     pub seed: u64,
     /// Directory to write CSV series into, if any.
     pub csv: Option<std::path::PathBuf>,
+    /// Worker-thread override (`None` = `RAYON_NUM_THREADS` or all cores).
+    pub threads: Option<usize>,
 }
 
 impl Default for Options {
@@ -17,12 +19,15 @@ impl Default for Options {
             trials: 2000,
             seed: 0xC0FFEE,
             csv: None,
+            threads: None,
         }
     }
 }
 
 impl Options {
-    /// Parses `--trials N`, `--seed S`, `--csv DIR` from `std::env::args`.
+    /// Parses `--trials N`, `--seed S`, `--csv DIR`, `--threads N` from
+    /// `std::env::args` and applies the thread override to the work-pool.
+    /// Results never depend on the thread count — only wall-clock does.
     ///
     /// # Panics
     /// Panics with a usage message on malformed arguments.
@@ -46,14 +51,25 @@ impl Options {
                 "--csv" => {
                     opts.csv = Some(args.next().expect("--csv needs a directory").into());
                 }
+                "--threads" => {
+                    let n: usize = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads needs a positive integer");
+                    assert!(n > 0, "--threads must be positive");
+                    opts.threads = Some(n);
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: <bin> [--trials N] [--seed S] [--csv DIR]");
+                    eprintln!("usage: <bin> [--trials N] [--seed S] [--csv DIR] [--threads N]");
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument {other:?} (try --help)"),
             }
         }
         assert!(opts.trials > 0, "--trials must be positive");
+        if let Some(n) = opts.threads {
+            rayon::set_num_threads(n);
+        }
         opts
     }
 }

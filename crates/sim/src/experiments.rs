@@ -1,14 +1,13 @@
-//! The figure definitions of §6 and the parallel sweep runner.
+//! The figure definitions of §6 (the sweep runner lives in
+//! [`crate::campaign`]).
 
-use crate::runner::run_instance;
+use crate::campaign::Campaign;
 use crate::stats::PointStats;
 use pamr_mesh::Mesh;
 use pamr_power::PowerModel;
 use pamr_routing::CommSet;
 use pamr_workload::{LengthTargetedWorkload, UniformWorkload};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use rayon::prelude::*;
 use serde::Serialize;
 
 /// The workload of one sweep point.
@@ -195,7 +194,8 @@ pub fn fig9() -> Vec<Experiment> {
 }
 
 /// Runs one experiment: `trials` random instances per sweep point, in
-/// parallel, deterministically derived from `seed`.
+/// parallel, deterministically derived from `seed` (a thin wrapper over
+/// [`Campaign::run_experiment`]).
 pub fn run_experiment(
     exp: &Experiment,
     mesh: &Mesh,
@@ -203,28 +203,13 @@ pub fn run_experiment(
     trials: usize,
     seed: u64,
 ) -> ExperimentResult {
-    let points = exp
-        .points
-        .iter()
-        .enumerate()
-        .map(|(pi, point)| {
-            let stats = (0..trials)
-                .into_par_iter()
-                .fold(PointStats::default, |mut acc, t| {
-                    // Distinct stream per (experiment, point, trial).
-                    let s = seed
-                        ^ (pi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        ^ (t as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
-                    let mut rng = SmallRng::seed_from_u64(s);
-                    let cs = point.workload.generate(mesh, &mut rng);
-                    acc.add(&run_instance(&cs, model));
-                    acc
-                })
-                .reduce(PointStats::default, PointStats::merge);
-            (point.x, stats)
-        })
-        .collect();
-    ExperimentResult { id: exp.id, points }
+    Campaign {
+        mesh,
+        model,
+        trials,
+        seed,
+    }
+    .run_experiment(exp)
 }
 
 #[cfg(test)]

@@ -16,18 +16,22 @@
 //! Every experiment runs on the paper's platform: an 8×8 CMP with the
 //! Kim–Horowitz discrete link model (`P_leak` = 16.9 mW, `P_0` = 5.41,
 //! `α` = 2.95, frequencies {1, 2.5, 3.5} Gb/s). Trials are seeded and
-//! rayon-parallel; plotted quantities match the paper's: the **inverse**
-//! of the power of each heuristic (0 on failure), normalised by the
-//! inverse of the power of BEST, plus the failure ratio.
+//! fanned out over the multi-threaded [`campaign`] engine (byte-identical
+//! results at any thread count — see [`campaign::Campaign`]); plotted
+//! quantities match the paper's: the **inverse** of the power of each
+//! heuristic (0 on failure), normalised by the inverse of the power of
+//! BEST, plus the failure ratio.
 //!
 //! Binaries: `fig2`, `fig7`, `fig8`, `fig9`, `summary`, `theory` — one per
 //! paper artefact, each printing the series the corresponding figure
-//! plots (and writing CSV when `--csv DIR` is given).
+//! plots (and writing CSV when `--csv DIR` is given). All campaign
+//! binaries accept `--threads N`; `RAYON_NUM_THREADS` works too.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod campaign;
 pub mod cli;
 pub mod experiments;
 pub mod runner;
@@ -36,8 +40,9 @@ pub mod summary;
 pub mod table;
 pub mod viz;
 
+pub use campaign::{experiment_seed, trial_seed, Campaign};
 pub use experiments::{Experiment, ExperimentResult, SweepPoint, WorkloadSpec};
-pub use runner::{run_instance, HeurResult, InstanceOutcome};
+pub use runner::{run_instance, run_instance_with, HeurResult, InstanceOutcome};
 pub use stats::{HeurAgg, PointStats};
 
 /// The campaign platform: the paper's 8×8 CMP.

@@ -1,7 +1,7 @@
 //! Runs all six routing policies (plus BEST) on a single instance.
 
 use pamr_power::{PowerBreakdown, PowerModel};
-use pamr_routing::{CommSet, HeuristicKind};
+use pamr_routing::{CommSet, HeuristicKind, RouteScratch};
 use std::time::Instant;
 
 /// One policy's outcome on one instance.
@@ -54,11 +54,22 @@ impl InstanceOutcome {
 
 /// Routes the instance with every policy, timing each one.
 pub fn run_instance(cs: &CommSet, model: &PowerModel) -> InstanceOutcome {
+    run_instance_with(cs, model, &mut RouteScratch::new())
+}
+
+/// [`run_instance`] reusing `scratch`'s buffers — the campaign workers'
+/// entry point, keeping the per-trial hot path free of repeated
+/// allocations. Results are bit-identical to [`run_instance`].
+pub fn run_instance_with(
+    cs: &CommSet,
+    model: &PowerModel,
+    scratch: &mut RouteScratch,
+) -> InstanceOutcome {
     let mut results = Vec::with_capacity(HeuristicKind::ALL.len());
     let mut best: Option<(HeuristicKind, f64)> = None;
     for kind in HeuristicKind::ALL {
         let start = Instant::now();
-        let routing = kind.route(cs, model);
+        let routing = kind.route_with(cs, model, scratch);
         let micros = start.elapsed().as_micros() as u64;
         let (feasible, power, breakdown) = match routing.power(cs, model) {
             Ok(b) => (true, b.total(), Some(b)),

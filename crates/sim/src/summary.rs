@@ -1,7 +1,7 @@
 //! The §6.4 aggregate statistics: success rates, inverse-power ratios
 //! versus XY, static-power fraction, mean runtimes.
 
-use crate::experiments::{fig7, fig8, fig9, run_experiment};
+use crate::campaign::Campaign;
 use crate::stats::PointStats;
 use pamr_mesh::Mesh;
 use pamr_power::PowerModel;
@@ -19,16 +19,13 @@ impl Summary {
     /// Runs the full campaign (all nine sub-figures) with `trials` per
     /// sweep point and pools every trial.
     pub fn run(mesh: &Mesh, model: &PowerModel, trials: usize, seed: u64) -> Summary {
-        let mut pooled = PointStats::default();
-        for (fi, fig) in [fig7(), fig8(), fig9()].into_iter().enumerate() {
-            for (ei, exp) in fig.iter().enumerate() {
-                let exp_seed = seed ^ ((fi * 16 + ei) as u64).wrapping_mul(0xA076_1D64_78BD_642F);
-                let res = run_experiment(exp, mesh, model, trials, exp_seed);
-                for (_, stats) in res.points {
-                    pooled = pooled.merge(stats);
-                }
-            }
+        let pooled = Campaign {
+            mesh,
+            model,
+            trials,
+            seed,
         }
+        .run_pooled();
         Summary { pooled }
     }
 
@@ -87,6 +84,10 @@ impl Summary {
     }
 
     /// Renders the §6.4 comparison table: paper value vs measured.
+    ///
+    /// Contains only seed-determined quantities: given the same seed the
+    /// text is byte-identical at any thread count. Wall-clock figures live
+    /// in [`Summary::render_timings`], which the binary prints to stderr.
     pub fn render(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "§6.4 summary statistics (paper → measured)");
@@ -128,9 +129,17 @@ impl Summary {
         for (name, paper, ours) in rows {
             let _ = writeln!(s, "{name:<30} {paper:>8.3} → {ours:>8.3}");
         }
+        s
+    }
+
+    /// Renders the measured mean routing times. Kept apart from
+    /// [`Summary::render`] because wall-clock numbers vary run to run and
+    /// would break the byte-identical determinism contract of the report.
+    pub fn render_timings(&self) -> String {
+        let mut s = String::new();
         let _ = writeln!(
             s,
-            "\nmean routing time (paper: XYI 24 ms, PR 38 ms; different hardware)"
+            "mean routing time (paper: XYI 24 ms, PR 38 ms; different hardware)"
         );
         for k in [HeuristicKind::Xyi, HeuristicKind::Pr] {
             let _ = writeln!(s, "{:<30} {:>8.3} ms", k.name(), self.pooled.mean_millis(k));

@@ -140,8 +140,13 @@ fn cmd_route(args: &[String]) {
                 fn name(&self) -> &'static str {
                     self.0.name()
                 }
-                fn route(&self, cs: &CommSet, model: &PowerModel) -> Routing {
-                    self.0.route(cs, model)
+                fn route_with(
+                    &self,
+                    cs: &CommSet,
+                    model: &PowerModel,
+                    scratch: &mut RouteScratch,
+                ) -> Routing {
+                    self.0.route_with(cs, model, scratch)
                 }
             }
             (

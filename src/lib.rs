@@ -58,8 +58,8 @@ pub mod prelude {
     pub use pamr_power::{FrequencyScale, PowerBreakdown, PowerModel};
     pub use pamr_routing::{
         frank_wolfe, optimal_single_path, xy_routing, yx_routing, Best, Comm, CommSet, FlowId,
-        Heuristic, HeuristicKind, ImprovedGreedy, PathRemover, Routing, RoutingTables,
-        SimpleGreedy, SortOrder, SplitMp, TwoBend, XyImprover,
+        Heuristic, HeuristicKind, ImprovedGreedy, PathRemover, RouteScratch, Routing,
+        RoutingTables, SimpleGreedy, SortOrder, SplitMp, TwoBend, XyImprover,
     };
     pub use pamr_workload::{LengthTargetedWorkload, Mapping, TaskGraph, UniformWorkload};
 }

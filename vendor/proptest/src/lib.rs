@@ -11,33 +11,75 @@
 //! Differences from the real crate, by design: inputs are drawn from a
 //! deterministic per-test RNG (seeded from the test's name), failures are
 //! reported **without shrinking**, and `prop_assume!` skips the case rather
-//! than resampling. Each failure message includes the case number, which —
-//! together with the fixed seed — makes every failure exactly reproducible.
+//! than resampling. Each failure message includes the case number **and the
+//! RNG seed**, plus a ready-to-paste replay hint: re-running the test with
+//! `PAMR_PROPTEST_SEED=<seed>` reproduces the exact same input sequence —
+//! and the failing case — on any machine.
 
 #![forbid(unsafe_code)]
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// Environment variable overriding the per-test seed (decimal or `0x`-hex),
+/// printed in every failure's replay hint.
+pub const SEED_ENV: &str = "PAMR_PROPTEST_SEED";
+
 /// Deterministic RNG driving input generation.
-pub struct TestRng(SmallRng);
+pub struct TestRng {
+    rng: SmallRng,
+    seed: u64,
+}
 
 impl TestRng {
     /// Builds the RNG for a named test; the same name always produces the
-    /// same input sequence.
+    /// same input sequence. A [`SEED_ENV`] environment variable overrides
+    /// the seed — that is how a reported failure is replayed.
     pub fn from_name(name: &str) -> Self {
-        // FNV-1a over the test name, mixed with a fixed workspace seed.
+        let seed = match std::env::var(SEED_ENV) {
+            Ok(v) => Self::parse_seed(&v)
+                .unwrap_or_else(|| panic!("{SEED_ENV}={v:?} is not a decimal or 0x-hex u64")),
+            Err(_) => Self::seed_from_name(name),
+        };
+        Self::from_seed(seed)
+    }
+
+    /// Builds the RNG from an explicit seed (what a replay does after
+    /// parsing [`SEED_ENV`]).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The name-derived default seed: FNV-1a over the test name, mixed
+    /// with a fixed workspace seed.
+    fn seed_from_name(name: &str) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in name.bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        TestRng(SmallRng::seed_from_u64(h ^ 0x9E37_79B9_7F4A_7C15))
+        h ^ 0x9E37_79B9_7F4A_7C15
+    }
+
+    fn parse_seed(v: &str) -> Option<u64> {
+        if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            v.parse().ok()
+        }
+    }
+
+    /// The seed this RNG was built from (reported on failure).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Uniform `usize` in `[lo, hi]`.
     pub fn below(&mut self, lo: usize, hi: usize) -> usize {
-        self.0.gen_range(lo..=hi)
+        self.rng.gen_range(lo..=hi)
     }
 }
 
@@ -148,13 +190,13 @@ macro_rules! impl_range_strategy {
         impl Strategy for std::ops::Range<$t> {
             type Value = $t;
             fn gen_value(&self, rng: &mut TestRng) -> $t {
-                rng.0.gen_range(self.start..self.end)
+                rng.rng.gen_range(self.start..self.end)
             }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
             fn gen_value(&self, rng: &mut TestRng) -> $t {
-                rng.0.gen_range(*self.start()..=*self.end())
+                rng.rng.gen_range(*self.start()..=*self.end())
             }
         }
     )*};
@@ -297,12 +339,14 @@ macro_rules! __proptest_impl {
                 let strategy = ( $( $strat, )* );
                 let mut ran: u32 = 0;
                 let mut case: u32 = 0;
+                let seed = rng.seed();
                 while ran < config.cases {
                     case += 1;
                     if case > config.cases * 20 {
                         panic!(
-                            "proptest {}: too many cases rejected by prop_assume!",
-                            stringify!($name)
+                            "proptest {}: too many cases rejected by prop_assume! (seed {:#018x})",
+                            stringify!($name),
+                            seed,
                         );
                     }
                     let ( $($arg,)* ) = $crate::Strategy::gen_value(&strategy, &mut rng);
@@ -315,10 +359,13 @@ macro_rules! __proptest_impl {
                         Ok(()) => ran += 1,
                         Err(e) if e.starts_with($crate::ASSUME_SENTINEL) => {}
                         Err(e) => panic!(
-                            "proptest {} failed at case {}: {}",
-                            stringify!($name),
-                            case,
-                            e
+                            "proptest {name} failed at case {case} (seed {seed:#018x}): {e}\n\
+                             replay: {env}={seed:#018x} cargo test {name}",
+                            name = stringify!($name),
+                            case = case,
+                            seed = seed,
+                            env = $crate::SEED_ENV,
+                            e = e,
                         ),
                     }
                 }
@@ -396,4 +443,55 @@ macro_rules! prop_assume {
             return ::std::result::Result::Err($crate::ASSUME_SENTINEL.to_string());
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        #[test]
+        #[should_panic(expected = "replay: PAMR_PROPTEST_SEED=0x")]
+        fn failing_case_reports_seed_and_replay_hint(x in 0u32..10) {
+            prop_assert!(x > 100, "x = {x}");
+        }
+
+        #[test]
+        fn passing_property_runs_quietly(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    /// Seed derivation and replay are tested without touching the process
+    /// environment: `setenv` while sibling test threads `getenv` is a
+    /// libc-level data race, so the env branch of `from_name` stays a
+    /// one-line untested dispatch and everything behind it is covered via
+    /// `parse_seed` / `from_seed` directly.
+    #[test]
+    fn seeding_is_stable_and_replayable() {
+        // Name-derived seeds: stable per name, distinct across names.
+        let a = TestRng::from_name("alpha");
+        let b = TestRng::from_name("alpha");
+        let c = TestRng::from_name("beta");
+        assert_eq!(a.seed(), b.seed());
+        assert_ne!(a.seed(), c.seed());
+        // Hex and decimal spellings parse to the same seed; replaying that
+        // seed reproduces the input stream of the originally-seeded run.
+        assert_eq!(TestRng::parse_seed("0xdeadbeef"), Some(0xdead_beef));
+        assert_eq!(TestRng::parse_seed("3735928559"), Some(0xdead_beef));
+        assert_eq!(TestRng::parse_seed("not-a-seed"), None);
+        let mut x = TestRng::from_seed(0xdead_beef);
+        let mut y = TestRng::from_seed(0xdead_beef);
+        assert_eq!(x.seed(), 0xdead_beef);
+        let vx: Vec<usize> = (0..16).map(|_| x.below(0, 10_000)).collect();
+        let vy: Vec<usize> = (0..16).map(|_| y.below(0, 10_000)).collect();
+        assert_eq!(vx, vy);
+        // A replayed run diverges from a differently-seeded one.
+        let mut z = TestRng::from_seed(0xdead_beef + 1);
+        let vz: Vec<usize> = (0..16).map(|_| z.below(0, 10_000)).collect();
+        assert_ne!(vx, vz);
+    }
 }

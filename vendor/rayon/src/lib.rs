@@ -1,140 +1,472 @@
-//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate —
+//! now a real multi-threaded, deterministic chunked work-pool.
 //!
 //! The build environment has no access to crates.io, so this vendored crate
-//! provides the `into_par_iter / map / fold / reduce / collect` surface the
-//! workspace uses, executed **sequentially**. Rayon's contract (associative
-//! reduction with an identity, order-independent folds) means a sequential
-//! execution is an admissible schedule: results are bit-identical to a
-//! single-threaded rayon run, so every seeded experiment stays reproducible.
-//! Swapping the real rayon back in is a one-line change in `Cargo.toml`.
+//! provides the `into_par_iter / map / filter / fold / reduce / sum /
+//! collect` surface the workspace uses. Unlike the original sequential
+//! stand-in, execution is genuinely parallel: the input is split into
+//! fixed-size chunks, worker threads (`std::thread::scope`) pull chunks from
+//! a shared queue, and per-chunk results are combined **in chunk-index
+//! order**.
+//!
+//! # Determinism
+//!
+//! Chunk boundaries depend only on the input length (never on the thread
+//! count or scheduling), and the final combine walks chunk results in index
+//! order on the calling thread. Every reduction is therefore **bit-identical
+//! at any thread count** — including floating-point accumulations, which are
+//! sensitive to association order. Seeded experiments stay exactly
+//! reproducible whether run with `RAYON_NUM_THREADS=1` or 64.
+//!
+//! # Thread count
+//!
+//! Priority order: [`set_num_threads`] override (used by benchmarks to
+//! compare sequential and parallel timings in-process), then the
+//! `RAYON_NUM_THREADS` environment variable, then
+//! [`std::thread::available_parallelism`]. When one thread is selected the
+//! pool is bypassed entirely and chunks run inline on the caller.
 
 #![forbid(unsafe_code)]
 
-/// Sequential stand-in for rayon's parallel iterators.
-pub struct ParIter<I> {
-    inner: I,
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Items per chunk. Fixed (not derived from the thread count) so that chunk
+/// boundaries — and therefore floating-point combine order — are identical
+/// no matter how many workers execute the chunks.
+const CHUNK: usize = 8;
+
+/// Programmatic thread-count override; 0 means "no override".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached `RAYON_NUM_THREADS` value; 0 means "unset or invalid".
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Overrides the pool size for subsequent parallel calls (`0` clears the
+/// override). Benchmarks use this to time 1-thread and N-thread executions
+/// of the same campaign in one process. Results never depend on this value;
+/// only wall-clock does.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
 }
 
-impl<I: Iterator> ParIter<I> {
+/// The number of worker threads the next parallel call will use.
+pub fn current_num_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    let env = *ENV_THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0)
+    });
+    if env > 0 {
+        return env;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A splittable, sequentially-foldable source of items — the engine behind
+/// [`ParIter`]. Implemented by ranges, vectors, slices and the `map` /
+/// `filter` adapters.
+pub trait Producer: Send + Sized {
+    /// The item type.
+    type Item: Send;
+
+    /// Number of items still to produce (an upper bound for `filter`).
+    fn len(&self) -> usize;
+
+    /// True when no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits off the first `n` items, returning `(head, tail)`.
+    fn split_at(self, n: usize) -> (Self, Self);
+
+    /// Folds this producer's items sequentially, in order.
+    fn fold_with<T, F: FnMut(T, Self::Item) -> T>(self, init: T, f: F) -> T;
+}
+
+/// Splits `producer` into fixed-size chunks, evaluates `eval` on every chunk
+/// on the pool, and returns the per-chunk results **in chunk order**.
+fn run_chunks<P, T, E>(producer: P, eval: E) -> Vec<T>
+where
+    P: Producer,
+    T: Send,
+    E: Fn(P) -> T + Sync,
+{
+    let len = producer.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let mut chunks = Vec::with_capacity(len.div_ceil(CHUNK));
+    let mut rest = producer;
+    while rest.len() > CHUNK {
+        let (head, tail) = rest.split_at(CHUNK);
+        chunks.push(head);
+        rest = tail;
+    }
+    chunks.push(rest);
+
+    let threads = current_num_threads().min(chunks.len());
+    if threads <= 1 {
+        // Inline fast path: no pool, same chunk boundaries, same results.
+        return chunks.into_iter().map(eval).collect();
+    }
+
+    // Shared chunk queue (taken by index) and per-chunk result slots; the
+    // atomic cursor hands each worker the next unclaimed chunk, so faster
+    // workers steal more work while results stay index-addressed.
+    let queue: Vec<Mutex<Option<P>>> = chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..queue.len()).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= queue.len() {
+                    break;
+                }
+                let chunk = queue[i]
+                    .lock()
+                    .expect("chunk queue poisoned")
+                    .take()
+                    .expect("chunk taken twice");
+                let out = eval(chunk);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker died before storing its chunk result")
+        })
+        .collect()
+}
+
+/// Parallel iterator over a [`Producer`].
+pub struct ParIter<P> {
+    producer: P,
+}
+
+impl<P: Producer> ParIter<P> {
     /// Maps each item, as `ParallelIterator::map`.
-    pub fn map<R, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    pub fn map<R, F>(self, f: F) -> ParIter<Map<P, F>>
     where
-        F: FnMut(I::Item) -> R,
+        R: Send,
+        F: Fn(P::Item) -> R + Send + Sync,
     {
         ParIter {
-            inner: self.inner.map(f),
+            producer: Map {
+                base: self.producer,
+                f: Arc::new(f),
+            },
         }
     }
 
     /// Filters items, as `ParallelIterator::filter`.
-    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    pub fn filter<F>(self, f: F) -> ParIter<Filter<P, F>>
     where
-        F: FnMut(&I::Item) -> bool,
+        F: Fn(&P::Item) -> bool + Send + Sync,
     {
         ParIter {
-            inner: self.inner.filter(f),
+            producer: Filter {
+                base: self.producer,
+                f: Arc::new(f),
+            },
         }
     }
 
-    /// Folds all items into per-"thread" accumulators. Sequentially there is
-    /// one accumulator, so this yields a single folded value.
-    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    /// Folds items into per-chunk accumulators, yielding one folded value
+    /// per chunk (in chunk order). Combine them with [`ParIter::reduce`].
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<VecProducer<T>>
     where
-        ID: FnOnce() -> T,
-        F: FnMut(T, I::Item) -> T,
+        T: Send,
+        ID: Fn() -> T + Send + Sync,
+        F: Fn(T, P::Item) -> T + Send + Sync,
     {
+        let items = run_chunks(self.producer, |chunk: P| {
+            chunk.fold_with(identity(), &fold_op)
+        });
         ParIter {
-            inner: std::iter::once(self.inner.fold(identity(), fold_op)),
+            producer: VecProducer { items },
         }
     }
 
-    /// Reduces all items with `op`, starting from `identity()`.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// Reduces all items with `op`, starting each chunk from `identity()`
+    /// and combining chunk results in chunk order.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
     where
-        ID: FnOnce() -> I::Item,
-        OP: FnMut(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> P::Item + Send + Sync,
+        OP: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
     {
-        self.inner.fold(identity(), op)
+        let parts = run_chunks(self.producer, |chunk: P| chunk.fold_with(identity(), &op));
+        parts.into_iter().fold(identity(), &op)
     }
 
-    /// Sums the items.
+    /// Sums the items (chunk partial sums combined in chunk order).
     pub fn sum<S>(self) -> S
     where
-        S: std::iter::Sum<I::Item>,
+        S: Send + std::iter::Sum<P::Item> + std::iter::Sum<S>,
     {
-        self.inner.sum()
+        let parts = run_chunks(self.producer, |chunk: P| {
+            let items = chunk.fold_with(Vec::new(), |mut v, x| {
+                v.push(x);
+                v
+            });
+            items.into_iter().sum::<S>()
+        });
+        parts.into_iter().sum()
     }
 
-    /// Collects into any `FromIterator` collection.
+    /// Collects into any `FromIterator` collection, preserving input order.
     pub fn collect<C>(self) -> C
     where
-        C: FromIterator<I::Item>,
+        C: FromIterator<P::Item>,
     {
-        self.inner.collect()
+        let parts = run_chunks(self.producer, |chunk: P| {
+            chunk.fold_with(Vec::new(), |mut v, x| {
+                v.push(x);
+                v
+            })
+        });
+        parts.into_iter().flatten().collect()
     }
 }
 
-/// Conversion into a (sequential) parallel iterator.
+/// Producer of the items of a `Vec` (also backs [`ParIter::fold`] output).
+pub struct VecProducer<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn split_at(mut self, n: usize) -> (Self, Self) {
+        let tail = self.items.split_off(n.min(self.items.len()));
+        (self, VecProducer { items: tail })
+    }
+
+    fn fold_with<A, F: FnMut(A, T) -> A>(self, init: A, f: F) -> A {
+        self.items.into_iter().fold(init, f)
+    }
+}
+
+/// Producer over references into a slice.
+pub struct SliceProducer<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, n: usize) -> (Self, Self) {
+        let (head, tail) = self.slice.split_at(n.min(self.slice.len()));
+        (SliceProducer { slice: head }, SliceProducer { slice: tail })
+    }
+
+    fn fold_with<A, F: FnMut(A, &'a T) -> A>(self, init: A, f: F) -> A {
+        self.slice.iter().fold(init, f)
+    }
+}
+
+/// Producer over an integer range.
+pub struct RangeProducer<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! impl_range_producer {
+    ($($t:ty),*) => {$(
+        impl Producer for RangeProducer<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                }
+            }
+
+            fn split_at(self, n: usize) -> (Self, Self) {
+                let mid = self
+                    .start
+                    .saturating_add(n as $t)
+                    .min(self.end);
+                (
+                    RangeProducer { start: self.start, end: mid },
+                    RangeProducer { start: mid, end: self.end },
+                )
+            }
+
+            fn fold_with<A, F: FnMut(A, $t) -> A>(self, init: A, f: F) -> A {
+                (self.start..self.end).fold(init, f)
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Producer = RangeProducer<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<RangeProducer<$t>> {
+                ParIter {
+                    producer: RangeProducer { start: self.start, end: self.end },
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_producer!(usize, u64, u32);
+
+/// Producer returned by [`ParIter::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, R, F> Producer for Map<P, F>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P::Item) -> R + Send + Sync,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, n: usize) -> (Self, Self) {
+        let (head, tail) = self.base.split_at(n);
+        (
+            Map {
+                base: head,
+                f: Arc::clone(&self.f),
+            },
+            Map {
+                base: tail,
+                f: self.f,
+            },
+        )
+    }
+
+    fn fold_with<A, G: FnMut(A, R) -> A>(self, init: A, mut g: G) -> A {
+        let f = &*self.f;
+        self.base.fold_with(init, |acc, x| g(acc, f(x)))
+    }
+}
+
+/// Producer returned by [`ParIter::filter`].
+pub struct Filter<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, F> Producer for Filter<P, F>
+where
+    P: Producer,
+    F: Fn(&P::Item) -> bool + Send + Sync,
+{
+    type Item = P::Item;
+
+    /// Upper bound (chunk boundaries still depend only on the *input*
+    /// length, keeping combine order deterministic).
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, n: usize) -> (Self, Self) {
+        let (head, tail) = self.base.split_at(n);
+        (
+            Filter {
+                base: head,
+                f: Arc::clone(&self.f),
+            },
+            Filter {
+                base: tail,
+                f: self.f,
+            },
+        )
+    }
+
+    fn fold_with<A, G: FnMut(A, P::Item) -> A>(self, init: A, mut g: G) -> A {
+        let f = &*self.f;
+        self.base
+            .fold_with(init, |acc, x| if f(&x) { g(acc, x) } else { acc })
+    }
+}
+
+/// Conversion into a parallel iterator.
 pub trait IntoParallelIterator {
-    /// The underlying iterator type.
-    type Iter: Iterator<Item = Self::Item>;
+    /// The producer driving the iteration.
+    type Producer: Producer<Item = Self::Item>;
     /// The item type.
-    type Item;
+    type Item: Send;
 
     /// Converts `self` into a [`ParIter`].
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
+    fn into_par_iter(self) -> ParIter<Self::Producer>;
 }
 
-impl<T> IntoParallelIterator for std::ops::Range<T>
-where
-    std::ops::Range<T>: Iterator<Item = T>,
-{
-    type Iter = std::ops::Range<T>;
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Producer = VecProducer<T>;
     type Item = T;
 
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter { inner: self }
-    }
-}
-
-impl<T> IntoParallelIterator for Vec<T> {
-    type Iter = std::vec::IntoIter<T>;
-    type Item = T;
-
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
+    fn into_par_iter(self) -> ParIter<VecProducer<T>> {
         ParIter {
-            inner: self.into_iter(),
+            producer: VecProducer { items: self },
         }
     }
 }
 
 /// Borrowing conversion, as rayon's `par_iter()`.
 pub trait IntoParallelRefIterator<'a> {
-    /// The underlying iterator type.
-    type Iter: Iterator<Item = Self::Item>;
+    /// The producer driving the iteration.
+    type Producer: Producer<Item = Self::Item>;
     /// The item type.
-    type Item: 'a;
+    type Item: Send + 'a;
 
     /// Returns a [`ParIter`] over references.
-    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+    fn par_iter(&'a self) -> ParIter<Self::Producer>;
 }
 
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
-    type Iter = std::slice::Iter<'a, T>;
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Producer = SliceProducer<'a, T>;
     type Item = &'a T;
 
-    fn par_iter(&'a self) -> ParIter<Self::Iter> {
-        ParIter { inner: self.iter() }
+    fn par_iter(&'a self) -> ParIter<SliceProducer<'a, T>> {
+        ParIter {
+            producer: SliceProducer { slice: self },
+        }
     }
 }
 
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
-    type Iter = std::slice::Iter<'a, T>;
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Producer = SliceProducer<'a, T>;
     type Item = &'a T;
 
-    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+    fn par_iter(&'a self) -> ParIter<SliceProducer<'a, T>> {
         ParIter {
-            inner: self.as_slice().iter(),
+            producer: SliceProducer {
+                slice: self.as_slice(),
+            },
         }
     }
 }
@@ -142,4 +474,93 @@ impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
 /// The traits a `use rayon::prelude::*` is expected to bring in scope.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    /// Runs `f` under an explicit thread-count override, restoring the
+    /// default afterwards. Serialised because the override is global.
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_num_threads(n);
+        let out = f();
+        set_num_threads(0);
+        out
+    }
+
+    #[test]
+    fn collect_preserves_order_at_any_thread_count() {
+        for threads in [1, 2, 3, 8] {
+            let v: Vec<usize> = with_threads(threads, || {
+                (0..100usize).into_par_iter().map(|i| i * 2).collect()
+            });
+            assert_eq!(v, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn float_reduction_bit_identical_across_thread_counts() {
+        // Non-associative floating-point accumulation: identical results
+        // require identical chunking and combine order, not luck.
+        let run = |threads| {
+            with_threads(threads, || {
+                (0..1000usize)
+                    .into_par_iter()
+                    .map(|i| 1.0 / (i as f64 + 1.0))
+                    .fold(|| 0.0f64, |a, x| a + x)
+                    .reduce(|| 0.0, |a, b| a + b)
+            })
+        };
+        let one = run(1);
+        for threads in [2, 4, 7, 16] {
+            assert_eq!(one.to_bits(), run(threads).to_bits());
+        }
+    }
+
+    #[test]
+    fn filter_and_sum() {
+        let s: usize = with_threads(4, || {
+            (0..100usize).into_par_iter().filter(|i| i % 3 == 0).sum()
+        });
+        assert_eq!(s, (0..100).filter(|i| i % 3 == 0).sum::<usize>());
+    }
+
+    #[test]
+    fn par_iter_over_slices_and_vecs() {
+        let data: Vec<u64> = (0..50).collect();
+        let doubled: Vec<u64> = with_threads(3, || data.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(doubled.len(), 50);
+        assert_eq!(doubled[49], 98);
+        let s: u64 = with_threads(2, || data.as_slice().par_iter().map(|&x| x).sum());
+        assert_eq!(s, 49 * 50 / 2);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let v: Vec<usize> = (0..0usize).into_par_iter().collect();
+        assert!(v.is_empty());
+        let r = (0..1usize)
+            .into_par_iter()
+            .reduce(|| 7usize, |a, b| a.max(b));
+        assert_eq!(r, 7); // max(identity, 0) = 7
+        let s: usize = (5..6usize).into_par_iter().sum();
+        assert_eq!(s, 5);
+    }
+
+    #[test]
+    fn vec_into_par_iter_reduce() {
+        let v: Vec<usize> = (1..=100).collect();
+        let total = with_threads(5, || v.into_par_iter().reduce(|| 0, |a, b| a + b));
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn current_num_threads_positive() {
+        assert!(current_num_threads() >= 1);
+        with_threads(3, || assert_eq!(current_num_threads(), 3));
+    }
 }

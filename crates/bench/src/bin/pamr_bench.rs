@@ -8,17 +8,22 @@
 //! ```text
 //! pamr-bench run [--profile smoke|full] [--trials N] [--seed S] [--out FILE]
 //! pamr-bench check --baseline FILE --current FILE [--max-ratio R]
+//! pamr-bench shard [--shards N] [--trials T] [--seed S] [--pamr PATH] [--out FILE]
 //! ```
 //!
 //! `run` executes the campaigns and writes the report; `check` compares a
 //! fresh report against a committed baseline and exits non-zero when the
 //! parallel wall time regressed by more than `--max-ratio` (default 2.0) —
 //! lenient enough to absorb runner-to-runner noise, tight enough to catch
-//! a genuine hot-path regression.
+//! a genuine hot-path regression. `shard` times the multi-process lane:
+//! one `pamr shard 0/1` process versus N concurrent `pamr shard i/N`
+//! processes plus the `pamr merge` step, verifying on the way that both
+//! pipelines print byte-identical §6.4 reports.
 
 use pamr_sim::experiments::{fig7, fig8, fig9, Experiment};
-use pamr_sim::Campaign;
+use pamr_sim::{Campaign, ShardSpec};
 use serde::{Deserialize, Serialize};
+use std::process::Command;
 use std::time::Instant;
 
 /// Per-figure measurement.
@@ -64,7 +69,8 @@ struct BenchReport {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  pamr-bench run [--profile smoke|full] [--trials N] [--seed S] [--out FILE]\n  \
-         pamr-bench check --baseline FILE --current FILE [--max-ratio R]"
+         pamr-bench check --baseline FILE --current FILE [--max-ratio R]\n  \
+         pamr-bench shard [--shards N] [--trials T] [--seed S] [--pamr PATH] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -81,6 +87,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("shard") => cmd_shard(&args[1..]),
         _ => usage(),
     }
 }
@@ -95,6 +102,7 @@ fn time_group(exps: &[Experiment], trials: usize, seed: u64, threads: usize) -> 
         model: &model,
         trials,
         seed,
+        shard: ShardSpec::FULL,
     };
     let start = Instant::now();
     for exp in exps {
@@ -229,4 +237,147 @@ fn cmd_check(args: &[String]) {
         std::process::exit(1);
     }
     println!("bench check: OK");
+}
+
+/// The multi-process shard lane's report (`BENCH_shard.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ShardBenchReport {
+    /// Report format version.
+    schema: u32,
+    /// Number of concurrent shard processes in the sharded pass.
+    shards: usize,
+    /// Trials per sweep point.
+    trials: usize,
+    /// Master seed.
+    seed: u64,
+    /// Wall time of one process running the whole campaign + merge, ms.
+    wall_ms_single: f64,
+    /// Wall time of N concurrent shard processes + merge, ms.
+    wall_ms_sharded: f64,
+    /// Of which, the merge step alone (sharded pass), ms.
+    merge_ms: f64,
+    /// `wall_ms_single / wall_ms_sharded`.
+    speedup: f64,
+    /// Both pipelines printed byte-identical §6.4 reports.
+    reports_identical: bool,
+}
+
+/// Times the 1-process vs N-process sharded campaign by driving the `pamr`
+/// binary (`shard` + `merge` subcommands) as real child processes.
+fn cmd_shard(args: &[String]) {
+    let shards: usize = opt(args, "--shards")
+        .map(|s| s.parse().expect("--shards needs a positive integer"))
+        .unwrap_or(2);
+    assert!(shards > 0, "--shards must be positive");
+    let trials: usize = opt(args, "--trials")
+        .map(|s| s.parse().expect("--trials needs a positive integer"))
+        .unwrap_or(10);
+    let seed: u64 = opt(args, "--seed")
+        .map(|s| s.parse().expect("--seed needs an integer"))
+        .unwrap_or(0xC0FFEE);
+    let out = opt(args, "--out").unwrap_or_else(|| "BENCH_shard.json".into());
+    let pamr = opt(args, "--pamr")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            // Default: the `pamr` binary next to this one in the target dir.
+            let mut p = std::env::current_exe().expect("current_exe");
+            p.set_file_name("pamr");
+            p
+        });
+    assert!(
+        pamr.exists(),
+        "pamr binary not found at {} (pass --pamr PATH)",
+        pamr.display()
+    );
+
+    let dir = std::env::temp_dir().join(format!("pamr_bench_shard_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create shard scratch dir");
+    let part = |i: usize, n: usize| dir.join(format!("part_{i}_of_{n}.json"));
+
+    let shard_args = |i: usize, n: usize| {
+        vec![
+            "shard".to_string(),
+            "--shard".into(),
+            format!("{i}/{n}"),
+            "--trials".into(),
+            trials.to_string(),
+            "--seed".into(),
+            seed.to_string(),
+            "--out".into(),
+            part(i, n).display().to_string(),
+        ]
+    };
+    let merge = |paths: &[std::path::PathBuf]| -> String {
+        let out = Command::new(&pamr)
+            .arg("merge")
+            .args(paths)
+            .output()
+            .expect("spawn pamr merge");
+        assert!(
+            out.status.success(),
+            "pamr merge failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("merge output is UTF-8")
+    };
+
+    eprintln!("pamr-bench shard: {trials} trials/point, 1 process vs {shards} processes");
+
+    // Pass 1: the whole campaign in one process, then the (trivial) merge.
+    let start = Instant::now();
+    let status = Command::new(&pamr)
+        .args(shard_args(0, 1))
+        .status()
+        .expect("spawn pamr shard 0/1");
+    assert!(status.success(), "pamr shard 0/1 failed");
+    let report_single = merge(&[part(0, 1)]);
+    let wall_ms_single = start.elapsed().as_secs_f64() * 1e3;
+
+    // Pass 2: N concurrent shard processes, then the real merge.
+    let start = Instant::now();
+    let children: Vec<_> = (0..shards)
+        .map(|i| {
+            Command::new(&pamr)
+                .args(shard_args(i, shards))
+                .spawn()
+                .unwrap_or_else(|e| panic!("spawn pamr shard {i}/{shards}: {e}"))
+        })
+        .collect();
+    for (i, mut child) in children.into_iter().enumerate() {
+        let status = child.wait().expect("wait for shard process");
+        assert!(status.success(), "pamr shard {i}/{shards} failed");
+    }
+    let merge_start = Instant::now();
+    let parts: Vec<_> = (0..shards).map(|i| part(i, shards)).collect();
+    let report_sharded = merge(&parts);
+    let merge_ms = merge_start.elapsed().as_secs_f64() * 1e3;
+    let wall_ms_sharded = start.elapsed().as_secs_f64() * 1e3;
+
+    let reports_identical = report_single == report_sharded;
+    assert!(
+        reports_identical,
+        "sharded report diverged from the single-process report:\n--- single\n{report_single}\n--- sharded\n{report_sharded}"
+    );
+
+    let report = ShardBenchReport {
+        schema: 1,
+        shards,
+        trials,
+        seed,
+        wall_ms_single,
+        wall_ms_sharded,
+        merge_ms,
+        speedup: wall_ms_single / wall_ms_sharded,
+        reports_identical,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("{json}");
+    eprintln!(
+        "pamr-bench shard: single {wall_ms_single:.0} ms, {shards}-process {wall_ms_sharded:.0} ms \
+         (merge {merge_ms:.0} ms), speedup {:.2}x, reports identical → {out}",
+        report.speedup
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

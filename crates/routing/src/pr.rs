@@ -23,6 +23,62 @@ use pamr_power::PowerModel;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PathRemover;
 
+/// A violated structural invariant inside the PR heuristic.
+///
+/// These conditions cannot occur on well-formed Manhattan bands (path
+/// cleaning preserves at least one source→sink path, and a resolved band's
+/// surviving links chain by construction), so any occurrence is a bug — but
+/// they were previously guarded only by `debug_assert!`/`unwrap`, which in
+/// release builds silently divided by zero (NaN shares poisoning the load
+/// map) or panicked with a bare `Option::unwrap` message. They are now
+/// checked identically in debug and release and reported as a structured
+/// error by [`PathRemover::try_route_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrError {
+    /// Path cleaning left diagonal group `group` of communication `comm`
+    /// with no alive link (the re-share would divide by zero).
+    EmptiedGroup {
+        /// Index of the communication in the instance.
+        comm: usize,
+        /// Diagonal-group index within the communication's band.
+        group: usize,
+    },
+    /// Some communications remain unresolved but no link can be removed
+    /// from any of them (the outer loop would spin or, previously,
+    /// `final_path` would `unwrap` on a multi-link group).
+    Stuck {
+        /// Number of still-unresolved communications.
+        unresolved: usize,
+    },
+    /// A resolved communication's surviving links do not chain from its
+    /// source to its sink.
+    BrokenChain {
+        /// Index of the communication in the instance.
+        comm: usize,
+    },
+}
+
+impl std::fmt::Display for PrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrError::EmptiedGroup { comm, group } => write!(
+                f,
+                "PR path cleaning emptied diagonal group {group} of communication {comm}"
+            ),
+            PrError::Stuck { unresolved } => write!(
+                f,
+                "PR found no removable link although {unresolved} communication(s) remain unresolved"
+            ),
+            PrError::BrokenChain { comm } => write!(
+                f,
+                "PR resolved communication {comm} to links that do not chain into a path"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PrError {}
+
 /// Per-communication removal state.
 struct PrComm {
     band: Band,
@@ -73,16 +129,17 @@ impl PrComm {
     /// whose alive count shrank). Groups left untouched by the removal cost
     /// nothing — previously every removal re-applied the full band twice.
     ///
-    /// `fwd` / `bwd` are reusable per-core reachability buffers.
+    /// `fwd` / `bwd` are reusable per-core reachability buffers; `ci` is
+    /// the communication's index, used only to label [`PrError`]s.
     fn remove_and_reshare(
         &mut self,
         mesh: &Mesh,
-        t_rm: usize,
-        j_rm: usize,
+        ci: usize,
+        (t_rm, j_rm): (usize, usize),
         loads: &mut LoadMap,
         fwd: &mut Vec<bool>,
         bwd: &mut Vec<bool>,
-    ) {
+    ) -> Result<(), PrError> {
         // Subtract the removed link's current share and kill it.
         loads.add(self.band.group(t_rm)[j_rm], -self.share[t_rm]);
         self.alive[t_rm][j_rm] = false;
@@ -131,7 +188,11 @@ impl PrComm {
                     }
                 }
             }
-            debug_assert!(count > 0, "cleaning must preserve at least one path");
+            // Checked in release too: dividing by a zero count would poison
+            // the load map with NaN shares instead of failing loudly.
+            if count == 0 {
+                return Err(PrError::EmptiedGroup { comm: ci, group: t });
+            }
             let new_share = self.weight / count as f64;
             // Exact comparison: an unchanged count reproduces the identical
             // quotient, so untouched groups skip the load updates entirely.
@@ -147,6 +208,7 @@ impl PrComm {
                 self.resolved = false;
             }
         }
+        Ok(())
     }
 
     /// Number of alive links in the group containing `link` and the link's
@@ -170,30 +232,47 @@ impl PrComm {
         Some((t, j, count))
     }
 
-    /// Extracts the unique remaining path (requires `resolved`).
-    fn final_path(&self, mesh: &Mesh) -> Path {
-        assert!(self.resolved);
+    /// Extracts the unique remaining path; `ci` labels errors. Fails with
+    /// [`PrError::BrokenChain`] when the communication is not resolved or
+    /// its surviving links do not connect source to sink — conditions the
+    /// previous `unwrap`/`assert!` mix reported inconsistently.
+    fn final_path(&self, mesh: &Mesh, ci: usize) -> Result<Path, PrError> {
+        if !self.resolved {
+            return Err(PrError::BrokenChain { comm: ci });
+        }
         let mut cur = self.band.src();
         let mut moves: Vec<Step> = Vec::with_capacity(self.band.len());
         for (t, g) in self.band.groups().iter().enumerate() {
-            let j = self.alive[t].iter().position(|&a| a).unwrap();
+            let Some(j) = self.alive[t].iter().position(|&a| a) else {
+                return Err(PrError::EmptiedGroup { comm: ci, group: t });
+            };
             let link = g[j];
             let (from, to) = mesh.link_endpoints(link);
-            assert_eq!(from, cur, "resolved PR links do not chain into a path");
+            if from != cur {
+                return Err(PrError::BrokenChain { comm: ci });
+            }
             moves.push(mesh.link_step(link));
             cur = to;
         }
-        assert_eq!(cur, self.band.snk());
-        Path::from_moves(self.band.src(), moves)
+        if cur != self.band.snk() {
+            return Err(PrError::BrokenChain { comm: ci });
+        }
+        Ok(Path::from_moves(self.band.src(), moves))
     }
 }
 
-impl Heuristic for PathRemover {
-    fn name(&self) -> &'static str {
-        "PR"
-    }
-
-    fn route_with(&self, cs: &CommSet, _model: &PowerModel, scratch: &mut RouteScratch) -> Routing {
+impl PathRemover {
+    /// [`Heuristic::route_with`], but surfacing violated invariants as a
+    /// structured [`PrError`] instead of panicking. The checks run in
+    /// debug and release builds alike — the release build previously
+    /// produced NaN load shares (silent `weight / 0`) or a bare
+    /// `Option::unwrap` panic on the same conditions.
+    pub fn try_route_with(
+        &self,
+        cs: &CommSet,
+        _model: &PowerModel,
+        scratch: &mut RouteScratch,
+    ) -> Result<Routing, PrError> {
         let mesh = cs.mesh();
         let mut comms: Vec<PrComm> = cs
             .comms()
@@ -256,12 +335,12 @@ impl Heuristic for PathRemover {
                         if count >= 2 {
                             comms[i].remove_and_reshare(
                                 mesh,
-                                t,
-                                j,
+                                i,
+                                (t, j),
                                 &mut scratch.loads,
                                 &mut scratch.fwd,
                                 &mut scratch.bwd,
-                            );
+                            )?;
                             if comms[i].resolved {
                                 unresolved -= 1;
                             }
@@ -271,16 +350,34 @@ impl Heuristic for PathRemover {
                     }
                 }
             }
-            debug_assert!(
-                removed,
-                "an unresolved communication always has a removable link"
-            );
+            // An unresolved communication always has a removable link;
+            // failing that (previously a debug_assert + silent break that
+            // let `final_path` panic) is a structural error in both builds.
             if !removed {
-                break;
+                return Err(PrError::Stuck { unresolved });
             }
         }
 
-        Routing::single(cs, comms.iter().map(|c| c.final_path(mesh)).collect())
+        let paths = comms
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.final_path(mesh, i))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Routing::single(cs, paths))
+    }
+}
+
+impl Heuristic for PathRemover {
+    fn name(&self) -> &'static str {
+        "PR"
+    }
+
+    fn route_with(&self, cs: &CommSet, model: &PowerModel, scratch: &mut RouteScratch) -> Routing {
+        // A PrError is a routing-engine bug, not an infeasible instance:
+        // escalate to a hard panic with the structured diagnosis, the same
+        // way in debug and release builds.
+        self.try_route_with(cs, model, scratch)
+            .unwrap_or_else(|e| panic!("PR invariant violated: {e}"))
     }
 }
 
@@ -369,6 +466,60 @@ mod tests {
         assert_eq!(r.path(0).len(), 3);
         assert_eq!(r.path(1).len(), 3);
         assert!(r.path(0).bends() == 0 && r.path(1).bends() == 0);
+    }
+
+    #[test]
+    fn emptied_group_is_a_structured_error_not_a_division() {
+        // Regression: `remove_and_reshare` used to guard `weight / count`
+        // with only a `debug_assert!`, so a release build would compute
+        // `weight / 0` and spread NaN over the load map. Force the
+        // condition by killing one of a group's two links behind the
+        // cleaner's back, then removing the other.
+        let mesh = Mesh::new(2, 2);
+        let mut comm = PrComm::new(&mesh, Coord::new(0, 0), Coord::new(1, 1), 2.0);
+        let mut loads = pamr_mesh::LoadMap::new(&mesh);
+        comm.apply_loads(&mut loads, 1.0);
+        comm.alive[1][1] = false;
+        let (mut fwd, mut bwd) = (Vec::new(), Vec::new());
+        let err = comm
+            .remove_and_reshare(&mesh, 7, (1, 0), &mut loads, &mut fwd, &mut bwd)
+            .unwrap_err();
+        assert_eq!(err, PrError::EmptiedGroup { comm: 7, group: 0 });
+        // The load map never saw a NaN share.
+        assert!(loads.iter_active().all(|(_, l)| l.is_finite()));
+    }
+
+    #[test]
+    fn unresolved_final_path_is_a_structured_error() {
+        // Regression: `final_path` used to `unwrap` on an unresolved band
+        // (both links of a group still alive), which the `!removed` early
+        // break of the outer loop could reach in release builds.
+        let mesh = Mesh::new(2, 2);
+        let comm = PrComm::new(&mesh, Coord::new(0, 0), Coord::new(1, 1), 1.0);
+        assert!(!comm.resolved);
+        let err = comm.final_path(&mesh, 3).unwrap_err();
+        assert_eq!(err, PrError::BrokenChain { comm: 3 });
+    }
+
+    #[test]
+    fn try_route_with_succeeds_on_normal_instances() {
+        let mesh = Mesh::new(5, 5);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(4, 4), 3.0),
+                Comm::new(Coord::new(4, 0), Coord::new(0, 4), 2.0),
+            ],
+        );
+        let model = PowerModel::theory(3.0);
+        let r = PathRemover
+            .try_route_with(&cs, &model, &mut crate::RouteScratch::new())
+            .expect("well-formed instance must not trip PR invariants");
+        assert!(r.is_structurally_valid(&cs, 1));
+        assert_eq!(
+            PrError::Stuck { unresolved: 2 }.to_string(),
+            "PR found no removable link although 2 communication(s) remain unresolved"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! communications, in three weight regimes.
 
 use pamr_sim::cli::Options;
-use pamr_sim::experiments::{fig9, run_experiment};
+use pamr_sim::experiments::{fig9, run_experiment_sharded};
 use pamr_sim::table::{failure_table, norm_inv_table, write_csv};
 
 fn main() {
@@ -11,7 +11,7 @@ fn main() {
     let model = pamr_sim::paper_model();
     for exp in fig9() {
         println!("== {} — {} ==", exp.id, exp.title);
-        let res = run_experiment(&exp, &mesh, &model, opts.trials, opts.seed);
+        let res = run_experiment_sharded(&exp, &mesh, &model, opts.trials, opts.seed, opts.shard);
         println!(
             "normalised power inverse (x = {}, {} trials/point)",
             exp.xlabel, opts.trials

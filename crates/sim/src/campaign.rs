@@ -16,7 +16,7 @@
 //!   link lists and reachability buffers across all trials of the chunk
 //!   instead of reallocating them per heuristic call.
 
-use crate::experiments::{fig7, fig8, fig9, Experiment, ExperimentResult, SweepPoint};
+use crate::experiments::{campaign_figures, Experiment, ExperimentResult, SweepPoint};
 use crate::runner::run_instance_with;
 use crate::stats::PointStats;
 use pamr_mesh::Mesh;
@@ -25,8 +25,74 @@ use pamr_routing::RouteScratch;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
-/// One campaign: a platform, a trial budget and a master seed.
+/// The slice of sweep points one process owns in a multi-process campaign.
+///
+/// Shard `(index, count)` owns every sweep point `p` with
+/// `p % count == index` (indices are per experiment). Because every trial's
+/// seed depends only on `(experiment, point, trial)` indices, a shard
+/// computes exactly the per-point statistics the single-process run would,
+/// bit for bit — recombining the shards in point order reproduces the
+/// unsharded campaign byte-identically (see [`crate::shard`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// This shard's index, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// The trivial shard: one process owns every sweep point.
+    pub const FULL: ShardSpec = ShardSpec { index: 0, count: 1 };
+
+    /// Creates a shard spec, validating `index < count`.
+    pub fn new(index: usize, count: usize) -> ShardSpec {
+        assert!(count > 0, "shard count must be positive");
+        assert!(index < count, "shard index {index} out of range 0..{count}");
+        ShardSpec { index, count }
+    }
+
+    /// Parses the CLI form `i/N` (e.g. `0/2`).
+    pub fn parse(s: &str) -> Result<ShardSpec, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("bad shard spec {s:?}: expected i/N (e.g. 0/2)"))?;
+        let index: usize = i
+            .parse()
+            .map_err(|_| format!("bad shard index {i:?} in {s:?}"))?;
+        let count: usize = n
+            .parse()
+            .map_err(|_| format!("bad shard count {n:?} in {s:?}"))?;
+        if count == 0 {
+            return Err(format!("bad shard spec {s:?}: count must be positive"));
+        }
+        if index >= count {
+            return Err(format!("bad shard spec {s:?}: index must be < count"));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Does this shard own sweep point `point_index`?
+    pub fn owns(&self, point_index: usize) -> bool {
+        point_index % self.count == self.index
+    }
+
+    /// Is this the trivial single-process shard?
+    pub fn is_full(&self) -> bool {
+        self.count == 1
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// One campaign: a platform, a trial budget, a master seed and the shard of
+/// sweep points this process owns.
 #[derive(Debug, Clone, Copy)]
 pub struct Campaign<'a> {
     /// The mesh every instance lives on.
@@ -37,20 +103,41 @@ pub struct Campaign<'a> {
     pub trials: usize,
     /// Master seed; every trial derives its own stream from it.
     pub seed: u64,
+    /// The sweep points this process owns ([`ShardSpec::FULL`] = all).
+    pub shard: ShardSpec,
 }
 
-/// Seed of one `(sweep point, trial)` pair: distinct odd-multiplier mixes
-/// keep the streams disjoint (the layout the sequential engine used, so
-/// seeded results carry over).
+/// SplitMix64 finalizer: a full-avalanche bijection on `u64` (every input
+/// bit flips every output bit with probability ≈ 1/2).
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed of one `(sweep point, trial)` pair.
+///
+/// The index mix is finalized through two SplitMix64 avalanche rounds:
+/// a bare XOR of index products (the previous layout) hands `SmallRng`
+/// linearly-related seeds whose low bits move in lock-step across
+/// neighbouring trials. The double finalization decorrelates the stages, so
+/// neighbouring `(point, trial)` pairs get statistically independent
+/// streams.
 pub fn trial_seed(campaign_seed: u64, point_index: usize, trial: usize) -> u64 {
-    campaign_seed
-        ^ (point_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ (trial as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+    let stage = splitmix64(
+        campaign_seed.wrapping_add((point_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    );
+    splitmix64(stage.wrapping_add((trial as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)))
 }
 
-/// Seed of one experiment within the pooled summary campaign.
+/// Seed of one experiment within the pooled summary campaign, finalized
+/// through the same avalanche as [`trial_seed`].
 pub fn experiment_seed(campaign_seed: u64, figure_index: usize, exp_index: usize) -> u64 {
-    campaign_seed ^ ((figure_index * 16 + exp_index) as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+    splitmix64(
+        campaign_seed.wrapping_add(
+            ((figure_index * 16 + exp_index) as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+        ),
+    )
 }
 
 /// Per-chunk fold state: the statistics accumulator plus the reusable
@@ -87,22 +174,30 @@ impl Campaign<'_> {
             .reduce(PointStats::default, PointStats::merge)
     }
 
-    /// Runs one experiment: `trials` instances per sweep point.
+    /// Runs one experiment: `trials` instances per sweep point owned by
+    /// this campaign's shard (all points under [`ShardSpec::FULL`]).
     pub fn run_experiment(&self, exp: &Experiment) -> ExperimentResult {
         let points = exp
             .points
             .iter()
             .enumerate()
+            .filter(|(pi, _)| self.shard.owns(*pi))
             .map(|(pi, point)| (point.x, self.run_point(pi, point)))
             .collect();
         ExperimentResult { id: exp.id, points }
     }
 
     /// Runs the full §6 campaign (all nine sub-figures) and pools every
-    /// trial into one accumulator — the summary statistics' input.
+    /// trial of every owned sweep point into one accumulator — the summary
+    /// statistics' input.
+    ///
+    /// Under a partial shard this pools only the owned points; recombining
+    /// the per-point partials of all shards in point order (not the pooled
+    /// accumulators!) reproduces the unsharded pooled value bit-for-bit —
+    /// that interleaving is what [`crate::shard::merge_partials`] does.
     pub fn run_pooled(&self) -> PointStats {
         let mut pooled = PointStats::default();
-        for (fi, fig) in [fig7(), fig8(), fig9()].into_iter().enumerate() {
+        for (fi, fig) in campaign_figures().into_iter().enumerate() {
             for (ei, exp) in fig.iter().enumerate() {
                 let sub = Campaign {
                     seed: experiment_seed(self.seed, fi, ei),
@@ -144,7 +239,13 @@ mod tests {
 
     /// Serialises the stats fields that must match bit-for-bit.
     fn fingerprint(stats: &PointStats) -> String {
-        let mut s = format!("{}/{}", stats.trials, stats.best_successes);
+        let mut s = format!(
+            "{}/{}/{}/{}",
+            stats.trials,
+            stats.best_successes,
+            stats.sum_best_inv.to_bits(),
+            stats.sum_best_static_frac.to_bits()
+        );
         for agg in &stats.per_heur {
             s.push_str(&format!(
                 "|{}:{}:{}:{}",
@@ -167,6 +268,7 @@ mod tests {
             model: &model,
             trials: 20,
             seed: 42,
+            shard: ShardSpec::FULL,
         };
         let run = |threads: usize| {
             rayon::set_num_threads(threads);
@@ -190,12 +292,93 @@ mod tests {
 
     #[test]
     fn trial_seeds_are_disjoint_streams() {
+        // No collisions across a grid of points × trials, nor against the
+        // experiment seeds the pooled campaign derives from the same master.
         let mut seen = std::collections::HashSet::new();
-        for pi in 0..20 {
-            for t in 0..100 {
+        for pi in 0..40 {
+            for t in 0..200 {
                 assert!(
                     seen.insert(trial_seed(7, pi, t)),
                     "seed collision at ({pi},{t})"
+                );
+            }
+        }
+        for fi in 0..3 {
+            for ei in 0..3 {
+                assert!(
+                    seen.insert(experiment_seed(7, fi, ei)),
+                    "experiment seed collision at ({fi},{ei})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trial_seeds_avalanche() {
+        // Neighbouring indices must produce statistically unrelated seeds:
+        // roughly half the 64 bits flip, and the deltas between consecutive
+        // trial seeds are not constant (the old XOR-of-products layout
+        // handed SmallRng linearly-related seeds).
+        let mut deltas = std::collections::HashSet::new();
+        for t in 0..64usize {
+            let a = trial_seed(7, 3, t);
+            let b = trial_seed(7, 3, t + 1);
+            let flipped = (a ^ b).count_ones();
+            assert!(
+                (16..=48).contains(&flipped),
+                "weak avalanche between trials {t} and {}: {flipped} bits",
+                t + 1
+            );
+            deltas.insert(b.wrapping_sub(a));
+        }
+        assert!(
+            deltas.len() > 60,
+            "consecutive trial seeds look affine: only {} distinct deltas",
+            deltas.len()
+        );
+        // Same for a single-bit change of the master seed.
+        let flipped = (trial_seed(7, 3, 5) ^ trial_seed(6, 3, 5)).count_ones();
+        assert!(
+            (16..=48).contains(&flipped),
+            "master-seed avalanche: {flipped}"
+        );
+    }
+
+    #[test]
+    fn sharded_points_are_bit_equal_to_the_full_run() {
+        let mesh = crate::paper_mesh();
+        let model = crate::paper_model();
+        let exp = tiny_experiment();
+        let full = Campaign {
+            mesh: &mesh,
+            model: &model,
+            trials: 8,
+            seed: 11,
+            shard: ShardSpec::FULL,
+        };
+        let all = full.run_experiment(&exp);
+        for count in [2, 3] {
+            let mut got: Vec<Option<(f64, PointStats)>> = vec![None; exp.points.len()];
+            for index in 0..count {
+                let sharded = Campaign {
+                    shard: ShardSpec::new(index, count),
+                    ..full
+                };
+                let part = sharded.run_experiment(&exp);
+                for (k, (x, stats)) in part.points.into_iter().enumerate() {
+                    let pi = index + k * count;
+                    assert!(got[pi].replace((x, stats)).is_none(), "point {pi} twice");
+                }
+            }
+            for (pi, ((xa, sa), slot)) in all.points.iter().zip(&got).enumerate() {
+                let (xb, sb) = slot
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("point {pi} missing"));
+                assert_eq!(xa, xb);
+                assert_eq!(
+                    fingerprint(sa),
+                    fingerprint(sb),
+                    "shard {count}-way diverged at point {pi}"
                 );
             }
         }
@@ -210,10 +393,11 @@ mod tests {
             model: &model,
             trials: 1,
             seed: 3,
+            shard: ShardSpec::FULL,
         };
         let pooled = campaign.run_pooled();
         // Nine sub-figures, each with its sweep points, one trial each.
-        let expected: usize = [fig7(), fig8(), fig9()]
+        let expected: usize = campaign_figures()
             .iter()
             .flatten()
             .map(|e| e.points.len())

@@ -1,5 +1,7 @@
 //! Minimal argument parsing shared by the experiment binaries.
 
+use crate::campaign::ShardSpec;
+
 /// Options common to all experiment binaries.
 #[derive(Debug, Clone)]
 pub struct Options {
@@ -11,6 +13,10 @@ pub struct Options {
     pub csv: Option<std::path::PathBuf>,
     /// Worker-thread override (`None` = `RAYON_NUM_THREADS` or all cores).
     pub threads: Option<usize>,
+    /// The slice of sweep points this process owns (`--shard i/N`).
+    pub shard: ShardSpec,
+    /// Output file for machine-readable results (`--out FILE`).
+    pub out: Option<std::path::PathBuf>,
 }
 
 impl Default for Options {
@@ -20,20 +26,35 @@ impl Default for Options {
             seed: 0xC0FFEE,
             csv: None,
             threads: None,
+            shard: ShardSpec::FULL,
+            out: None,
         }
     }
 }
 
 impl Options {
-    /// Parses `--trials N`, `--seed S`, `--csv DIR`, `--threads N` from
-    /// `std::env::args` and applies the thread override to the work-pool.
-    /// Results never depend on the thread count — only wall-clock does.
+    /// Parses `--trials N`, `--seed S`, `--csv DIR`, `--threads N`,
+    /// `--shard i/N`, `--out FILE` from `std::env::args` and applies the
+    /// thread override to the work-pool. Results never depend on the
+    /// thread count — only wall-clock does.
     ///
     /// # Panics
     /// Panics with a usage message on malformed arguments.
     pub fn from_args() -> Options {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// [`Options::from_args`] over an explicit argument list — shared
+    /// with the `pamr shard` subcommand so every shard entry point
+    /// rejects malformed values (a typo'd `--trials`/`--seed` silently
+    /// falling back to a default would only surface at merge time, after
+    /// the shard runs complete).
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Options {
         let mut opts = Options::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--trials" => {
@@ -51,6 +72,13 @@ impl Options {
                 "--csv" => {
                     opts.csv = Some(args.next().expect("--csv needs a directory").into());
                 }
+                "--shard" => {
+                    let spec = args.next().expect("--shard needs i/N (e.g. 0/2)");
+                    opts.shard = ShardSpec::parse(&spec).unwrap_or_else(|e| panic!("{e}"));
+                }
+                "--out" => {
+                    opts.out = Some(args.next().expect("--out needs a file path").into());
+                }
                 "--threads" => {
                     let n: usize = args
                         .next()
@@ -60,7 +88,10 @@ impl Options {
                     opts.threads = Some(n);
                 }
                 "--help" | "-h" => {
-                    eprintln!("usage: <bin> [--trials N] [--seed S] [--csv DIR] [--threads N]");
+                    eprintln!(
+                        "usage: <bin> [--trials N] [--seed S] [--csv DIR] [--threads N] \
+                         [--shard i/N] [--out FILE]"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument {other:?} (try --help)"),
@@ -83,5 +114,7 @@ mod tests {
         let o = Options::default();
         assert_eq!(o.trials, 2000);
         assert!(o.csv.is_none());
+        assert!(o.shard.is_full());
+        assert!(o.out.is_none());
     }
 }

@@ -1,7 +1,7 @@
 //! The figure definitions of §6 (the sweep runner lives in
 //! [`crate::campaign`]).
 
-use crate::campaign::Campaign;
+use crate::campaign::{Campaign, ShardSpec};
 use crate::stats::PointStats;
 use pamr_mesh::Mesh;
 use pamr_power::PowerModel;
@@ -193,6 +193,15 @@ pub fn fig9() -> Vec<Experiment> {
     ]
 }
 
+/// The canonical figure groups of the pooled §6 campaign, in pooling
+/// order. Single source of truth for [`Campaign::run_pooled`] and the
+/// shard merge ([`crate::shard`]): both must walk the identical
+/// figure → experiment → point sequence for the byte-identity contract
+/// to hold.
+pub fn campaign_figures() -> [Vec<Experiment>; 3] {
+    [fig7(), fig8(), fig9()]
+}
+
 /// Runs one experiment: `trials` random instances per sweep point, in
 /// parallel, deterministically derived from `seed` (a thin wrapper over
 /// [`Campaign::run_experiment`]).
@@ -203,11 +212,26 @@ pub fn run_experiment(
     trials: usize,
     seed: u64,
 ) -> ExperimentResult {
+    run_experiment_sharded(exp, mesh, model, trials, seed, ShardSpec::FULL)
+}
+
+/// [`run_experiment`] restricted to the sweep points owned by `shard`
+/// (`p % shard.count == shard.index`). Per-point statistics are bit-equal
+/// to the unsharded run's; only the non-owned points are absent.
+pub fn run_experiment_sharded(
+    exp: &Experiment,
+    mesh: &Mesh,
+    model: &PowerModel,
+    trials: usize,
+    seed: u64,
+    shard: ShardSpec,
+) -> ExperimentResult {
     Campaign {
         mesh,
         model,
         trials,
         seed,
+        shard,
     }
     .run_experiment(exp)
 }

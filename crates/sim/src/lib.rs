@@ -35,14 +35,16 @@ pub mod campaign;
 pub mod cli;
 pub mod experiments;
 pub mod runner;
+pub mod shard;
 pub mod stats;
 pub mod summary;
 pub mod table;
 pub mod viz;
 
-pub use campaign::{experiment_seed, trial_seed, Campaign};
+pub use campaign::{experiment_seed, trial_seed, Campaign, ShardSpec};
 pub use experiments::{Experiment, ExperimentResult, SweepPoint, WorkloadSpec};
 pub use runner::{run_instance, run_instance_with, HeurResult, InstanceOutcome};
+pub use shard::{merge_partials, MergeError, MergedCampaign, PartialPoint, ShardPartial};
 pub use stats::{HeurAgg, PointStats};
 
 /// The campaign platform: the paper's 8×8 CMP.

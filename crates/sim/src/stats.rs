@@ -2,10 +2,10 @@
 
 use crate::runner::InstanceOutcome;
 use pamr_routing::HeuristicKind;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Per-policy accumulator over the trials of one sweep point.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct HeurAgg {
     /// Trials on which the policy produced a feasible routing.
     pub successes: usize,
@@ -32,12 +32,19 @@ impl HeurAgg {
 }
 
 /// Accumulated statistics of one sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PointStats {
     /// Number of trials accumulated.
     pub trials: usize,
     /// Trials where at least one policy succeeded (BEST exists).
     pub best_successes: usize,
+    /// Σ 1/P_BEST over the trials where BEST exists — BEST's absolute
+    /// inverse power pooled per trial, the §6.4 ratio's true numerator
+    /// (the per-policy maximum of mean ratios is only a lower bound).
+    pub sum_best_inv: f64,
+    /// Σ static-power fraction of the BEST routing over the trials where
+    /// BEST exists (§6.4's "successful routings").
+    pub sum_best_static_frac: f64,
     /// Per-policy aggregates, in [`HeuristicKind::ALL`] order.
     pub per_heur: Vec<HeurAgg>,
 }
@@ -47,6 +54,8 @@ impl Default for PointStats {
         PointStats {
             trials: 0,
             best_successes: 0,
+            sum_best_inv: 0.0,
+            sum_best_static_frac: 0.0,
             per_heur: vec![HeurAgg::default(); HeuristicKind::ALL.len()],
         }
     }
@@ -56,8 +65,11 @@ impl PointStats {
     /// Folds one instance outcome into the accumulator.
     pub fn add(&mut self, out: &InstanceOutcome) {
         self.trials += 1;
-        if out.best_power.is_some() {
+        if let (Some(best), Some(kind)) = (out.best_power, out.best_kind) {
             self.best_successes += 1;
+            self.sum_best_inv += 1.0 / best;
+            self.sum_best_static_frac +=
+                out.of(kind).breakdown.map_or(0.0, |b| b.static_fraction());
         }
         for (slot, r) in self.per_heur.iter_mut().zip(&out.results) {
             slot.sum_micros += r.micros;
@@ -77,6 +89,8 @@ impl PointStats {
     pub fn merge(mut self, other: PointStats) -> PointStats {
         self.trials += other.trials;
         self.best_successes += other.best_successes;
+        self.sum_best_inv += other.sum_best_inv;
+        self.sum_best_static_frac += other.sum_best_static_frac;
         for (a, b) in self.per_heur.iter_mut().zip(&other.per_heur) {
             a.absorb(b);
         }
@@ -127,6 +141,27 @@ impl PointStats {
             0.0
         } else {
             self.per_heur[Self::idx(kind)].sum_inv / self.trials as f64
+        }
+    }
+
+    /// Mean absolute inverse power of BEST over all trials (0 contribution
+    /// from trials where every policy fails — same convention as
+    /// [`PointStats::mean_inv`], so the §6.4 ratios compare like with like).
+    pub fn best_mean_inv(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.sum_best_inv / self.trials as f64
+        }
+    }
+
+    /// Mean static-power fraction of the BEST routing over the trials where
+    /// a routing succeeded (§6.4's "successful routings").
+    pub fn best_mean_static_fraction(&self) -> f64 {
+        if self.best_successes == 0 {
+            0.0
+        } else {
+            self.sum_best_static_frac / self.best_successes as f64
         }
     }
 
@@ -186,6 +221,17 @@ mod tests {
             .fold(0.0, f64::max);
         assert!((max - 1.0).abs() < 1e-12);
         assert_eq!(ps.best_failure_ratio(), 0.0);
+        // BEST's pooled absolute inverse: both trials route at power 56.
+        assert!((ps.sum_best_inv - 2.0 / 56.0).abs() < 1e-15);
+        assert!((ps.best_mean_inv() - 1.0 / 56.0).abs() < 1e-15);
+        // BEST's inverse dominates every policy's pooled inverse.
+        for k in HeuristicKind::ALL {
+            assert!(ps.best_mean_inv() >= ps.mean_inv(k) - 1e-15, "{k}");
+        }
+        // The BEST static fraction is a real per-trial mean (0 here: the
+        // Fig. 2 model has no leakage term).
+        let sf = ps.best_mean_static_fraction();
+        assert!((0.0..1.0).contains(&sf), "{sf}");
     }
 
     #[test]
@@ -198,6 +244,7 @@ mod tests {
         let m = a.merge(b);
         assert_eq!(m.trials, 3);
         assert_eq!(m.best_successes, 3);
+        assert!((m.sum_best_inv - 3.0 / 56.0).abs() < 1e-15);
     }
 
     #[test]
@@ -207,5 +254,7 @@ mod tests {
         assert_eq!(ps.failure_ratio(HeuristicKind::Pr), 0.0);
         assert_eq!(ps.mean_millis(HeuristicKind::Pr), 0.0);
         assert_eq!(ps.mean_static_fraction(HeuristicKind::Pr), 0.0);
+        assert_eq!(ps.best_mean_inv(), 0.0);
+        assert_eq!(ps.best_mean_static_fraction(), 0.0);
     }
 }

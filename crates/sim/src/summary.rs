@@ -1,7 +1,7 @@
 //! The §6.4 aggregate statistics: success rates, inverse-power ratios
 //! versus XY, static-power fraction, mean runtimes.
 
-use crate::campaign::Campaign;
+use crate::campaign::{Campaign, ShardSpec};
 use crate::stats::PointStats;
 use pamr_mesh::Mesh;
 use pamr_power::PowerModel;
@@ -24,8 +24,15 @@ impl Summary {
             model,
             trials,
             seed,
+            shard: ShardSpec::FULL,
         }
         .run_pooled();
+        Summary { pooled }
+    }
+
+    /// Wraps an already-pooled accumulator (e.g. one recombined from shard
+    /// partials by [`crate::shard::merge_partials`]).
+    pub fn from_pooled(pooled: PointStats) -> Summary {
         Summary { pooled }
     }
 
@@ -52,35 +59,32 @@ impl Summary {
     }
 
     /// Ratio of BEST's mean inverse power to XY's (paper: ≈ 2.95).
+    ///
+    /// BEST's absolute inverse power (1/P_BEST, 0 when every policy fails)
+    /// is pooled per trial in [`PointStats::sum_best_inv`]; the ratio of
+    /// per-trial means is the paper's statistic. The maximum over the
+    /// per-policy ratios — the previous implementation — is only a lower
+    /// bound: on each trial BEST takes the per-policy max *before*
+    /// averaging, so it strictly dominates whenever different policies win
+    /// different trials.
     pub fn best_inv_power_ratio_vs_xy(&self) -> f64 {
-        // BEST's inverse power per trial is max over policies; we pooled it
-        // as norm_inv baseline — recover it from the best norm: BEST's
-        // absolute inverse is not separately pooled, so approximate with
-        // the per-policy max... Instead pool via the best-performing
-        // policy's sum: conservative lower bound = max policy ratio.
-        HeuristicKind::ALL
-            .iter()
-            .map(|&k| self.inv_power_ratio_vs_xy(k))
-            .fold(0.0, f64::max)
+        let xy = self.pooled.mean_inv(HeuristicKind::Xy);
+        if xy == 0.0 {
+            f64::INFINITY
+        } else {
+            self.pooled.best_mean_inv() / xy
+        }
     }
 
-    /// Mean static-power fraction over successful BEST-candidate routings
-    /// (paper: ≈ 1/7).
+    /// Mean static-power fraction over successful routings (paper: ≈ 1/7).
+    ///
+    /// §6.4 reports the fraction "over the successful routings": one
+    /// routing per solved instance — the BEST one — not one sample per
+    /// policy per instance. Pooling every policy's successful attempt (the
+    /// previous denominator) over-weights instances that many policies
+    /// solve and skews the mean toward the easy cases.
     pub fn static_fraction(&self) -> f64 {
-        // Average over the policies' successful routings, weighted by
-        // success counts.
-        let (mut num, mut den) = (0.0, 0usize);
-        for k in HeuristicKind::ALL {
-            let agg =
-                &self.pooled.per_heur[HeuristicKind::ALL.iter().position(|&x| x == k).unwrap()];
-            num += agg.sum_static_frac;
-            den += agg.successes;
-        }
-        if den == 0 {
-            0.0
-        } else {
-            num / den as f64
-        }
+        self.pooled.best_mean_static_fraction()
     }
 
     /// Renders the §6.4 comparison table: paper value vs measured.
@@ -132,6 +136,18 @@ impl Summary {
         s
     }
 
+    /// The full deterministic stdout report of the `summary` binary: the
+    /// §6.4 table plus the pooled-instance count. `pamr merge` prints the
+    /// same string, so a sharded campaign reproduces the single-process
+    /// report byte-for-byte (the CI `shard-merge` job diffs the two).
+    pub fn render_report(&self) -> String {
+        format!(
+            "{}\npooled over {} instances\n",
+            self.render(),
+            self.pooled.trials
+        )
+    }
+
     /// Renders the measured mean routing times. Kept apart from
     /// [`Summary::render`] because wall-clock numbers vary run to run and
     /// would break the byte-identical determinism contract of the report.
@@ -171,6 +187,16 @@ mod tests {
         }
         // Inverse-power ratios vs XY exceed 1 for the good heuristics.
         assert!(s.inv_power_ratio_vs_xy(HeuristicKind::Pr) > 1.0);
+        // The pooled BEST ratio dominates every per-policy ratio (it was
+        // previously silently substituted by their maximum — a lower
+        // bound).
+        let best_ratio = s.best_inv_power_ratio_vs_xy();
+        for k in HeuristicKind::ALL {
+            assert!(
+                best_ratio + 1e-12 >= s.inv_power_ratio_vs_xy(k),
+                "BEST ratio {best_ratio} below {k}'s"
+            );
+        }
         // Static fraction lands in a plausible band around 1/7.
         let sf = s.static_fraction();
         assert!(sf > 0.02 && sf < 0.5, "static fraction {sf}");

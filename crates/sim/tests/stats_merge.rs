@@ -41,9 +41,26 @@ fn trial() -> impl Strategy<Value = PointStats> {
     )
     .prop_map(|per| {
         let best = per.iter().any(|&(s, ..)| s == 1);
+        // BEST's per-trial pooled quantities: the winning policy's inverse
+        // power dominates every member's, its static fraction is one of
+        // theirs — any representative values exercise the merge the same.
+        let sum_best_inv = if best {
+            per.iter()
+                .map(|&(_, _, inv, ..)| inv)
+                .fold(0.0f64, f64::max)
+        } else {
+            0.0
+        };
+        let sum_best_static_frac = if best {
+            per.iter().map(|&(.., frac)| frac).fold(0.0f64, f64::max)
+        } else {
+            0.0
+        };
         PointStats {
             trials: 1,
             best_successes: best as usize,
+            sum_best_inv,
+            sum_best_static_frac,
             per_heur: per
                 .into_iter()
                 .map(|(succ, norm_inv, inv, micros, frac)| HeurAgg {
@@ -62,6 +79,17 @@ fn trial() -> impl Strategy<Value = PointStats> {
 fn assert_stats_eq(a: &PointStats, b: &PointStats, what: &str) -> Result<(), String> {
     prop_assert_eq!(a.trials, b.trials, "{}: trials", what);
     prop_assert_eq!(a.best_successes, b.best_successes, "{}: best", what);
+    for (u, v, field) in [
+        (a.sum_best_inv, b.sum_best_inv, "sum_best_inv"),
+        (
+            a.sum_best_static_frac,
+            b.sum_best_static_frac,
+            "sum_best_static_frac",
+        ),
+    ] {
+        let tol = 1e-12 * (1.0 + u.abs().max(v.abs()));
+        prop_assert!((u - v).abs() <= tol, "{what}: {field} {u} vs {v}");
+    }
     for (i, (x, y)) in a.per_heur.iter().zip(&b.per_heur).enumerate() {
         prop_assert_eq!(x.successes, y.successes, "{}: successes[{}]", what, i);
         prop_assert_eq!(x.sum_micros, y.sum_micros, "{}: micros[{}]", what, i);
@@ -79,7 +107,12 @@ fn assert_stats_eq(a: &PointStats, b: &PointStats, what: &str) -> Result<(), Str
 
 /// Bitwise equality of every field (for properties that must hold exactly).
 fn fingerprint(s: &PointStats) -> Vec<u64> {
-    let mut out = vec![s.trials as u64, s.best_successes as u64];
+    let mut out = vec![
+        s.trials as u64,
+        s.best_successes as u64,
+        s.sum_best_inv.to_bits(),
+        s.sum_best_static_frac.to_bits(),
+    ];
     for agg in &s.per_heur {
         out.push(agg.successes as u64);
         out.push(agg.sum_norm_inv.to_bits());

@@ -4,6 +4,8 @@
 //! pamr random --mesh 8x8 --n 20 --wmin 100 --wmax 2500 [--seed S] > inst.json
 //! pamr route  --instance inst.json [--heuristic BEST|XY|SG|IG|TB|XYI|PR]
 //!             [--model kim-horowitz|continuous] [--split S] [--json]
+//! pamr shard  --shard i/N --out part_i.json [--trials T] [--seed S] [--threads K]
+//! pamr merge  part_0.json part_1.json ...
 //! pamr demo
 //! ```
 //!
@@ -11,8 +13,14 @@
 //! exactly serde's view of [`CommSet`]); `route` prints per-communication
 //! paths, the power breakdown and the link heatmap, or a machine-readable
 //! JSON report with `--json`.
+//!
+//! `shard` runs one process's slice of the §6 campaign (sweep points `p`
+//! with `p % N == i`) and writes the per-point statistics as JSON; `merge`
+//! recombines the N partials and prints the §6.4 summary — byte-identical
+//! to a single-process `summary` run with the same trials and seed.
 
 use pamr::prelude::*;
+use pamr::sim::shard::{merge_partials, ShardPartial};
 use pamr::sim::viz::render_heatmap;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -24,6 +32,8 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  pamr random --mesh PxQ --n N [--wmin W] [--wmax W] [--seed S]\n  \
          pamr route --instance FILE [--heuristic NAME] [--model NAME] [--split S] [--json]\n  \
+         pamr shard --shard i/N --out FILE [--trials T] [--seed S] [--threads K]\n  \
+         pamr merge FILE...\n  \
          pamr demo"
     );
     exit(2);
@@ -34,6 +44,8 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("random") => cmd_random(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
+        Some("shard") => cmd_shard(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => usage(),
     }
@@ -215,6 +227,62 @@ fn cmd_route(args: &[String]) {
     }
     println!("\nutilisation heatmap:");
     print!("{}", render_heatmap(cs.mesh(), &loads, model.capacity));
+}
+
+fn cmd_shard(args: &[String]) {
+    // Same strict parsing as the sim binaries: malformed --trials/--seed
+    // must fail here, not surface as a mismatch at merge time.
+    let opts = pamr::sim::cli::Options::parse_from(args.iter().cloned());
+    let Some(out) = opts.out.as_deref() else {
+        usage()
+    };
+    let mesh = pamr::sim::paper_mesh();
+    let model = pamr::sim::paper_model();
+    eprintln!(
+        "running shard {} of the §6 campaign ({} trials per sweep point, {} worker thread(s)) ...",
+        opts.shard,
+        opts.trials,
+        rayon::current_num_threads()
+    );
+    let partial = ShardPartial::run(&mesh, &model, opts.trials, opts.seed, opts.shard);
+    std::fs::write(out, partial.to_json()).unwrap_or_else(|e| {
+        eprintln!("writing {}: {e}", out.display());
+        exit(1);
+    });
+    eprintln!(
+        "wrote {} sweep points to {} (recombine with `pamr merge`)",
+        partial.points.len(),
+        out.display()
+    );
+}
+
+fn cmd_merge(args: &[String]) {
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if files.is_empty() {
+        usage();
+    }
+    let partials: Vec<ShardPartial> = files
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                exit(1);
+            });
+            ShardPartial::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                exit(1);
+            })
+        })
+        .collect();
+    let merged = merge_partials(&partials).unwrap_or_else(|e| {
+        eprintln!("cannot merge: {e}");
+        exit(1);
+    });
+    eprintln!(
+        "merged {} shard(s), {} trials per sweep point, seed {}",
+        merged.shard_count, merged.trials, merged.seed
+    );
+    print!("{}", merged.summary().render_report());
 }
 
 fn cmd_demo() {

@@ -56,6 +56,51 @@ fn random_then_route_round_trip() {
 }
 
 #[test]
+fn shard_merge_round_trip_matches_single_process() {
+    let dir = std::env::temp_dir().join("pamr_cli_shard_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let part = |i: usize| dir.join(format!("part{i}.json"));
+
+    // Two shards of a tiny campaign...
+    for i in 0..2 {
+        let (_, stderr, ok) = pamr(&[
+            "shard",
+            "--shard",
+            &format!("{i}/2"),
+            "--trials",
+            "1",
+            "--seed",
+            "9",
+            "--out",
+            part(i).to_str().unwrap(),
+        ]);
+        assert!(ok, "pamr shard {i}/2 failed: {stderr}");
+    }
+    // ...merge to the single-process report.
+    let (merged, stderr, ok) = pamr(&[
+        "merge",
+        part(0).to_str().unwrap(),
+        part(1).to_str().unwrap(),
+    ]);
+    assert!(ok, "pamr merge failed: {stderr}");
+    // One shard alone must be rejected with a structured message.
+    let (single, one_shard_ok) = {
+        let (_, stderr, ok) = pamr(&["merge", part(0).to_str().unwrap()]);
+        (stderr, ok)
+    };
+    assert!(!one_shard_ok, "merging an incomplete shard set must fail");
+    assert!(
+        single.contains("missing shard partial"),
+        "unexpected merge error: {single}"
+    );
+    // The merged report is the §6.4 summary.
+    assert!(merged.contains("§6.4 summary statistics"), "{merged}");
+    assert!(merged.contains("BEST inv-power ratio"), "{merged}");
+    assert!(merged.contains("pooled over"), "{merged}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn demo_runs() {
     let (out, stderr, ok) = pamr(&["demo"]);
     assert!(ok, "pamr demo failed: {stderr}");

@@ -9,6 +9,7 @@
 //! pamr-bench run [--profile smoke|full] [--trials N] [--seed S] [--out FILE]
 //! pamr-bench check --baseline FILE --current FILE [--max-ratio R]
 //! pamr-bench shard [--shards N] [--trials T] [--seed S] [--pamr PATH] [--out FILE]
+//! pamr-bench pr [--instances N] [--comms N] [--seed S] [--out FILE]
 //! ```
 //!
 //! `run` executes the campaigns and writes the report; `check` compares a
@@ -18,8 +19,14 @@
 //! a genuine hot-path regression. `shard` times the multi-process lane:
 //! one `pamr shard 0/1` process versus N concurrent `pamr shard i/N`
 //! processes plus the `pamr merge` step, verifying on the way that both
-//! pipelines print byte-identical §6.4 reports.
+//! pipelines print byte-identical §6.4 reports. `pr` times the banded
+//! Path-Remover against its full-sweep oracle (`pr::reference`) on
+//! campaign-distribution instances, cross-checks that both produce
+//! identical routings, and records the per-instance speedup in the `pr`
+//! section of `BENCH_summary.json` (merging into an existing report when
+//! one is present); `run` records a smaller version of the same lane.
 
+use pamr_routing::{Heuristic as _, PathRemover, ReferencePathRemover, RouteScratch};
 use pamr_sim::experiments::{fig7, fig8, fig9, Experiment};
 use pamr_sim::{Campaign, ShardSpec};
 use serde::{Deserialize, Serialize};
@@ -43,6 +50,78 @@ struct FigureBench {
     trials_per_sec: f64,
 }
 
+/// The banded-vs-reference Path-Remover lane (the `pr` section of
+/// `BENCH_summary.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PrBench {
+    /// Distinct campaign-distribution instances timed.
+    instances: usize,
+    /// Communications per instance.
+    comms: usize,
+    /// Timing repetitions over the instance set.
+    repeats: usize,
+    /// Master seed of the instance draws.
+    seed: u64,
+    /// Mean per-instance runtime of the banded engine, milliseconds.
+    banded_ms: f64,
+    /// Mean per-instance runtime of the full-sweep oracle, milliseconds.
+    reference_ms: f64,
+    /// `reference_ms / banded_ms`.
+    speedup: f64,
+    /// Both engines produced identical routings on every instance.
+    identical: bool,
+}
+
+/// Times the banded Path-Remover against the full-sweep oracle on 8×8
+/// campaign-distribution instances (the §6.2 mixed-weight regime), first
+/// cross-checking that every routing is identical.
+fn measure_pr(instances: usize, comms: usize, repeats: usize, seed: u64) -> PrBench {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mesh = pamr_bench::mesh8();
+    let model = pamr_bench::model();
+    let sets: Vec<_> = (0..instances)
+        .map(|i| {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+            pamr_workload::UniformWorkload::new(comms, 100.0, 2500.0).generate(&mesh, &mut rng)
+        })
+        .collect();
+    let mut scratch = RouteScratch::new();
+    // Warm-up + differential cross-check.
+    let mut identical = true;
+    for cs in &sets {
+        let banded = PathRemover.try_route_banded_with(cs, &model, &mut scratch);
+        let reference = ReferencePathRemover.try_route_with(cs, &model, &mut scratch);
+        identical &= banded == reference;
+    }
+    assert!(identical, "banded PR diverged from the full-sweep oracle");
+    let mut timed = |f: &dyn Fn(&pamr_routing::CommSet, &mut RouteScratch)| -> f64 {
+        let start = Instant::now();
+        for _ in 0..repeats {
+            for cs in &sets {
+                f(cs, &mut scratch);
+            }
+        }
+        start.elapsed().as_secs_f64() * 1e3 / (repeats * sets.len()) as f64
+    };
+    let banded_ms = timed(&|cs, scratch| {
+        let _ = PathRemover.route_with(cs, &model, scratch);
+    });
+    let reference_ms = timed(&|cs, scratch| {
+        let _ = ReferencePathRemover.route_with(cs, &model, scratch);
+    });
+    PrBench {
+        instances,
+        comms,
+        repeats,
+        seed,
+        banded_ms,
+        reference_ms,
+        speedup: reference_ms / banded_ms,
+        identical,
+    }
+}
+
 /// The whole report (`BENCH_summary.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchReport {
@@ -64,13 +143,20 @@ struct BenchReport {
     total_wall_ms_par: f64,
     /// Overall sequential/parallel speedup.
     speedup: f64,
+    /// The banded-vs-reference Path-Remover lane. Both `run` and `pr`
+    /// fill it; it is `Option` only so a PR-less report remains
+    /// representable (the vendored serde has no field defaulting, so
+    /// schema-1 files without the field do not deserialize at all —
+    /// `check` requires matching schemas anyway).
+    pr: Option<PrBench>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  pamr-bench run [--profile smoke|full] [--trials N] [--seed S] [--out FILE]\n  \
          pamr-bench check --baseline FILE --current FILE [--max-ratio R]\n  \
-         pamr-bench shard [--shards N] [--trials T] [--seed S] [--pamr PATH] [--out FILE]"
+         pamr-bench shard [--shards N] [--trials T] [--seed S] [--pamr PATH] [--out FILE]\n  \
+         pamr-bench pr [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -88,6 +174,7 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("shard") => cmd_shard(&args[1..]),
+        Some("pr") => cmd_pr(&args[1..]),
         _ => usage(),
     }
 }
@@ -162,10 +249,19 @@ fn cmd_run(args: &[String]) {
         figures.push(fig);
     }
 
+    // The PR engine lane: small here (the focused `pamr-bench pr`
+    // subcommand runs a bigger sample), but always recorded so every
+    // BENCH_summary.json tracks the banded-vs-reference speedup.
+    let pr = measure_pr(12, 80, 2, seed);
+    eprintln!(
+        "  pr: banded {:.2} ms/inst, reference {:.2} ms/inst, speedup {:.2}x",
+        pr.banded_ms, pr.reference_ms, pr.speedup
+    );
+
     let total_wall_ms_seq: f64 = figures.iter().map(|f| f.wall_ms_seq).sum();
     let total_wall_ms_par: f64 = figures.iter().map(|f| f.wall_ms_par).sum();
     let report = BenchReport {
-        schema: 1,
+        schema: 2,
         profile,
         threads,
         trials,
@@ -174,6 +270,7 @@ fn cmd_run(args: &[String]) {
         total_wall_ms_seq,
         total_wall_ms_par,
         speedup: total_wall_ms_seq / total_wall_ms_par,
+        pr: Some(pr),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
@@ -229,6 +326,12 @@ fn cmd_check(args: &[String]) {
             c.wall_ms_par / b.wall_ms_par
         );
     }
+    if let (Some(b), Some(c)) = (&baseline.pr, &current.pr) {
+        println!(
+            "  pr engine: {:.2}x → {:.2}x banded-vs-reference speedup",
+            b.speedup, c.speedup
+        );
+    }
     if ratio > max_ratio {
         eprintln!(
             "REGRESSION: parallel campaign wall time grew {ratio:.2}x over the committed \
@@ -237,6 +340,72 @@ fn cmd_check(args: &[String]) {
         std::process::exit(1);
     }
     println!("bench check: OK");
+}
+
+/// The focused Path-Remover lane: a bigger sample of the banded-vs-
+/// reference measurement `run` records, written into (or merged into)
+/// `BENCH_summary.json`.
+fn cmd_pr(args: &[String]) {
+    let instances: usize = opt(args, "--instances")
+        .map(|s| s.parse().expect("--instances needs a positive integer"))
+        .unwrap_or(40);
+    assert!(instances > 0, "--instances must be positive");
+    let comms: usize = opt(args, "--comms")
+        .map(|s| s.parse().expect("--comms needs a positive integer"))
+        .unwrap_or(80);
+    assert!(comms > 0, "--comms must be positive");
+    let repeats: usize = opt(args, "--repeats")
+        .map(|s| s.parse().expect("--repeats needs a positive integer"))
+        .unwrap_or(3);
+    assert!(repeats > 0, "--repeats must be positive");
+    let seed: u64 = opt(args, "--seed")
+        .map(|s| s.parse().expect("--seed needs an integer"))
+        .unwrap_or(0xC0FFEE);
+    let out = opt(args, "--out").unwrap_or_else(|| "BENCH_summary.json".into());
+
+    eprintln!(
+        "pamr-bench pr: {instances} instances × {comms} comms × {repeats} repeat(s), \
+         banded vs full-sweep reference"
+    );
+    let pr = measure_pr(instances, comms, repeats, seed);
+    eprintln!(
+        "pamr-bench pr: banded {:.3} ms/inst, reference {:.3} ms/inst, speedup {:.2}x, \
+         routings identical → {out}",
+        pr.banded_ms, pr.reference_ms, pr.speedup
+    );
+
+    // Merge into an existing report when one is present (preserving the
+    // campaign figures a prior `run` recorded); start a fresh PR-only
+    // report otherwise. An existing file that does not parse (e.g. a
+    // schema-1 report, which lacks the `pr` field) is replaced, loudly.
+    let mut report = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|text| match serde_json::from_str::<BenchReport>(&text) {
+            Ok(report) => Some(report),
+            Err(e) => {
+                eprintln!(
+                    "pamr-bench pr: existing {out} does not parse as a bench report \
+                     ({e}); replacing it with a PR-only report"
+                );
+                None
+            }
+        })
+        .unwrap_or_else(|| BenchReport {
+            schema: 2,
+            profile: "pr".into(),
+            threads: rayon::current_num_threads(),
+            trials: 0,
+            seed,
+            figures: Vec::new(),
+            total_wall_ms_seq: 0.0,
+            total_wall_ms_par: 0.0,
+            speedup: 0.0,
+            pr: None,
+        });
+    report.pr = Some(pr);
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("{json}");
 }
 
 /// The multi-process shard lane's report (`BENCH_shard.json`).

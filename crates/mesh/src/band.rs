@@ -129,6 +129,53 @@ impl Band {
         let (from, _) = mesh.link_endpoints(link);
         mesh.diag_index(from, self.quadrant) - self.k_src
     }
+
+    /// The core of relative diagonal `t` (0 ..= `len`) lying in row `u`, if
+    /// the diagonal crosses that row inside the band's bounding box.
+    ///
+    /// Cores of one diagonal inside a rectangle occupy consecutive rows, so
+    /// a set of band cores on a diagonal can be stored as a row interval —
+    /// the representation behind the banded Path-Remover's per-diagonal
+    /// reachability state.
+    pub fn core_on_diag(&self, mesh: &Mesh, t: usize, u: usize) -> Option<Coord> {
+        let v = self
+            .quadrant
+            .col_on_diag(mesh.rows(), mesh.cols(), self.k_src + t, u)?;
+        let c = Coord::new(u, v);
+        self.rect.contains(c).then_some(c)
+    }
+
+    /// The inclusive row range `(u_lo, u_hi)` of the band's cores on
+    /// relative diagonal `t` (0 ..= `len`). Every row in between holds
+    /// exactly one band core of that diagonal.
+    ///
+    /// # Panics
+    /// Panics if `t` exceeds the number of diagonals (`len`).
+    pub fn diag_rows(&self, mesh: &Mesh, t: usize) -> (usize, usize) {
+        assert!(
+            t <= self.len(),
+            "diagonal {t} outside band 0..={}",
+            self.len()
+        );
+        // Allocation-free: this runs once per diagonal of every
+        // communication on every PR route. The rows are contiguous, so
+        // tracking the first and last hit suffices.
+        let (mut lo, mut hi) = (usize::MAX, 0);
+        for u in self.rect.u_min..=self.rect.u_max {
+            if self.core_on_diag(mesh, t, u).is_some() {
+                if lo == usize::MAX {
+                    lo = u;
+                }
+                debug_assert!(
+                    u == lo || u == hi + 1,
+                    "band diagonal rows must be contiguous"
+                );
+                hi = u;
+            }
+        }
+        debug_assert!(lo != usize::MAX, "every band diagonal holds a core");
+        (lo, hi)
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +257,41 @@ mod tests {
             for l in p.links(&mesh) {
                 assert!(band_set.contains(&l));
             }
+        }
+    }
+
+    #[test]
+    fn diag_rows_cover_exactly_the_band_cores() {
+        let mesh = Mesh::new(5, 6);
+        for (src, snk) in [
+            (Coord::new(0, 0), Coord::new(4, 5)), // down-right
+            (Coord::new(1, 5), Coord::new(4, 1)), // down-left
+            (Coord::new(4, 4), Coord::new(1, 0)), // up-left
+            (Coord::new(3, 1), Coord::new(0, 4)), // up-right
+            (Coord::new(2, 0), Coord::new(2, 5)), // straight
+        ] {
+            let band = Band::new(&mesh, src, snk);
+            for t in 0..=band.len() {
+                let (lo, hi) = band.diag_rows(&mesh, t);
+                let expected: Vec<Coord> = band
+                    .rect()
+                    .cores()
+                    .filter(|&c| mesh.diag_index(c, band.quadrant()) == band.k_src() + t)
+                    .collect();
+                assert_eq!(hi - lo + 1, expected.len(), "{src}->{snk} t={t}");
+                for u in lo..=hi {
+                    let c = band.core_on_diag(&mesh, t, u).expect("row in range");
+                    assert!(expected.contains(&c));
+                    assert_eq!(c.u, u);
+                }
+                assert!(band.core_on_diag(&mesh, t, hi + 1).is_none());
+                if lo > 0 {
+                    assert!(band.core_on_diag(&mesh, t, lo - 1).is_none());
+                }
+            }
+            // The first and last diagonals are the source and sink alone.
+            assert_eq!(band.diag_rows(&mesh, 0), (src.u, src.u));
+            assert_eq!(band.diag_rows(&mesh, band.len()), (snk.u, snk.u));
         }
     }
 

@@ -79,6 +79,32 @@ impl Quadrant {
         let (sv, sh) = self.steps();
         s == sv || s == sh
     }
+
+    /// Column of the unique core of diagonal `k` (direction `self`) lying in
+    /// row `u` of a `p × q` mesh, or `None` when that diagonal does not cross
+    /// row `u` on the mesh (including rows past the mesh edge).
+    ///
+    /// Each diagonal `D_k^{(d)}` meets every row at most once (the index is
+    /// strictly monotone in `v` at fixed `u`), so `(k, u)` pins down a core —
+    /// the parametrisation the banded Path-Remover uses to store per-diagonal
+    /// reachable sets as row intervals.
+    #[inline]
+    pub fn col_on_diag(&self, p: usize, q: usize, k: usize, u: usize) -> Option<usize> {
+        if u >= p {
+            return None;
+        }
+        let v = match self {
+            // k = u + v
+            Quadrant::DownRight => k.checked_sub(u)?,
+            // k = u + (q-1-v)  ⇒  v = q-1-(k-u)
+            Quadrant::DownLeft => (q - 1).checked_sub(k.checked_sub(u)?)?,
+            // k = (p-1-u) + (q-1-v)  ⇒  v = q-1-(k-(p-1-u))
+            Quadrant::UpLeft => (q - 1).checked_sub(k.checked_sub(p - 1 - u)?)?,
+            // k = (p-1-u) + v
+            Quadrant::UpRight => k.checked_sub(p - 1 - u)?,
+        };
+        (v < q).then_some(v)
+    }
 }
 
 impl fmt::Display for Quadrant {
@@ -131,5 +157,27 @@ mod tests {
     fn paper_d_numbers() {
         assert_eq!(Quadrant::ALL.map(|d| d.paper_d()), [1, 2, 3, 4]);
         assert_eq!(Quadrant::DownLeft.to_string(), "d2");
+    }
+
+    #[test]
+    fn col_on_diag_inverts_diag_index() {
+        let m = crate::Mesh::new(4, 6);
+        for d in Quadrant::ALL {
+            for c in m.cores() {
+                let k = m.diag_index(c, d);
+                assert_eq!(d.col_on_diag(4, 6, k, c.u), Some(c.v), "{d} {c}");
+            }
+            // Rows a diagonal misses return None instead of a wrapped column.
+            for k in 0..m.num_diagonals() {
+                for u in 0..4 {
+                    let got = d.col_on_diag(4, 6, k, u);
+                    let expect = m
+                        .cores()
+                        .find(|c| c.u == u && m.diag_index(*c, d) == k)
+                        .map(|c| c.v);
+                    assert_eq!(got, expect, "{d} k={k} u={u}");
+                }
+            }
+        }
     }
 }

@@ -67,7 +67,7 @@ pub use fw::{frank_wolfe, FrankWolfeResult};
 pub use greedy::{ImprovedGreedy, SimpleGreedy};
 pub use heuristic::{surrogate_link_cost, Best, Heuristic, HeuristicKind, SURROGATE_PENALTY};
 pub use multipath::SplitMp;
-pub use pr::{PathRemover, PrError};
+pub use pr::{PathRemover, PrError, PrImpl, ReferencePathRemover};
 pub use routing::Routing;
 pub use rules::{xy_routing, yx_routing};
 pub use scratch::RouteScratch;

@@ -1,11 +1,44 @@
-//! The Path-remover heuristic (§5.5).
+//! The Path-remover heuristic (§5.5), with a diagonal-banded incremental
+//! reachability engine.
+//!
+//! PR dominates the per-instance runtime of the §6 campaign because every
+//! link removal re-validates the communication's remaining paths. The
+//! original formulation (kept verbatim in [`mod@reference`]) re-sweeps the
+//! whole band — forward reachability from the source, backward from the
+//! sink, one pass over every diagonal group — on **every** removal. But a
+//! removal in diagonal group `t_rm` can only change forward reachability on
+//! diagonals *downstream* of `t_rm` and backward reachability *upstream* of
+//! it, and in practice the change dies out after one or two diagonals.
+//!
+//! The banded implementation here exploits the §3.3 band structure: the
+//! cores of one diagonal `D_k^{(d)}` inside a bounding box occupy
+//! consecutive rows, so the set of *useful* cores per diagonal (those on at
+//! least one surviving source→sink path) is stored as a row interval
+//! ([`Band::diag_rows`]). On each removal only the affected diagonals are
+//! recomputed, stopping as soon as the recomputed interval matches the
+//! stored one; path cleaning then re-examines only the touched groups. When
+//! a recomputed reachable set is not contiguous (an interval *fragments*),
+//! the communication permanently falls back to the full sweep — a rare,
+//! always-correct escape hatch.
+//!
+//! Both implementations produce **bit-identical** routings, errors and load
+//! maps: they kill the same links in the same order and perform the same
+//! floating-point operations per link. `tests/pr_differential.rs` enforces
+//! this with a differential oracle over randomized §6 workloads, and
+//! [`set_implementation`] lets tests and benchmarks swap the engine behind
+//! [`HeuristicKind::Pr`](crate::HeuristicKind) at runtime.
 
 use crate::comm::CommSet;
 use crate::heuristic::Heuristic;
 use crate::routing::Routing;
-use crate::scratch::{reset_flags, select_max, RouteScratch};
+use crate::scratch::{reset_flags, RouteScratch};
 use pamr_mesh::{Band, Coord, LinkId, LoadMap, Mesh, Path, Step};
 use pamr_power::PowerModel;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+pub mod reference;
+
+pub use reference::ReferencePathRemover;
 
 /// **PR — Path remover** (§5.5).
 ///
@@ -20,8 +53,41 @@ use pamr_power::PowerModel;
 /// communication's fractional load is re-spread over the surviving links of
 /// each diagonal crossing. The process ends when every communication has
 /// exactly one remaining path.
+///
+/// This is the banded incremental implementation (see the module docs);
+/// [`ReferencePathRemover`] is the bit-identical full-sweep oracle.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PathRemover;
+
+/// Which Path-Remover engine [`PathRemover`] (and hence
+/// [`HeuristicKind::Pr`](crate::HeuristicKind)) dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrImpl {
+    /// The banded incremental engine (default).
+    Banded,
+    /// The full-sweep oracle ([`mod@reference`]).
+    Reference,
+}
+
+/// Process-global engine selector, written only by [`set_implementation`].
+static PR_IMPL: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the engine behind [`PathRemover`]. A process-global test and
+/// benchmark hook: the differential suite uses it to run whole campaigns
+/// against the [`mod@reference`] oracle, and `pamr-bench pr` uses it to time
+/// both engines through the production dispatch path. Defaults to
+/// [`PrImpl::Banded`]; production code never calls this.
+pub fn set_implementation(imp: PrImpl) {
+    PR_IMPL.store(imp as u8, Ordering::Relaxed);
+}
+
+/// The engine currently behind [`PathRemover`].
+pub fn implementation() -> PrImpl {
+    match PR_IMPL.load(Ordering::Relaxed) {
+        0 => PrImpl::Banded,
+        _ => PrImpl::Reference,
+    }
+}
 
 /// A violated structural invariant inside the PR heuristic.
 ///
@@ -32,7 +98,8 @@ pub struct PathRemover;
 /// release builds silently divided by zero (NaN shares poisoning the load
 /// map) or panicked with a bare `Option::unwrap` message. They are now
 /// checked identically in debug and release and reported as a structured
-/// error by [`PathRemover::try_route_with`].
+/// error by [`PathRemover::try_route_with`]. The banded and reference
+/// engines report bit-identical errors — part of the differential contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PrError {
     /// Path cleaning left diagonal group `group` of communication `comm`
@@ -79,19 +146,98 @@ impl std::fmt::Display for PrError {
 
 impl std::error::Error for PrError {}
 
-/// Per-communication removal state.
-struct PrComm {
+/// A row interval on one diagonal: inclusive `(lo, hi)` in mesh rows.
+type Iv = (usize, usize);
+
+/// The canonical empty interval.
+const IV_EMPTY: Iv = (usize::MAX, 0);
+
+#[inline]
+fn iv_is_empty(iv: Iv) -> bool {
+    iv.0 > iv.1
+}
+
+#[inline]
+fn iv_contains(iv: Iv, u: usize) -> bool {
+    iv.0 <= u && u <= iv.1
+}
+
+#[inline]
+fn iv_intersect(a: Iv, b: Iv) -> Iv {
+    let lo = a.0.max(b.0);
+    let hi = a.1.min(b.1);
+    if lo > hi {
+        IV_EMPTY
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Key of the loaded-link priority queue: `(load bits, Reverse(link id))`.
+type QueueKey = (u64, std::cmp::Reverse<usize>);
+
+/// The reusable per-removal buffers the banded engine borrows from
+/// [`RouteScratch`], split out so the candidate scan can keep reading
+/// `scratch.users` while a removal mutates these.
+struct BandBufs<'a> {
+    loads: &'a mut LoadMap,
+    queue: &'a mut std::collections::BTreeSet<QueueKey>,
+    live: &'a [u32],
+    fwd_iv: &'a mut Vec<Iv>,
+    bwd_iv: &'a mut Vec<Iv>,
+    rows: &'a mut Vec<bool>,
+    fwd: &'a mut Vec<bool>,
+    bwd: &'a mut Vec<bool>,
+}
+
+impl BandBufs<'_> {
+    /// [`LoadMap::add`] that also keeps the loaded-link queue in sync: the
+    /// queue holds exactly the links with strictly positive load and at
+    /// least one unresolved user. The load *values* are bit-identical to
+    /// the full-sweep oracle's (same operations per link in the same
+    /// order), so the queue's reverse iteration reproduces its loaded-link
+    /// scan order exactly.
+    fn add_load(&mut self, l: LinkId, delta: f64) {
+        let old = self.loads.get(l);
+        self.loads.add(l, delta);
+        let new = self.loads.get(l);
+        if self.live[l.index()] > 0 {
+            if old > 0.0 {
+                self.queue
+                    .remove(&(old.to_bits(), std::cmp::Reverse(l.index())));
+            }
+            if new > 0.0 {
+                self.queue
+                    .insert((new.to_bits(), std::cmp::Reverse(l.index())));
+            }
+        }
+    }
+}
+
+/// Per-communication removal state of the banded engine.
+struct BandedComm {
     band: Band,
     weight: f64,
     /// Aliveness aligned with `band.groups()`.
     alive: Vec<Vec<bool>>,
     /// Current equal share per alive link, per group (`δ / alive_count`).
     share: Vec<f64>,
-    /// True when every group retains exactly one link.
-    resolved: bool,
+    /// Alive-link count per group (kept in lock-step with `alive`).
+    counts: Vec<usize>,
+    /// Useful-core row interval per diagonal `0 ..= len`: the cores lying
+    /// on at least one surviving source→sink path. Invariant between
+    /// removals (unless `fragmented`): forward and backward reachability
+    /// over the alive links both equal exactly this set, because path
+    /// cleaning prunes the alive set down to the union of surviving paths.
+    reach: Vec<Iv>,
+    /// Number of groups with more than one alive link.
+    multi: usize,
+    /// Set once a reachable set stopped being a contiguous row interval;
+    /// from then on every removal of this communication full-sweeps.
+    fragmented: bool,
 }
 
-impl PrComm {
+impl BandedComm {
     fn new(mesh: &Mesh, src: Coord, snk: Coord, weight: f64) -> Self {
         let band = Band::new(mesh, src, snk);
         let alive: Vec<Vec<bool>> = band.groups().iter().map(|g| vec![true; g.len()]).collect();
@@ -100,14 +246,25 @@ impl PrComm {
             .iter()
             .map(|g| weight / g.len() as f64)
             .collect();
-        let resolved = band.groups().iter().all(|g| g.len() == 1);
-        PrComm {
+        let counts: Vec<usize> = band.groups().iter().map(|g| g.len()).collect();
+        let multi = counts.iter().filter(|&&c| c > 1).count();
+        let reach: Vec<Iv> = (0..=band.len()).map(|t| band.diag_rows(mesh, t)).collect();
+        BandedComm {
             band,
             weight,
             alive,
             share,
-            resolved,
+            counts,
+            reach,
+            multi,
+            fragmented: false,
         }
+    }
+
+    /// True when every group retains exactly one link.
+    #[inline]
+    fn resolved(&self) -> bool {
+        self.multi == 0
     }
 
     /// Applies this communication's fractional load with sign `sign`.
@@ -122,74 +279,153 @@ impl PrComm {
         }
     }
 
+    /// One reachability step across diagonal group `g`: the rows of the
+    /// next (forward) or previous (backward) diagonal reached from the row
+    /// interval `prev` through the group's alive links. Returns `None` when
+    /// the reached set is not contiguous (the caller must fall back to the
+    /// full sweep), `Some(IV_EMPTY)` when nothing is reached.
+    fn propagate(
+        &self,
+        mesh: &Mesh,
+        g: usize,
+        prev: Iv,
+        rows: &mut [bool],
+        forward: bool,
+    ) -> Option<Iv> {
+        if iv_is_empty(prev) {
+            return Some(IV_EMPTY);
+        }
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        for (j, &l) in self.band.group(g).iter().enumerate() {
+            if self.alive[g][j] {
+                let (from, to) = mesh.link_endpoints(l);
+                let (key, dst) = if forward {
+                    (from.u, to.u)
+                } else {
+                    (to.u, from.u)
+                };
+                if iv_contains(prev, key) {
+                    rows[dst] = true;
+                    lo = lo.min(dst);
+                    hi = hi.max(dst);
+                }
+            }
+        }
+        if lo == usize::MAX {
+            return Some(IV_EMPTY);
+        }
+        let mut contiguous = true;
+        for r in rows.iter_mut().take(hi + 1).skip(lo) {
+            contiguous &= *r;
+            *r = false;
+        }
+        contiguous.then_some((lo, hi))
+    }
+
     /// Removes link `(t_rm, j_rm)` and performs the paper's "path cleaning"
-    /// and re-sharing, updating `loads` **incrementally**: only the links
-    /// whose fractional contribution actually changed are touched (the
-    /// removed link, newly-unreachable links, and the survivors of groups
-    /// whose alive count shrank). Groups left untouched by the removal cost
-    /// nothing — previously every removal re-applied the full band twice.
-    ///
-    /// `fwd` / `bwd` are reusable per-core reachability buffers; `ci` is
-    /// the communication's index, used only to label [`PrError`]s.
+    /// and re-sharing, recomputing reachability only on the diagonals the
+    /// removal can affect: forward intervals downstream of `t_rm` and
+    /// backward intervals upstream, each propagation stopping as soon as it
+    /// re-matches the stored `reach` interval. Cleaning then touches only
+    /// the groups adjacent to a changed diagonal (plus `t_rm` itself) — the
+    /// bit-identical subset of the operations the full sweep performs,
+    /// because unchanged groups reproduce the identical share quotient and
+    /// skip their load updates entirely.
     fn remove_and_reshare(
         &mut self,
         mesh: &Mesh,
         ci: usize,
         (t_rm, j_rm): (usize, usize),
-        loads: &mut LoadMap,
-        fwd: &mut Vec<bool>,
-        bwd: &mut Vec<bool>,
+        bufs: &mut BandBufs<'_>,
     ) -> Result<(), PrError> {
         // Subtract the removed link's current share and kill it.
-        loads.add(self.band.group(t_rm)[j_rm], -self.share[t_rm]);
+        bufs.add_load(self.band.group(t_rm)[j_rm], -self.share[t_rm]);
         self.alive[t_rm][j_rm] = false;
 
-        // Forward reachability from the source, diagonal by diagonal.
-        let n = mesh.num_cores();
-        reset_flags(fwd, n);
-        fwd[mesh.core_index(self.band.src())] = true;
-        for (t, g) in self.band.groups().iter().enumerate() {
-            for (j, &l) in g.iter().enumerate() {
-                if self.alive[t][j] {
-                    let (from, to) = mesh.link_endpoints(l);
-                    if fwd[mesh.core_index(from)] {
-                        fwd[mesh.core_index(to)] = true;
-                    }
-                }
-            }
+        if self.fragmented {
+            return self.full_reshare(mesh, ci, bufs);
         }
-        // Backward reachability from the sink.
-        reset_flags(bwd, n);
-        bwd[mesh.core_index(self.band.snk())] = true;
-        for (t, g) in self.band.groups().iter().enumerate().rev() {
-            for (j, &l) in g.iter().enumerate() {
-                if self.alive[t][j] {
-                    let (from, to) = mesh.link_endpoints(l);
-                    if bwd[mesh.core_index(to)] {
-                        bwd[mesh.core_index(from)] = true;
-                    }
-                }
-            }
+        let len = self.band.len();
+        if bufs.fwd_iv.len() < len + 1 {
+            bufs.fwd_iv.resize(len + 1, IV_EMPTY);
+            bufs.bwd_iv.resize(len + 1, IV_EMPTY);
         }
-        // A link is useful iff it is alive and joins a forward-reachable
-        // core to a backward-reachable one. Re-share each changed group.
-        self.resolved = true;
-        for (t, g) in self.band.groups().iter().enumerate() {
+        if bufs.rows.len() < mesh.rows() {
+            bufs.rows.resize(mesh.rows(), false);
+        }
+
+        // Forward reachability, recomputed downstream of the removed group
+        // until it re-matches the stored useful interval. `f_stop` is the
+        // first diagonal ≥ t_rm+1 whose forward set did not change.
+        let mut f_stop = len + 1;
+        let mut prev = self.reach[t_rm];
+        for t in t_rm + 1..=len {
+            let Some(next) = self.propagate(mesh, t - 1, prev, bufs.rows, true) else {
+                self.fragmented = true;
+                return self.full_reshare(mesh, ci, bufs);
+            };
+            if next == self.reach[t] {
+                f_stop = t;
+                break;
+            }
+            bufs.fwd_iv[t] = next;
+            prev = next;
+        }
+        // Backward reachability upstream. `b_start` is the first (lowest)
+        // diagonal whose backward set changed.
+        let mut b_start = 0;
+        let mut prev = self.reach[t_rm + 1];
+        let mut matched = false;
+        for t in (0..=t_rm).rev() {
+            let Some(next) = self.propagate(mesh, t, prev, bufs.rows, false) else {
+                self.fragmented = true;
+                return self.full_reshare(mesh, ci, bufs);
+            };
+            if next == self.reach[t] {
+                b_start = t + 1;
+                matched = true;
+                break;
+            }
+            bufs.bwd_iv[t] = next;
+            prev = next;
+        }
+        if !matched {
+            b_start = 0;
+        }
+
+        // Clean and re-share the affected groups, in increasing order so a
+        // structural error names the same group as the full sweep. Group t
+        // is affected iff its source diagonal's forward set changed
+        // (t_rm < t < f_stop), its sink diagonal's backward set changed
+        // (b_start ≤ t+1 ≤ t_rm), or it lost the removed link (t = t_rm).
+        let g_lo = b_start.saturating_sub(1);
+        let g_hi = (f_stop - 1).min(len - 1);
+        for t in g_lo..=g_hi {
+            let fwd_t = if t > t_rm && t < f_stop {
+                bufs.fwd_iv[t]
+            } else {
+                self.reach[t]
+            };
+            let bwd_t1 = if t + 1 >= b_start && t < t_rm {
+                bufs.bwd_iv[t + 1]
+            } else {
+                self.reach[t + 1]
+            };
+            let g = self.band.group(t);
             let old_share = self.share[t];
+            let old_count = self.counts[t];
             let mut count = 0usize;
             for (j, &l) in g.iter().enumerate() {
                 if self.alive[t][j] {
                     let (from, to) = mesh.link_endpoints(l);
-                    if fwd[mesh.core_index(from)] && bwd[mesh.core_index(to)] {
+                    if iv_contains(fwd_t, from.u) && iv_contains(bwd_t1, to.u) {
                         count += 1;
                     } else {
                         self.alive[t][j] = false;
-                        loads.add(l, -old_share);
+                        bufs.add_load(l, -old_share);
                     }
                 }
             }
-            // Checked in release too: dividing by a zero count would poison
-            // the load map with NaN shares instead of failing loudly.
             if count == 0 {
                 return Err(PrError::EmptiedGroup { comm: ci, group: t });
             }
@@ -199,20 +435,105 @@ impl PrComm {
             if new_share != old_share {
                 for (j, &l) in g.iter().enumerate() {
                     if self.alive[t][j] {
-                        loads.add(l, new_share - old_share);
+                        bufs.add_load(l, new_share - old_share);
                     }
                 }
                 self.share[t] = new_share;
             }
+            self.counts[t] = count;
+            if old_count > 1 && count == 1 {
+                self.multi -= 1;
+            }
+        }
+
+        // Fold the recomputed reachability into the stored useful sets:
+        // after cleaning, the useful cores of a diagonal are exactly the
+        // forward-reachable ∩ backward-reachable ones, and an empty
+        // intersection would have surfaced above as an emptied group.
+        for t in b_start..=t_rm {
+            self.reach[t] = iv_intersect(self.reach[t], bufs.bwd_iv[t]);
+            debug_assert!(!iv_is_empty(self.reach[t]));
+        }
+        for t in t_rm + 1..f_stop {
+            self.reach[t] = iv_intersect(bufs.fwd_iv[t], self.reach[t]);
+            debug_assert!(!iv_is_empty(self.reach[t]));
+        }
+        Ok(())
+    }
+
+    /// The full-sweep fallback: identical to the reference engine's
+    /// cleaning pass (same operations on the load map, in the same order),
+    /// plus the banded bookkeeping of `counts` and `multi`. The `reach`
+    /// intervals are left stale — `fragmented` is sticky, so they are never
+    /// consulted again for this communication.
+    fn full_reshare(
+        &mut self,
+        mesh: &Mesh,
+        ci: usize,
+        bufs: &mut BandBufs<'_>,
+    ) -> Result<(), PrError> {
+        let n = mesh.num_cores();
+        reset_flags(bufs.fwd, n);
+        bufs.fwd[mesh.core_index(self.band.src())] = true;
+        for (t, g) in self.band.groups().iter().enumerate() {
+            for (j, &l) in g.iter().enumerate() {
+                if self.alive[t][j] {
+                    let (from, to) = mesh.link_endpoints(l);
+                    if bufs.fwd[mesh.core_index(from)] {
+                        bufs.fwd[mesh.core_index(to)] = true;
+                    }
+                }
+            }
+        }
+        reset_flags(bufs.bwd, n);
+        bufs.bwd[mesh.core_index(self.band.snk())] = true;
+        for (t, g) in self.band.groups().iter().enumerate().rev() {
+            for (j, &l) in g.iter().enumerate() {
+                if self.alive[t][j] {
+                    let (from, to) = mesh.link_endpoints(l);
+                    if bufs.bwd[mesh.core_index(to)] {
+                        bufs.bwd[mesh.core_index(from)] = true;
+                    }
+                }
+            }
+        }
+        self.multi = 0;
+        for (t, g) in self.band.groups().iter().enumerate() {
+            let old_share = self.share[t];
+            let mut count = 0usize;
+            for (j, &l) in g.iter().enumerate() {
+                if self.alive[t][j] {
+                    let (from, to) = mesh.link_endpoints(l);
+                    if bufs.fwd[mesh.core_index(from)] && bufs.bwd[mesh.core_index(to)] {
+                        count += 1;
+                    } else {
+                        self.alive[t][j] = false;
+                        bufs.add_load(l, -old_share);
+                    }
+                }
+            }
+            if count == 0 {
+                return Err(PrError::EmptiedGroup { comm: ci, group: t });
+            }
+            let new_share = self.weight / count as f64;
+            if new_share != old_share {
+                for (j, &l) in g.iter().enumerate() {
+                    if self.alive[t][j] {
+                        bufs.add_load(l, new_share - old_share);
+                    }
+                }
+                self.share[t] = new_share;
+            }
+            self.counts[t] = count;
             if count > 1 {
-                self.resolved = false;
+                self.multi += 1;
             }
         }
         Ok(())
     }
 
     /// Number of alive links in the group containing `link` and the link's
-    /// position, if it is alive.
+    /// position, if it is alive. O(1) in the group size thanks to `counts`.
     fn locate(&self, mesh: &Mesh, link: LinkId) -> Option<(usize, usize, usize)> {
         if self.band.is_empty() {
             return None;
@@ -228,16 +549,14 @@ impl PrComm {
         if !self.alive[t][j] {
             return None;
         }
-        let count = self.alive[t].iter().filter(|&&a| a).count();
-        Some((t, j, count))
+        Some((t, j, self.counts[t]))
     }
 
     /// Extracts the unique remaining path; `ci` labels errors. Fails with
     /// [`PrError::BrokenChain`] when the communication is not resolved or
-    /// its surviving links do not connect source to sink — conditions the
-    /// previous `unwrap`/`assert!` mix reported inconsistently.
+    /// its surviving links do not connect source to sink.
     fn final_path(&self, mesh: &Mesh, ci: usize) -> Result<Path, PrError> {
-        if !self.resolved {
+        if !self.resolved() {
             return Err(PrError::BrokenChain { comm: ci });
         }
         let mut cur = self.band.src();
@@ -264,20 +583,34 @@ impl PrComm {
 impl PathRemover {
     /// [`Heuristic::route_with`], but surfacing violated invariants as a
     /// structured [`PrError`] instead of panicking. The checks run in
-    /// debug and release builds alike — the release build previously
-    /// produced NaN load shares (silent `weight / 0`) or a bare
-    /// `Option::unwrap` panic on the same conditions.
+    /// debug and release builds alike. Dispatches to the engine selected by
+    /// [`set_implementation`] (banded by default).
     pub fn try_route_with(
+        &self,
+        cs: &CommSet,
+        model: &PowerModel,
+        scratch: &mut RouteScratch,
+    ) -> Result<Routing, PrError> {
+        match implementation() {
+            PrImpl::Banded => self.try_route_banded_with(cs, model, scratch),
+            PrImpl::Reference => ReferencePathRemover.try_route_with(cs, model, scratch),
+        }
+    }
+
+    /// The banded engine, unconditionally — what the differential suite
+    /// compares against [`ReferencePathRemover::try_route_with`] regardless
+    /// of the process-global [`implementation`] selector.
+    pub fn try_route_banded_with(
         &self,
         cs: &CommSet,
         _model: &PowerModel,
         scratch: &mut RouteScratch,
     ) -> Result<Routing, PrError> {
         let mesh = cs.mesh();
-        let mut comms: Vec<PrComm> = cs
+        let mut comms: Vec<BandedComm> = cs
             .comms()
             .iter()
-            .map(|c| PrComm::new(mesh, c.src, c.snk, c.weight))
+            .map(|c| BandedComm::new(mesh, c.src, c.snk, c.weight))
             .collect();
         scratch.loads.fit(mesh);
         for c in &comms {
@@ -297,52 +630,104 @@ impl PathRemover {
                 scratch.users[l.index()].push(i);
             }
         }
+        // Presort every link's users by decreasing weight (ties towards
+        // the smaller index) once: the weights are static, so this yields
+        // exactly the candidate order the full-sweep oracle re-sorts per
+        // examined link.
+        for v in scratch.users.iter_mut() {
+            v.sort_by(|&a, &b| {
+                comms[b]
+                    .weight
+                    .partial_cmp(&comms[a].weight)
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+        }
+        // Per-link unresolved-user counts: a link none of whose users is
+        // unresolved is rejected by the candidate scan without effect, so
+        // skipping it up front cannot change which link hosts the next
+        // removal — it only spares the scan. Decremented for a comm's whole
+        // band when the comm resolves.
+        scratch.live_users.clear();
+        scratch.live_users.resize(nslots, 0);
+        for c in &comms {
+            if !c.resolved() {
+                for l in c.band.links() {
+                    scratch.live_users[l.index()] += 1;
+                }
+            }
+        }
+
+        // Loaded-link priority queue: exactly the links with positive load
+        // and at least one unresolved user, keyed so that reverse iteration
+        // yields decreasing load with ties towards the smaller link id —
+        // the full-sweep oracle's scan order. Maintained incrementally by
+        // [`BandBufs::add_load`] instead of being rebuilt (and re-scanned,
+        // O(links²)) on every removal.
+        scratch.queue.clear();
+        {
+            let live = &scratch.live_users;
+            scratch.queue.extend(
+                scratch
+                    .loads
+                    .iter_active()
+                    .filter(|(l, _)| live[l.index()] > 0)
+                    .map(|(l, v)| (v.to_bits(), std::cmp::Reverse(l.index()))),
+            );
+        }
 
         // Iteratively remove the most loaded link from the largest
         // removable communication crossing it.
-        let mut unresolved = comms.iter().filter(|c| !c.resolved).count();
+        let mut unresolved = comms.iter().filter(|c| !c.resolved()).count();
         while unresolved > 0 {
-            scratch.active.clear();
-            scratch.active.extend(scratch.loads.iter_active());
             let mut removed = false;
-            let mut next = 0;
-            // Lazily select links in decreasing-load order: a removal
-            // usually happens within the first few, so the full sort the
-            // paper's description implies is almost never needed.
-            'links: while let Some((link, _)) = select_max(&mut scratch.active, next) {
-                next += 1;
-                // Candidate communications by decreasing weight.
-                scratch.cands.clear();
-                scratch.cands.extend(
-                    scratch.users[link.index()]
-                        .iter()
-                        .copied()
-                        .filter(|&i| !comms[i].resolved),
-                );
-                scratch.cands.sort_by(|&a, &b| {
-                    comms[b]
-                        .weight
-                        .partial_cmp(&comms[a].weight)
-                        .unwrap()
-                        .then(a.cmp(&b))
-                });
-                for &i in &scratch.cands {
+            let mut cursor: Option<QueueKey> = None;
+            // Examine queued links in decreasing-load order; rejected links
+            // keep their key, so the scan resumes strictly below `cursor`.
+            'links: loop {
+                let key = match cursor {
+                    None => scratch.queue.iter().next_back().copied(),
+                    Some(c) => scratch.queue.range(..c).next_back().copied(),
+                };
+                let Some(key) = key else { break };
+                cursor = Some(key);
+                let link = LinkId(key.1 .0);
+                // Candidates in presorted decreasing-weight order.
+                for &i in &scratch.users[link.index()] {
+                    if comms[i].resolved() {
+                        continue;
+                    }
                     // Removable iff the link is alive for the communication
                     // and its group keeps another alive link (every alive
                     // link lies on some path after cleaning, so a sibling
                     // link guarantees a surviving path).
                     if let Some((t, j, count)) = comms[i].locate(mesh, link) {
                         if count >= 2 {
-                            comms[i].remove_and_reshare(
-                                mesh,
-                                i,
-                                (t, j),
-                                &mut scratch.loads,
-                                &mut scratch.fwd,
-                                &mut scratch.bwd,
-                            )?;
-                            if comms[i].resolved {
+                            let mut bufs = BandBufs {
+                                loads: &mut scratch.loads,
+                                queue: &mut scratch.queue,
+                                live: &scratch.live_users,
+                                fwd_iv: &mut scratch.fwd_iv,
+                                bwd_iv: &mut scratch.bwd_iv,
+                                rows: &mut scratch.rows,
+                                fwd: &mut scratch.fwd,
+                                bwd: &mut scratch.bwd,
+                            };
+                            comms[i].remove_and_reshare(mesh, i, (t, j), &mut bufs)?;
+                            if comms[i].resolved() {
                                 unresolved -= 1;
+                                for l in comms[i].band.links() {
+                                    let slot = l.index();
+                                    scratch.live_users[slot] -= 1;
+                                    if scratch.live_users[slot] == 0 {
+                                        let v = scratch.loads.get(l);
+                                        if v > 0.0 {
+                                            scratch
+                                                .queue
+                                                .remove(&(v.to_bits(), std::cmp::Reverse(slot)));
+                                        }
+                                    }
+                                }
                             }
                             removed = true;
                             break 'links;
@@ -351,8 +736,7 @@ impl PathRemover {
                 }
             }
             // An unresolved communication always has a removable link;
-            // failing that (previously a debug_assert + silent break that
-            // let `final_path` panic) is a structural error in both builds.
+            // failing that is a structural error in both builds.
             if !removed {
                 return Err(PrError::Stuck { unresolved });
             }
@@ -388,6 +772,8 @@ mod tests {
     use crate::rules::xy_routing;
     use pamr_mesh::Mesh;
     use pamr_power::PowerModel;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn pr_resolves_to_single_paths() {
@@ -469,39 +855,6 @@ mod tests {
     }
 
     #[test]
-    fn emptied_group_is_a_structured_error_not_a_division() {
-        // Regression: `remove_and_reshare` used to guard `weight / count`
-        // with only a `debug_assert!`, so a release build would compute
-        // `weight / 0` and spread NaN over the load map. Force the
-        // condition by killing one of a group's two links behind the
-        // cleaner's back, then removing the other.
-        let mesh = Mesh::new(2, 2);
-        let mut comm = PrComm::new(&mesh, Coord::new(0, 0), Coord::new(1, 1), 2.0);
-        let mut loads = pamr_mesh::LoadMap::new(&mesh);
-        comm.apply_loads(&mut loads, 1.0);
-        comm.alive[1][1] = false;
-        let (mut fwd, mut bwd) = (Vec::new(), Vec::new());
-        let err = comm
-            .remove_and_reshare(&mesh, 7, (1, 0), &mut loads, &mut fwd, &mut bwd)
-            .unwrap_err();
-        assert_eq!(err, PrError::EmptiedGroup { comm: 7, group: 0 });
-        // The load map never saw a NaN share.
-        assert!(loads.iter_active().all(|(_, l)| l.is_finite()));
-    }
-
-    #[test]
-    fn unresolved_final_path_is_a_structured_error() {
-        // Regression: `final_path` used to `unwrap` on an unresolved band
-        // (both links of a group still alive), which the `!removed` early
-        // break of the outer loop could reach in release builds.
-        let mesh = Mesh::new(2, 2);
-        let comm = PrComm::new(&mesh, Coord::new(0, 0), Coord::new(1, 1), 1.0);
-        assert!(!comm.resolved);
-        let err = comm.final_path(&mesh, 3).unwrap_err();
-        assert_eq!(err, PrError::BrokenChain { comm: 3 });
-    }
-
-    #[test]
     fn try_route_with_succeeds_on_normal_instances() {
         let mesh = Mesh::new(5, 5);
         let cs = CommSet::new(
@@ -542,5 +895,150 @@ mod tests {
         let loads = r.loads(&cs);
         let expected: f64 = cs.comms().iter().map(|c| c.weight * c.len() as f64).sum();
         assert!((loads.total() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn banded_matches_reference_on_random_instances() {
+        // A compact in-crate differential check (the full oracle lives in
+        // tests/pr_differential.rs): identical routings on random instances
+        // covering all four quadrants, straight lines and local traffic.
+        let model = PowerModel::theory(3.0);
+        let mut scratch = crate::RouteScratch::new();
+        for seed in 0..24u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let (p, q) = (rng.gen_range(2..=7), rng.gen_range(2..=7));
+            let mesh = Mesh::new(p, q);
+            let n = rng.gen_range(1..=12);
+            let comms = (0..n)
+                .map(|_| {
+                    Comm::new(
+                        Coord::new(rng.gen_range(0..p), rng.gen_range(0..q)),
+                        Coord::new(rng.gen_range(0..p), rng.gen_range(0..q)),
+                        rng.gen_range(1.0..100.0),
+                    )
+                })
+                .collect();
+            let cs = CommSet::new(mesh, comms);
+            let banded = PathRemover.try_route_banded_with(&cs, &model, &mut scratch);
+            let reference = ReferencePathRemover.try_route_with(&cs, &model, &mut scratch);
+            assert_eq!(
+                banded.unwrap(),
+                reference.unwrap(),
+                "seed {seed}: banded PR diverged from the full-sweep oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn fragmentation_falls_back_to_the_full_sweep() {
+        // Drive a banded comm and a reference comm through the identical
+        // removal sequence, picking removals that disconnect the middle of
+        // a diagonal: the diagonal-2 reachable rows of a 4×4 corner-to-
+        // corner band become {0, 2} (not contiguous), which must flip the
+        // banded comm to its full-sweep fallback and keep the states
+        // bit-identical throughout.
+        let mesh = Mesh::new(4, 4);
+        let (src, snk) = (Coord::new(0, 0), Coord::new(3, 3));
+        let mut banded = BandedComm::new(&mesh, src, snk, 2.0);
+        let mut reference = reference::RefComm::new(&mesh, src, snk, 2.0);
+        let mut loads_b = pamr_mesh::LoadMap::new(&mesh);
+        let mut loads_r = pamr_mesh::LoadMap::new(&mesh);
+        banded.apply_loads(&mut loads_b, 1.0);
+        reference.apply_loads(&mut loads_r, 1.0);
+        let mut scratch = crate::RouteScratch::new();
+        let (mut fwd, mut bwd) = (Vec::new(), Vec::new());
+        // Not testing queue maintenance here: an all-zero live-user table
+        // keeps `add_load` from touching the (unused) queue.
+        let live = vec![0u32; mesh.num_link_slots()];
+
+        // Group 1 holds the four links leaving diagonal 1; find the two
+        // links entering the middle core (1,1) of diagonal 2.
+        let into_middle: Vec<usize> = banded
+            .band
+            .group(1)
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| mesh.link_endpoints(l).1 == Coord::new(1, 1))
+            .map(|(j, _)| j)
+            .collect();
+        assert_eq!(into_middle.len(), 2);
+        for (step, &j) in into_middle.iter().enumerate() {
+            let mut bufs = BandBufs {
+                loads: &mut loads_b,
+                queue: &mut scratch.queue,
+                live: &live,
+                fwd_iv: &mut scratch.fwd_iv,
+                bwd_iv: &mut scratch.bwd_iv,
+                rows: &mut scratch.rows,
+                fwd: &mut scratch.fwd,
+                bwd: &mut scratch.bwd,
+            };
+            banded
+                .remove_and_reshare(&mesh, 0, (1, j), &mut bufs)
+                .unwrap();
+            reference
+                .remove_and_reshare(&mesh, 0, (1, j), &mut loads_r, &mut fwd, &mut bwd)
+                .unwrap();
+            assert_eq!(
+                banded.fragmented,
+                step == 1,
+                "fragmentation must trigger exactly on the second removal"
+            );
+            assert_eq!(banded.alive, reference.alive, "alive sets diverged");
+            for l in mesh.links() {
+                assert_eq!(
+                    loads_b.get(l).to_bits(),
+                    loads_r.get(l).to_bits(),
+                    "load of {l} diverged"
+                );
+            }
+        }
+        // The fragmented comm keeps matching the oracle on later removals.
+        let j_next = banded.alive[2]
+            .iter()
+            .position(|&a| a)
+            .expect("group 2 still has alive links");
+        assert!(banded.counts[2] >= 2);
+        let mut bufs = BandBufs {
+            loads: &mut loads_b,
+            queue: &mut scratch.queue,
+            live: &live,
+            fwd_iv: &mut scratch.fwd_iv,
+            bwd_iv: &mut scratch.bwd_iv,
+            rows: &mut scratch.rows,
+            fwd: &mut scratch.fwd,
+            bwd: &mut scratch.bwd,
+        };
+        banded
+            .remove_and_reshare(&mesh, 0, (2, j_next), &mut bufs)
+            .unwrap();
+        reference
+            .remove_and_reshare(&mesh, 0, (2, j_next), &mut loads_r, &mut fwd, &mut bwd)
+            .unwrap();
+        assert_eq!(banded.alive, reference.alive);
+        assert_eq!(banded.resolved(), reference.resolved);
+    }
+
+    #[test]
+    fn implementation_switch_swaps_the_engine() {
+        // Relaxed global switch: both settings must produce identical
+        // routings through the public dispatch (the differential contract),
+        // and the selector must round-trip.
+        let mesh = Mesh::new(4, 4);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(3, 3), 2.0),
+                Comm::new(Coord::new(3, 0), Coord::new(0, 3), 1.0),
+            ],
+        );
+        let model = PowerModel::theory(3.0);
+        assert_eq!(implementation(), PrImpl::Banded);
+        let banded = PathRemover.route(&cs, &model);
+        set_implementation(PrImpl::Reference);
+        assert_eq!(implementation(), PrImpl::Reference);
+        let reference = PathRemover.route(&cs, &model);
+        set_implementation(PrImpl::Banded);
+        assert_eq!(banded, reference);
     }
 }

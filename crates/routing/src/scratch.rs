@@ -33,6 +33,24 @@ pub struct RouteScratch {
     pub(crate) users: Vec<Vec<usize>>,
     /// Candidate-communication index buffer (PR's per-link scan).
     pub(crate) cands: Vec<usize>,
+    /// Per-link count of *unresolved* communications whose band contains
+    /// the link (banded PR): links with no unresolved user can never host a
+    /// removal, so the loaded-link scan skips them wholesale.
+    pub(crate) live_users: Vec<u32>,
+    /// Loaded-link priority queue (banded PR): keys are
+    /// `(load bits, Reverse(link index))`, so reverse iteration yields
+    /// decreasing load with ties towards the smaller link id — exactly the
+    /// [`select_max`] order. IEEE-754 bit patterns of strictly positive
+    /// floats sort like the floats themselves, and the queue only ever
+    /// holds strictly positive loads of links with unresolved users.
+    pub(crate) queue: std::collections::BTreeSet<(u64, std::cmp::Reverse<usize>)>,
+    /// Per-diagonal forward reachable-interval run (banded PR): the row
+    /// intervals recomputed downstream of a removed link.
+    pub(crate) fwd_iv: Vec<(usize, usize)>,
+    /// Per-diagonal backward reachable-interval run (banded PR).
+    pub(crate) bwd_iv: Vec<(usize, usize)>,
+    /// Row-coverage marks for one diagonal (banded PR's contiguity check).
+    pub(crate) rows: Vec<bool>,
 }
 
 impl RouteScratch {

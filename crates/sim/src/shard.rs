@@ -23,7 +23,7 @@
 //! byte-for-byte, which the CI `shard-merge` job enforces with `diff`.
 
 use crate::campaign::{experiment_seed, Campaign, ShardSpec};
-use crate::experiments::campaign_figures;
+use crate::experiments::{campaign_figures, ExperimentResult};
 use crate::stats::PointStats;
 use crate::summary::Summary;
 use pamr_mesh::Mesh;
@@ -192,16 +192,25 @@ impl MergedCampaign {
     }
 }
 
-/// Recombines the partials of a sharded campaign.
-///
-/// Validates that the partials form one complete, consistent campaign
-/// (same schema/trials/seed/shard count, every shard present exactly once,
-/// every sweep point of every experiment covered exactly once by its
-/// owning shard), then pools the per-point statistics in the canonical
-/// figure → experiment → point order — the exact addition sequence of
-/// [`Campaign::run_pooled`], so the result is bit-identical to the
-/// single-process run.
-pub fn merge_partials(partials: &[ShardPartial]) -> Result<MergedCampaign, MergeError> {
+/// One sweep point of the fully-validated canonical campaign grid, in
+/// figure → experiment → point order.
+struct GridPoint<'a> {
+    figure: usize,
+    experiment: usize,
+    x: f64,
+    stats: &'a PointStats,
+}
+
+/// Campaign header of a validated partial set: `(trials, seed, shard
+/// count)`.
+type CampaignHeader = (usize, u64, usize);
+
+/// Validates a set of shard partials (same checks as [`merge_partials`])
+/// and returns every sweep point of the campaign grid in canonical
+/// figure → experiment → point order, together with the campaign header.
+fn validate_and_order(
+    partials: &[ShardPartial],
+) -> Result<(CampaignHeader, Vec<GridPoint<'_>>), MergeError> {
     let first = partials.first().ok_or(MergeError::Empty)?;
     for p in partials {
         if p.schema != PARTIAL_SCHEMA {
@@ -288,8 +297,8 @@ pub fn merge_partials(partials: &[ShardPartial]) -> Result<MergedCampaign, Merge
         }
     }
 
-    // Replay the single-process pooling order over the canonical grid.
-    let mut pooled = PointStats::default();
+    // Walk the canonical grid, consuming every delivered point.
+    let mut ordered = Vec::with_capacity(by_coord.len());
     for (fi, fig) in campaign_figures().into_iter().enumerate() {
         for (ei, exp) in fig.iter().enumerate() {
             for (pi, point) in exp.points.iter().enumerate() {
@@ -308,7 +317,12 @@ pub fn merge_partials(partials: &[ShardPartial]) -> Result<MergedCampaign, Merge
                         exp.id, pt.x, point.x
                     )));
                 }
-                pooled = pooled.merge(pt.stats.clone());
+                ordered.push(GridPoint {
+                    figure: fi,
+                    experiment: ei,
+                    x: pt.x,
+                    stats: &pt.stats,
+                });
             }
         }
     }
@@ -317,12 +331,67 @@ pub fn merge_partials(partials: &[ShardPartial]) -> Result<MergedCampaign, Merge
             "unknown sweep point at coordinate {stray:?}"
         )));
     }
+    Ok(((first.trials, first.seed, count), ordered))
+}
+
+/// Recombines the partials of a sharded campaign.
+///
+/// Validates that the partials form one complete, consistent campaign
+/// (same schema/trials/seed/shard count, every shard present exactly once,
+/// every sweep point of every experiment covered exactly once by its
+/// owning shard), then pools the per-point statistics in the canonical
+/// figure → experiment → point order — the exact addition sequence of
+/// [`Campaign::run_pooled`], so the result is bit-identical to the
+/// single-process run.
+pub fn merge_partials(partials: &[ShardPartial]) -> Result<MergedCampaign, MergeError> {
+    let ((trials, seed, shard_count), ordered) = validate_and_order(partials)?;
+    let mut pooled = PointStats::default();
+    for pt in ordered {
+        pooled = pooled.merge(pt.stats.clone());
+    }
     Ok(MergedCampaign {
-        trials: first.trials,
-        seed: first.seed,
-        shard_count: count,
+        trials,
+        seed,
+        shard_count,
         pooled,
     })
+}
+
+/// Recombines the partials of a sharded campaign into per-figure
+/// [`ExperimentResult`] tables — the inputs of the Figure 7–9 renderers —
+/// instead of the pooled §6.4 accumulator.
+///
+/// Returns one `Vec<ExperimentResult>` per figure group, in the canonical
+/// fig7 → fig8 → fig9 order, after the same completeness and consistency
+/// validation as [`merge_partials`]. Every per-point statistic is the
+/// bit-exact value the unsharded campaign computes (per-point trial seeds
+/// depend only on indices), so tables rendered from the recombined results
+/// equal the unsharded tables byte for byte — `crates/sim/tests/
+/// shard_figures.rs` gates this for 2- and 3-shard runs.
+///
+/// Note the pooled-campaign seeding: experiment `(fi, ei)` runs under
+/// [`experiment_seed`]`(seed, fi, ei)`, exactly like `pamr shard` /
+/// [`Campaign::run_pooled`] — not like the standalone `fig7` binary, which
+/// feeds its master seed to every experiment unchanged.
+pub fn merge_figures(partials: &[ShardPartial]) -> Result<Vec<Vec<ExperimentResult>>, MergeError> {
+    let (_, ordered) = validate_and_order(partials)?;
+    let mut figures: Vec<Vec<ExperimentResult>> = campaign_figures()
+        .into_iter()
+        .map(|fig| {
+            fig.iter()
+                .map(|exp| ExperimentResult {
+                    id: exp.id,
+                    points: Vec::with_capacity(exp.points.len()),
+                })
+                .collect()
+        })
+        .collect();
+    for pt in ordered {
+        figures[pt.figure][pt.experiment]
+            .points
+            .push((pt.x, pt.stats.clone()));
+    }
+    Ok(figures)
 }
 
 #[cfg(test)]

@@ -1,0 +1,104 @@
+//! Sharded figure recombination: `merge_figures` must rebuild the
+//! Figure 7–9 `ExperimentResult` tables from 2- and 3-shard runs so that
+//! the rendered text tables equal the unsharded ones byte for byte — the
+//! per-figure counterpart of the pooled §6.4 byte-identity gate in
+//! `shard_merge.rs`.
+
+use pamr_sim::campaign::{experiment_seed, Campaign};
+use pamr_sim::experiments::campaign_figures;
+use pamr_sim::shard::{merge_figures, merge_partials, MergeError, ShardPartial};
+use pamr_sim::table::{failure_table, norm_inv_table};
+use pamr_sim::ShardSpec;
+
+#[test]
+fn sharded_figures_render_identically_to_the_unsharded_run() {
+    let mesh = pamr_sim::paper_mesh();
+    let model = pamr_sim::paper_model();
+    let (trials, seed) = (1, 42);
+
+    // The unsharded reference: one full partial, recombined trivially.
+    let single = ShardPartial::run(&mesh, &model, trials, seed, ShardSpec::FULL);
+    let reference = merge_figures(std::slice::from_ref(&single)).expect("full partial merges");
+    assert_eq!(reference.len(), 3, "fig7, fig8, fig9");
+
+    // The recombined tables must also equal a direct (non-shard-pipeline)
+    // campaign run under the pooled-campaign seeding — the ground truth
+    // the shard pipeline is supposed to reproduce.
+    for (fi, fig) in campaign_figures().into_iter().enumerate() {
+        for (ei, exp) in fig.iter().enumerate() {
+            let direct = Campaign {
+                mesh: &mesh,
+                model: &model,
+                trials,
+                seed: experiment_seed(seed, fi, ei),
+                shard: ShardSpec::FULL,
+            }
+            .run_experiment(exp);
+            assert_eq!(direct.id, reference[fi][ei].id);
+            assert_eq!(
+                norm_inv_table(&direct),
+                norm_inv_table(&reference[fi][ei]),
+                "direct {} norm-inv table diverged from the recombined one",
+                exp.id
+            );
+            assert_eq!(
+                failure_table(&direct),
+                failure_table(&reference[fi][ei]),
+                "direct {} failure table diverged from the recombined one",
+                exp.id
+            );
+        }
+    }
+
+    // 2- and 3-shard runs recombine to byte-identical tables.
+    for count in [2, 3] {
+        let partials: Vec<ShardPartial> = (0..count)
+            .map(|i| ShardPartial::run(&mesh, &model, trials, seed, ShardSpec::new(i, count)))
+            .collect();
+        let merged = merge_figures(&partials).expect("complete shard set merges");
+        for (fi, group) in merged.iter().enumerate() {
+            for (ei, res) in group.iter().enumerate() {
+                let expect = &reference[fi][ei];
+                assert_eq!(res.id, expect.id);
+                assert_eq!(
+                    res.points.len(),
+                    expect.points.len(),
+                    "{}-shard {} lost sweep points",
+                    count,
+                    res.id
+                );
+                assert_eq!(
+                    norm_inv_table(res),
+                    norm_inv_table(expect),
+                    "{}-shard {} norm-inv table diverged",
+                    count,
+                    res.id
+                );
+                assert_eq!(
+                    failure_table(res),
+                    failure_table(expect),
+                    "{}-shard {} failure table diverged",
+                    count,
+                    res.id
+                );
+            }
+        }
+        // The same partials still pool to the same §6.4 accumulator, so
+        // one shard run serves both the summary and the figures.
+        let pooled = merge_partials(&partials).expect("pooled merge");
+        assert_eq!(
+            pooled.pooled.trials,
+            merged.iter().flatten().flat_map(|r| &r.points).count() * trials
+        );
+    }
+}
+
+#[test]
+fn merge_figures_rejects_incomplete_shard_sets() {
+    let mesh = pamr_sim::paper_mesh();
+    let model = pamr_sim::paper_model();
+    let half = ShardPartial::run(&mesh, &model, 1, 7, ShardSpec::new(0, 2));
+    let err = merge_figures(std::slice::from_ref(&half)).unwrap_err();
+    assert_eq!(err, MergeError::MissingShards(vec![1]));
+    assert!(matches!(merge_figures(&[]), Err(MergeError::Empty)));
+}

@@ -5,7 +5,7 @@
 //! pamr route  --instance inst.json [--heuristic BEST|XY|SG|IG|TB|XYI|PR]
 //!             [--model kim-horowitz|continuous] [--split S] [--json]
 //! pamr shard  --shard i/N --out part_i.json [--trials T] [--seed S] [--threads K]
-//! pamr merge  part_0.json part_1.json ...
+//! pamr merge  [--figures] part_0.json part_1.json ...
 //! pamr demo
 //! ```
 //!
@@ -17,10 +17,14 @@
 //! `shard` runs one process's slice of the §6 campaign (sweep points `p`
 //! with `p % N == i`) and writes the per-point statistics as JSON; `merge`
 //! recombines the N partials and prints the §6.4 summary — byte-identical
-//! to a single-process `summary` run with the same trials and seed.
+//! to a single-process `summary` run with the same trials and seed. With
+//! `--figures` it instead renders the recombined Figure 7–9 tables (the
+//! per-point statistics are bit-equal to the unsharded campaign's, so the
+//! tables are byte-identical too).
 
 use pamr::prelude::*;
-use pamr::sim::shard::{merge_partials, ShardPartial};
+use pamr::sim::shard::{merge_figures, merge_partials, ShardPartial};
+use pamr::sim::table::{failure_table, norm_inv_table};
 use pamr::sim::viz::render_heatmap;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -33,7 +37,7 @@ fn usage() -> ! {
         "usage:\n  pamr random --mesh PxQ --n N [--wmin W] [--wmax W] [--seed S]\n  \
          pamr route --instance FILE [--heuristic NAME] [--model NAME] [--split S] [--json]\n  \
          pamr shard --shard i/N --out FILE [--trials T] [--seed S] [--threads K]\n  \
-         pamr merge FILE...\n  \
+         pamr merge [--figures] FILE...\n  \
          pamr demo"
     );
     exit(2);
@@ -274,6 +278,22 @@ fn cmd_merge(args: &[String]) {
             })
         })
         .collect();
+    if flag(args, "--figures") {
+        // Recombine the per-figure tables instead of the pooled summary.
+        let figures = merge_figures(&partials).unwrap_or_else(|e| {
+            eprintln!("cannot merge: {e}");
+            exit(1);
+        });
+        for res in figures.iter().flatten() {
+            println!("== {} ==", res.id);
+            println!("normalised power inverse");
+            print!("{}", norm_inv_table(res));
+            println!("failure ratio");
+            print!("{}", failure_table(res));
+            println!();
+        }
+        return;
+    }
     let merged = merge_partials(&partials).unwrap_or_else(|e| {
         eprintln!("cannot merge: {e}");
         exit(1);

@@ -8,27 +8,99 @@
 //! macro with `#![proptest_config]`, and the `prop_assert*` / `prop_assume!`
 //! macros.
 //!
-//! Differences from the real crate, by design: inputs are drawn from a
-//! deterministic per-test RNG (seeded from the test's name), failures are
-//! reported **without shrinking**, and `prop_assume!` skips the case rather
-//! than resampling. Each failure message includes the case number **and the
-//! RNG seed**, plus a ready-to-paste replay hint: re-running the test with
-//! `PAMR_PROPTEST_SEED=<seed>` reproduces the exact same input sequence —
-//! and the failing case — on any machine.
+//! ## Shrinking
+//!
+//! Like the real crate, a failing case is **shrunk** before it is reported.
+//! Every random draw a strategy makes is recorded on a *choice tape*
+//! (Hypothesis-style); shrinking replays mutated tapes — deleting chunks
+//! (which shortens generated collections) and moving individual choices
+//! towards their minimum (zeroing, halving, decrementing) — and keeps any
+//! mutation that still fails the property. The reported counterexample is
+//! the simplest one found, and the failure message still carries the
+//! original seed: re-running with `PAMR_PROPTEST_SEED=<seed>` reproduces
+//! the same input sequence, the same failure and the same minimal
+//! counterexample on any machine.
+//!
+//! Remaining differences from the real crate, by design: inputs are drawn
+//! from a deterministic per-test RNG (seeded from the test's name), and
+//! `prop_assume!` skips the case rather than resampling.
 
 #![forbid(unsafe_code)]
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
 
 /// Environment variable overriding the per-test seed (decimal or `0x`-hex),
 /// printed in every failure's replay hint.
 pub const SEED_ENV: &str = "PAMR_PROPTEST_SEED";
 
-/// Deterministic RNG driving input generation.
+/// One recorded random draw: the value produced and the minimum of the
+/// range it was drawn from (the shrinking target).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Choice {
+    /// An integer draw (covers every integer strategy via `i128`).
+    Int {
+        /// The value drawn.
+        val: i128,
+        /// The inclusive lower bound it can shrink towards.
+        lo: i128,
+    },
+    /// A floating-point draw.
+    Float {
+        /// The value drawn.
+        val: f64,
+        /// The lower bound it can shrink towards.
+        lo: f64,
+    },
+}
+
+impl Choice {
+    fn at_minimum(&self) -> bool {
+        match *self {
+            Choice::Int { val, lo } => val == lo,
+            Choice::Float { val, lo } => val == lo,
+        }
+    }
+
+    fn to_minimum(self) -> Choice {
+        match self {
+            Choice::Int { lo, .. } => Choice::Int { val: lo, lo },
+            Choice::Float { lo, .. } => Choice::Float { val: lo, lo },
+        }
+    }
+
+    /// The midpoint between `floor` (a known-passing value at or above this
+    /// choice's minimum) and the current value, or `None` when the gap
+    /// cannot be split further.
+    fn midpoint_above(self, floor: &Choice) -> Option<Choice> {
+        match (self, floor) {
+            (Choice::Int { val, lo }, Choice::Int { val: good, .. }) => {
+                let mid = good + (val - good) / 2;
+                (mid != *good && mid != val).then_some(Choice::Int { val: mid, lo })
+            }
+            (Choice::Float { val, lo }, Choice::Float { val: good, .. }) => {
+                let mid = good + (val - good) / 2.0;
+                (mid != *good && mid != val).then_some(Choice::Float { val: mid, lo })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Deterministic RNG driving input generation, recording every draw on a
+/// choice tape so failures can be shrunk by tape mutation.
 pub struct TestRng {
     rng: SmallRng,
     seed: u64,
+    /// Replay source (`None` = fresh random draws).
+    tape: Option<Vec<Choice>>,
+    cursor: usize,
+    /// The draws actually made in the current case (post-clamping during a
+    /// replay) — the canonical tape of that case.
+    record: Vec<Choice>,
 }
 
 impl TestRng {
@@ -50,7 +122,35 @@ impl TestRng {
         TestRng {
             rng: SmallRng::seed_from_u64(seed),
             seed,
+            tape: None,
+            cursor: 0,
+            record: Vec::new(),
         }
+    }
+
+    /// Builds an RNG that replays `tape` instead of drawing fresh values:
+    /// replayed choices are clamped into the requested range, and draws
+    /// past the end of the tape return the range minimum. This is the
+    /// shrinking primitive — a mutated tape deterministically regenerates a
+    /// (simpler) input.
+    pub fn replaying(seed: u64, tape: Vec<Choice>) -> Self {
+        TestRng {
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+            tape: Some(tape),
+            cursor: 0,
+            record: Vec::new(),
+        }
+    }
+
+    /// Starts a fresh case: clears the per-case record (random mode only).
+    fn start_case(&mut self) {
+        self.record.clear();
+    }
+
+    /// Takes the canonical choice tape of the current case.
+    fn take_record(&mut self) -> Vec<Choice> {
+        std::mem::take(&mut self.record)
     }
 
     /// The name-derived default seed: FNV-1a over the test name, mixed
@@ -77,11 +177,72 @@ impl TestRng {
         self.seed
     }
 
+    /// Uniform integer in `[lo, hi]`, recorded on the choice tape. Uses the
+    /// same modulo reduction as the vendored `rand`, so the generated
+    /// sequences are identical to earlier (pre-shrinking) releases.
+    pub fn draw_int(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo <= hi, "cannot sample from empty range");
+        let val = match &self.tape {
+            Some(tape) => {
+                let stored = match tape.get(self.cursor) {
+                    Some(Choice::Int { val, .. }) => *val,
+                    Some(Choice::Float { val, .. }) => *val as i128,
+                    None => lo,
+                };
+                self.cursor += 1;
+                stored.clamp(lo, hi)
+            }
+            None => {
+                let span = hi - lo + 1;
+                lo + (self.rng.next_u64() as i128).rem_euclid(span)
+            }
+        };
+        self.record.push(Choice::Int { val, lo });
+        val
+    }
+
+    /// Uniform float in `[lo, hi)` (degenerate ranges return `lo`),
+    /// recorded on the choice tape.
+    pub fn draw_float(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "cannot sample from empty range");
+        let val = match &self.tape {
+            Some(tape) => {
+                let stored = match tape.get(self.cursor) {
+                    Some(Choice::Float { val, .. }) => *val,
+                    Some(Choice::Int { val, .. }) => *val as f64,
+                    None => lo,
+                };
+                self.cursor += 1;
+                let clamped = stored.clamp(lo, hi);
+                // The random path never produces `hi` (unit < 1), so a
+                // mutated tape must not either: an out-of-domain
+                // counterexample would send the developer chasing inputs
+                // the strategy cannot generate.
+                if clamped >= hi && lo < hi {
+                    lo
+                } else {
+                    clamped
+                }
+            }
+            None => {
+                // 53 explicit mantissa bits of uniform randomness — the
+                // exact formula of the vendored `rand`, for sequence
+                // stability.
+                let unit = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                lo + unit * (hi - lo)
+            }
+        };
+        self.record.push(Choice::Float { val, lo });
+        val
+    }
+
     /// Uniform `usize` in `[lo, hi]`.
     pub fn below(&mut self, lo: usize, hi: usize) -> usize {
-        self.rng.gen_range(lo..=hi)
+        self.draw_int(lo as i128, hi as i128) as usize
     }
 }
+
+use rand::RngCore as _;
 
 /// A generator of values of type `Self::Value`.
 pub trait Strategy {
@@ -185,24 +346,44 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
-macro_rules! impl_range_strategy {
+macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for std::ops::Range<$t> {
             type Value = $t;
             fn gen_value(&self, rng: &mut TestRng) -> $t {
-                rng.rng.gen_range(self.start..self.end)
+                assert!(self.start < self.end, "cannot sample from empty range");
+                rng.draw_int(self.start as i128, self.end as i128 - 1) as $t
             }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
             fn gen_value(&self, rng: &mut TestRng) -> $t {
-                rng.rng.gen_range(*self.start()..=*self.end())
+                rng.draw_int(*self.start() as i128, *self.end() as i128) as $t
             }
         }
     )*};
 }
 
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.draw_float(self.start as f64, self.end as f64) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.draw_float(*self.start() as f64, *self.end() as f64) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
 
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident : $idx:tt),+))*) => {$(
@@ -306,6 +487,233 @@ impl ProptestConfig {
 /// Sentinel prefix distinguishing `prop_assume!` skips from failures.
 pub const ASSUME_SENTINEL: &str = "\u{1}proptest-assume-rejected";
 
+// ---------------------------------------------------------------------------
+// Runner and shrinker
+// ---------------------------------------------------------------------------
+
+/// Maximum number of candidate executions one shrink session may spend.
+const SHRINK_BUDGET: usize = 600;
+
+enum CaseResult {
+    Pass,
+    Rejected,
+    Fail(String),
+}
+
+thread_local! {
+    /// Set while a case runs under `catch_unwind`: the shared panic hook
+    /// stays silent so shrinking does not spray backtraces.
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn run_case<V>(run: &dyn Fn(V) -> Result<(), String>, value: V) -> CaseResult {
+    QUIET.with(|q| q.set(true));
+    let outcome = catch_unwind(AssertUnwindSafe(|| run(value)));
+    QUIET.with(|q| q.set(false));
+    match outcome {
+        Ok(Ok(())) => CaseResult::Pass,
+        Ok(Err(e)) if e.starts_with(ASSUME_SENTINEL) => CaseResult::Rejected,
+        Ok(Err(e)) => CaseResult::Fail(e),
+        Err(payload) => CaseResult::Fail(format!("panicked: {}", panic_message(payload))),
+    }
+}
+
+/// Generates under `catch_unwind` (a mutated tape can drive a strategy into
+/// a panic, e.g. `prop_filter` rejection exhaustion — such candidates are
+/// simply discarded).
+fn gen_candidate<V>(gen: &dyn Fn(&mut TestRng) -> V, rng: &mut TestRng) -> Option<V> {
+    QUIET.with(|q| q.set(true));
+    let out = catch_unwind(AssertUnwindSafe(|| gen(rng))).ok();
+    QUIET.with(|q| q.set(false));
+    out
+}
+
+/// Total order on tape "complexity": fewer choices first, then smaller
+/// total distance from the per-choice minima (scaled so sub-unit float
+/// steps still register). Shrinking only ever accepts strictly simpler
+/// tapes, which guarantees termination.
+fn complexity(tape: &[Choice]) -> (usize, u128) {
+    let mut dist: u128 = 0;
+    for c in tape {
+        let d = match *c {
+            Choice::Int { val, lo } => val.abs_diff(lo).saturating_mul(65_536),
+            Choice::Float { val, lo } => ((val - lo).abs() * 65_536.0) as u128,
+        };
+        dist = dist.saturating_add(d);
+    }
+    (tape.len(), dist)
+}
+
+/// Shrinks a failing choice tape: repeatedly deletes chunks and simplifies
+/// individual choices (to the minimum, halfway, or by one), keeping every
+/// mutation that still fails. Returns the simplest failing tape found, its
+/// failure message, the number of successful shrinks and the number of
+/// candidate executions spent.
+fn shrink<V>(
+    seed: u64,
+    tape: Vec<Choice>,
+    gen: &dyn Fn(&mut TestRng) -> V,
+    run: &dyn Fn(V) -> Result<(), String>,
+    orig_msg: String,
+) -> (Vec<Choice>, String, usize, usize) {
+    let mut best = tape;
+    let mut best_msg = orig_msg;
+    let mut best_cpx = complexity(&best);
+    let mut steps = 0usize;
+    let mut attempts = 0usize;
+
+    // Runs one candidate tape; on a strictly simpler still-failing result,
+    // adopts its *canonical* record (the choices actually consumed, after
+    // clamping and truncation) as the new best.
+    macro_rules! try_candidate {
+        ($cand:expr) => {{
+            let mut adopted = false;
+            if attempts < SHRINK_BUDGET {
+                attempts += 1;
+                let mut rng = TestRng::replaying(seed, $cand);
+                if let Some(value) = gen_candidate(gen, &mut rng) {
+                    let rec = rng.take_record();
+                    let cpx = complexity(&rec);
+                    if cpx < best_cpx {
+                        if let CaseResult::Fail(msg) = run_case(run, value) {
+                            best = rec;
+                            best_msg = msg;
+                            best_cpx = cpx;
+                            steps += 1;
+                            adopted = true;
+                        }
+                    }
+                }
+            }
+            adopted
+        }};
+    }
+
+    let mut improved = true;
+    while improved && attempts < SHRINK_BUDGET {
+        improved = false;
+        // Pass 1: delete chunks, large to small — this is what shortens
+        // generated collections (the element draws vanish and the length
+        // draw re-clamps on replay).
+        let mut size = (best.len() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start + size <= best.len() && attempts < SHRINK_BUDGET {
+                let mut cand = Vec::with_capacity(best.len() - size);
+                cand.extend_from_slice(&best[..start]);
+                cand.extend_from_slice(&best[start + size..]);
+                if try_candidate!(cand) {
+                    improved = true;
+                    // The tape shrank in place: retry the same offset.
+                } else {
+                    start += size;
+                }
+            }
+            if size == 1 {
+                break;
+            }
+            size /= 2;
+        }
+        // Pass 2: simplify individual choices — first straight to the
+        // minimum, then a binary descent towards the smallest value that
+        // still fails (the minimum, having not failed, is the first known
+        // passing floor).
+        let mut i = 0;
+        while i < best.len() && attempts < SHRINK_BUDGET {
+            if !best[i].at_minimum() {
+                let mut cand = best.clone();
+                cand[i] = cand[i].to_minimum();
+                if try_candidate!(cand) {
+                    improved = true;
+                } else {
+                    let mut floor = best[i].to_minimum();
+                    while i < best.len() && attempts < SHRINK_BUDGET {
+                        let Some(mid) = best[i].midpoint_above(&floor) else {
+                            break;
+                        };
+                        let mut cand = best.clone();
+                        cand[i] = mid;
+                        if try_candidate!(cand) {
+                            improved = true;
+                        } else {
+                            floor = mid;
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    (best, best_msg, steps, attempts)
+}
+
+/// Drives one property test: generates `config.cases` inputs, and on the
+/// first failure shrinks the recorded choice tape and reports the minimal
+/// counterexample together with the seed replay hint. Called by the
+/// [`proptest!`] macro — not part of the public proptest API.
+#[doc(hidden)]
+pub fn run_proptest<V: std::fmt::Debug>(
+    name: &str,
+    config: ProptestConfig,
+    gen: impl Fn(&mut TestRng) -> V,
+    run: impl Fn(V) -> Result<(), String>,
+) {
+    install_quiet_hook();
+    let mut rng = TestRng::from_name(name);
+    let seed = rng.seed();
+    let mut ran: u32 = 0;
+    let mut case: u32 = 0;
+    while ran < config.cases {
+        case += 1;
+        if case > config.cases * 20 {
+            panic!("proptest {name}: too many cases rejected by prop_assume! (seed {seed:#018x})",);
+        }
+        rng.start_case();
+        let value = gen(&mut rng);
+        match run_case(&run, value) {
+            CaseResult::Pass => ran += 1,
+            CaseResult::Rejected => {}
+            CaseResult::Fail(msg) => {
+                let tape = rng.take_record();
+                let (min_tape, min_msg, steps, spent) = shrink(seed, tape, &gen, &run, msg);
+                let mut replay = TestRng::replaying(seed, min_tape);
+                let minimal = gen(&mut replay);
+                panic!(
+                    "proptest {name} failed at case {case} (seed {seed:#018x})\n\
+                     minimal failing input ({steps} shrink(s), {spent} candidate run(s)): \
+                     {minimal:?}\n\
+                     {min_msg}\n\
+                     replay: {env}={seed:#018x} cargo test {name}",
+                    env = SEED_ENV,
+                );
+            }
+        }
+    }
+}
+
 /// The names a `use proptest::prelude::*` is expected to bring in scope.
 pub mod prelude {
     /// Alias letting `prop::collection::vec(..)` resolve as in real proptest.
@@ -335,40 +743,16 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
-                let mut rng = $crate::TestRng::from_name(stringify!($name));
                 let strategy = ( $( $strat, )* );
-                let mut ran: u32 = 0;
-                let mut case: u32 = 0;
-                let seed = rng.seed();
-                while ran < config.cases {
-                    case += 1;
-                    if case > config.cases * 20 {
-                        panic!(
-                            "proptest {}: too many cases rejected by prop_assume! (seed {:#018x})",
-                            stringify!($name),
-                            seed,
-                        );
-                    }
-                    let ( $($arg,)* ) = $crate::Strategy::gen_value(&strategy, &mut rng);
-                    let outcome: ::std::result::Result<(), ::std::string::String> =
-                        (|| {
-                            $body
-                            ::std::result::Result::Ok(())
-                        })();
-                    match outcome {
-                        Ok(()) => ran += 1,
-                        Err(e) if e.starts_with($crate::ASSUME_SENTINEL) => {}
-                        Err(e) => panic!(
-                            "proptest {name} failed at case {case} (seed {seed:#018x}): {e}\n\
-                             replay: {env}={seed:#018x} cargo test {name}",
-                            name = stringify!($name),
-                            case = case,
-                            seed = seed,
-                            env = $crate::SEED_ENV,
-                            e = e,
-                        ),
-                    }
-                }
+                $crate::run_proptest(
+                    stringify!($name),
+                    config,
+                    |__rng| $crate::Strategy::gen_value(&strategy, __rng),
+                    |( $($arg,)* )| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
             }
         )*
     };
@@ -448,7 +832,7 @@ macro_rules! prop_assume {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
-    use super::TestRng;
+    use super::{shrink, Choice, TestRng};
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(4))]
@@ -457,6 +841,12 @@ mod tests {
         #[should_panic(expected = "replay: PAMR_PROPTEST_SEED=0x")]
         fn failing_case_reports_seed_and_replay_hint(x in 0u32..10) {
             prop_assert!(x > 100, "x = {x}");
+        }
+
+        #[test]
+        #[should_panic(expected = "minimal failing input")]
+        fn failing_case_reports_minimal_input(x in 0u32..1000) {
+            prop_assert!(x < 3, "x = {x}");
         }
 
         #[test]
@@ -493,5 +883,126 @@ mod tests {
         let mut z = TestRng::from_seed(0xdead_beef + 1);
         let vz: Vec<usize> = (0..16).map(|_| z.below(0, 10_000)).collect();
         assert_ne!(vx, vz);
+    }
+
+    #[test]
+    fn replay_clamps_and_fills_with_minima() {
+        // A tape value outside the requested range is clamped; draws past
+        // the end of the tape return the range minimum.
+        let tape = vec![Choice::Int { val: 500, lo: 0 }];
+        let mut rng = TestRng::replaying(1, tape);
+        assert_eq!(rng.draw_int(3, 40), 40); // clamped to the new range
+        assert_eq!(rng.draw_int(7, 90), 7); // exhausted → minimum
+                                            // The record holds the *effective* draws for further shrinking.
+        assert_eq!(
+            rng.take_record(),
+            vec![
+                Choice::Int { val: 40, lo: 3 },
+                Choice::Int { val: 7, lo: 7 },
+            ]
+        );
+    }
+
+    #[test]
+    fn shrink_minimises_a_scalar_failure() {
+        // Property: x < 17. The minimal counterexample is exactly 17, and
+        // shrinking must find it from any failing start.
+        let gen = |rng: &mut TestRng| (0u32..1000).gen_value(rng);
+        let run = |x: u32| {
+            if x >= 17 {
+                Err(format!("x = {x}"))
+            } else {
+                Ok(())
+            }
+        };
+        let seed = 0xABCD;
+        let mut rng = TestRng::from_seed(seed);
+        let mut x = {
+            rng.start_case();
+            gen(&mut rng)
+        };
+        while x < 17 {
+            rng.start_case();
+            x = gen(&mut rng);
+        }
+        let tape = rng.take_record();
+        let (min_tape, msg, steps, _) = shrink(seed, tape, &gen, &run, "orig".into());
+        let mut replay = TestRng::replaying(seed, min_tape.clone());
+        assert_eq!(gen(&mut replay), 17, "shrinking should reach the boundary");
+        assert_eq!(msg, "x = 17");
+        assert!(steps > 0 || x == 17);
+        // Shrinking is deterministic: a second session reproduces the tape.
+        let mut rng2 = TestRng::from_seed(seed);
+        let mut x2 = {
+            rng2.start_case();
+            gen(&mut rng2)
+        };
+        while x2 < 17 {
+            rng2.start_case();
+            x2 = gen(&mut rng2);
+        }
+        let (min_tape2, ..) = shrink(seed, rng2.take_record(), &gen, &run, "orig".into());
+        assert_eq!(min_tape, min_tape2);
+    }
+
+    #[test]
+    fn shrink_shortens_collections_and_zeroes_elements() {
+        // Property: v.len() < 3 || sum < 5. A minimal counterexample has
+        // exactly 3 elements summing to exactly 5.
+        let gen = |rng: &mut TestRng| prop::collection::vec(0u32..100, 0..20).gen_value(rng);
+        let run = |v: Vec<u32>| {
+            if v.len() >= 3 && v.iter().sum::<u32>() >= 5 {
+                Err(format!("len {} sum {}", v.len(), v.iter().sum::<u32>()))
+            } else {
+                Ok(())
+            }
+        };
+        let seed = 0x5EED;
+        let mut rng = TestRng::from_seed(seed);
+        let mut v = {
+            rng.start_case();
+            gen(&mut rng)
+        };
+        while !(v.len() >= 3 && v.iter().sum::<u32>() >= 5) {
+            rng.start_case();
+            v = gen(&mut rng);
+        }
+        let tape = rng.take_record();
+        let (min_tape, _, _, _) = shrink(seed, tape, &gen, &run, "orig".into());
+        let mut replay = TestRng::replaying(seed, min_tape);
+        let minimal = gen(&mut replay);
+        assert_eq!(minimal.len(), 3, "chunk deletion should reach 3 elements");
+        assert_eq!(
+            minimal.iter().sum::<u32>(),
+            5,
+            "element shrinking should reach the sum boundary, got {minimal:?}"
+        );
+    }
+
+    #[test]
+    fn shrink_handles_panicking_properties() {
+        // Properties that panic (rather than return Err) shrink too.
+        let gen = |rng: &mut TestRng| (0i64..4000).gen_value(rng);
+        let run = |x: i64| {
+            if x > 1000 {
+                panic!("boom at {x}");
+            }
+            Ok(())
+        };
+        let seed = 0xF00D;
+        let mut rng = TestRng::from_seed(seed);
+        let mut x = {
+            rng.start_case();
+            gen(&mut rng)
+        };
+        while x <= 1000 {
+            rng.start_case();
+            x = gen(&mut rng);
+        }
+        super::install_quiet_hook();
+        let (min_tape, msg, _, _) = shrink(seed, rng.take_record(), &gen, &run, "orig".into());
+        let mut replay = TestRng::replaying(seed, min_tape);
+        assert_eq!(gen(&mut replay), 1001);
+        assert!(msg.contains("boom at 1001"), "{msg}");
     }
 }

@@ -9,7 +9,9 @@
 //! pamr-bench run [--profile smoke|full] [--trials N] [--seed S] [--out FILE]
 //! pamr-bench check --baseline FILE --current FILE [--max-ratio R]
 //! pamr-bench shard [--shards N] [--trials T] [--seed S] [--pamr PATH] [--out FILE]
-//! pamr-bench pr [--instances N] [--comms N] [--seed S] [--out FILE]
+//! pamr-bench pr  [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]
+//! pamr-bench xyi [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]
+//! pamr-bench ig  [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]
 //! ```
 //!
 //! `run` executes the campaigns and writes the report; `check` compares a
@@ -19,14 +21,20 @@
 //! a genuine hot-path regression. `shard` times the multi-process lane:
 //! one `pamr shard 0/1` process versus N concurrent `pamr shard i/N`
 //! processes plus the `pamr merge` step, verifying on the way that both
-//! pipelines print byte-identical §6.4 reports. `pr` times the banded
-//! Path-Remover against its full-sweep oracle (`pr::reference`) on
-//! campaign-distribution instances, cross-checks that both produce
-//! identical routings, and records the per-instance speedup in the `pr`
-//! section of `BENCH_summary.json` (merging into an existing report when
-//! one is present); `run` records a smaller version of the same lane.
+//! pipelines print byte-identical §6.4 reports. `pr`, `xyi` and `ig` are
+//! the engine lanes: each times a rewritten improvement loop (banded
+//! Path-Remover, queue-driven XY improver, indexed Improved greedy)
+//! against its full-scan oracle (`pr::reference` / `xyi::reference` /
+//! `ig::reference`) on campaign-distribution instances, cross-checks that
+//! both produce identical routings **before** timing, and records the
+//! per-instance speedup in the matching section of `BENCH_summary.json`
+//! (merging into an existing report when one is present); `run` records a
+//! smaller version of every lane.
 
-use pamr_routing::{Heuristic as _, PathRemover, ReferencePathRemover, RouteScratch};
+use pamr_routing::{
+    Heuristic as _, ImprovedGreedy, PathRemover, ReferenceImprovedGreedy, ReferencePathRemover,
+    ReferenceXyImprover, RouteScratch, XyImprover,
+};
 use pamr_sim::experiments::{fig7, fig8, fig9, Experiment};
 use pamr_sim::{Campaign, ShardSpec};
 use serde::{Deserialize, Serialize};
@@ -50,10 +58,11 @@ struct FigureBench {
     trials_per_sec: f64,
 }
 
-/// The banded-vs-reference Path-Remover lane (the `pr` section of
-/// `BENCH_summary.json`).
+/// One engine lane of `BENCH_summary.json` (the `pr` / `xyi` / `ig`
+/// sections): a rewritten improvement loop timed against its full-scan
+/// oracle.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct PrBench {
+struct EngineBench {
     /// Distinct campaign-distribution instances timed.
     instances: usize,
     /// Communications per instance.
@@ -62,20 +71,49 @@ struct PrBench {
     repeats: usize,
     /// Master seed of the instance draws.
     seed: u64,
-    /// Mean per-instance runtime of the banded engine, milliseconds.
-    banded_ms: f64,
-    /// Mean per-instance runtime of the full-sweep oracle, milliseconds.
+    /// Mean per-instance runtime of the rewritten engine, milliseconds
+    /// (banded PR, queue-driven XYI, indexed IG).
+    fast_ms: f64,
+    /// Mean per-instance runtime of the full-scan oracle, milliseconds.
     reference_ms: f64,
-    /// `reference_ms / banded_ms`.
+    /// `reference_ms / fast_ms`.
     speedup: f64,
     /// Both engines produced identical routings on every instance.
     identical: bool,
 }
 
-/// Times the banded Path-Remover against the full-sweep oracle on 8×8
+/// The three rewritten-engine lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineLane {
+    /// Banded Path-Remover vs `pr::reference`.
+    Pr,
+    /// Queue-driven XY improver vs `xyi::reference`.
+    Xyi,
+    /// Indexed Improved greedy vs `ig::reference`.
+    Ig,
+}
+
+impl EngineLane {
+    fn name(self) -> &'static str {
+        match self {
+            EngineLane::Pr => "pr",
+            EngineLane::Xyi => "xyi",
+            EngineLane::Ig => "ig",
+        }
+    }
+}
+
+/// Times one rewritten engine against its full-scan oracle on 8×8
 /// campaign-distribution instances (the §6.2 mixed-weight regime), first
-/// cross-checking that every routing is identical.
-fn measure_pr(instances: usize, comms: usize, repeats: usize, seed: u64) -> PrBench {
+/// cross-checking that every routing is identical — the lane refuses to
+/// time engines that disagree.
+fn measure_engine(
+    lane: EngineLane,
+    instances: usize,
+    comms: usize,
+    repeats: usize,
+    seed: u64,
+) -> EngineBench {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
     let mesh = pamr_bench::mesh8();
@@ -90,11 +128,26 @@ fn measure_pr(instances: usize, comms: usize, repeats: usize, seed: u64) -> PrBe
     // Warm-up + differential cross-check.
     let mut identical = true;
     for cs in &sets {
-        let banded = PathRemover.try_route_banded_with(cs, &model, &mut scratch);
-        let reference = ReferencePathRemover.try_route_with(cs, &model, &mut scratch);
-        identical &= banded == reference;
+        identical &= match lane {
+            EngineLane::Pr => {
+                PathRemover.try_route_banded_with(cs, &model, &mut scratch)
+                    == ReferencePathRemover.try_route_with(cs, &model, &mut scratch)
+            }
+            EngineLane::Xyi => {
+                XyImprover::default().route_queued_with(cs, &model, &mut scratch)
+                    == ReferenceXyImprover::default().route_with(cs, &model, &mut scratch)
+            }
+            EngineLane::Ig => {
+                ImprovedGreedy::default().route_indexed_with(cs, &model, &mut scratch)
+                    == ReferenceImprovedGreedy::default().route_with(cs, &model, &mut scratch)
+            }
+        };
     }
-    assert!(identical, "banded PR diverged from the full-sweep oracle");
+    assert!(
+        identical,
+        "{} engine diverged from its full-scan oracle",
+        lane.name()
+    );
     let mut timed = |f: &dyn Fn(&pamr_routing::CommSet, &mut RouteScratch)| -> f64 {
         let start = Instant::now();
         for _ in 0..repeats {
@@ -104,20 +157,40 @@ fn measure_pr(instances: usize, comms: usize, repeats: usize, seed: u64) -> PrBe
         }
         start.elapsed().as_secs_f64() * 1e3 / (repeats * sets.len()) as f64
     };
-    let banded_ms = timed(&|cs, scratch| {
-        let _ = PathRemover.route_with(cs, &model, scratch);
-    });
-    let reference_ms = timed(&|cs, scratch| {
-        let _ = ReferencePathRemover.route_with(cs, &model, scratch);
-    });
-    PrBench {
+    let (fast_ms, reference_ms) = match lane {
+        EngineLane::Pr => (
+            timed(&|cs, scratch| {
+                let _ = PathRemover.route_with(cs, &model, scratch);
+            }),
+            timed(&|cs, scratch| {
+                let _ = ReferencePathRemover.route_with(cs, &model, scratch);
+            }),
+        ),
+        EngineLane::Xyi => (
+            timed(&|cs, scratch| {
+                let _ = XyImprover::default().route_queued_with(cs, &model, scratch);
+            }),
+            timed(&|cs, scratch| {
+                let _ = ReferenceXyImprover::default().route_with(cs, &model, scratch);
+            }),
+        ),
+        EngineLane::Ig => (
+            timed(&|cs, scratch| {
+                let _ = ImprovedGreedy::default().route_indexed_with(cs, &model, scratch);
+            }),
+            timed(&|cs, scratch| {
+                let _ = ReferenceImprovedGreedy::default().route_with(cs, &model, scratch);
+            }),
+        ),
+    };
+    EngineBench {
         instances,
         comms,
         repeats,
         seed,
-        banded_ms,
+        fast_ms,
         reference_ms,
-        speedup: reference_ms / banded_ms,
+        speedup: reference_ms / fast_ms,
         identical,
     }
 }
@@ -131,6 +204,11 @@ struct BenchReport {
     profile: String,
     /// Worker threads of the parallel pass.
     threads: usize,
+    /// Hardware threads the recording machine advertises
+    /// (`available_parallelism`): a committed baseline from a 1-core
+    /// container is recognisable at a glance, and the CI `bench` job's
+    /// baseline-refresh artifact records the capacity it was measured on.
+    nproc: usize,
     /// Trials per sweep point.
     trials: usize,
     /// Master seed.
@@ -143,12 +221,23 @@ struct BenchReport {
     total_wall_ms_par: f64,
     /// Overall sequential/parallel speedup.
     speedup: f64,
-    /// The banded-vs-reference Path-Remover lane. Both `run` and `pr`
-    /// fill it; it is `Option` only so a PR-less report remains
-    /// representable (the vendored serde has no field defaulting, so
-    /// schema-1 files without the field do not deserialize at all —
+    /// The banded-vs-reference Path-Remover lane. `run` and the `pr`
+    /// subcommand fill it; it is `Option` only so a lane-less report
+    /// remains representable (the vendored serde has no field defaulting,
+    /// so older-schema files without the fields do not deserialize at all —
     /// `check` requires matching schemas anyway).
-    pr: Option<PrBench>,
+    pr: Option<EngineBench>,
+    /// The queued-vs-reference XY-improver lane (`run` / `xyi`).
+    xyi: Option<EngineBench>,
+    /// The indexed-vs-reference Improved-greedy lane (`run` / `ig`).
+    ig: Option<EngineBench>,
+}
+
+/// Hardware threads of this machine, as recorded in the report.
+fn nproc() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn usage() -> ! {
@@ -156,7 +245,7 @@ fn usage() -> ! {
         "usage:\n  pamr-bench run [--profile smoke|full] [--trials N] [--seed S] [--out FILE]\n  \
          pamr-bench check --baseline FILE --current FILE [--max-ratio R]\n  \
          pamr-bench shard [--shards N] [--trials T] [--seed S] [--pamr PATH] [--out FILE]\n  \
-         pamr-bench pr [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]"
+         pamr-bench pr|xyi|ig [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -174,7 +263,9 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("shard") => cmd_shard(&args[1..]),
-        Some("pr") => cmd_pr(&args[1..]),
+        Some("pr") => cmd_engine(EngineLane::Pr, &args[1..]),
+        Some("xyi") => cmd_engine(EngineLane::Xyi, &args[1..]),
+        Some("ig") => cmd_engine(EngineLane::Ig, &args[1..]),
         _ => usage(),
     }
 }
@@ -249,21 +340,35 @@ fn cmd_run(args: &[String]) {
         figures.push(fig);
     }
 
-    // The PR engine lane: small here (the focused `pamr-bench pr`
-    // subcommand runs a bigger sample), but always recorded so every
-    // BENCH_summary.json tracks the banded-vs-reference speedup.
-    let pr = measure_pr(12, 80, 2, seed);
-    eprintln!(
-        "  pr: banded {:.2} ms/inst, reference {:.2} ms/inst, speedup {:.2}x",
-        pr.banded_ms, pr.reference_ms, pr.speedup
+    // The engine lanes: small here (the focused `pamr-bench pr|xyi|ig`
+    // subcommands run bigger samples), but always recorded so every
+    // BENCH_summary.json tracks the rewritten-vs-reference speedups.
+    let mut lanes = [EngineLane::Pr, EngineLane::Xyi, EngineLane::Ig]
+        .into_iter()
+        .map(|lane| {
+            let b = measure_engine(lane, 12, 80, 2, seed);
+            eprintln!(
+                "  {}: fast {:.2} ms/inst, reference {:.2} ms/inst, speedup {:.2}x",
+                lane.name(),
+                b.fast_ms,
+                b.reference_ms,
+                b.speedup
+            );
+            b
+        });
+    let (pr, xyi, ig) = (
+        lanes.next().unwrap(),
+        lanes.next().unwrap(),
+        lanes.next().unwrap(),
     );
 
     let total_wall_ms_seq: f64 = figures.iter().map(|f| f.wall_ms_seq).sum();
     let total_wall_ms_par: f64 = figures.iter().map(|f| f.wall_ms_par).sum();
     let report = BenchReport {
-        schema: 2,
+        schema: 3,
         profile,
         threads,
+        nproc: nproc(),
         trials,
         seed,
         figures,
@@ -271,6 +376,8 @@ fn cmd_run(args: &[String]) {
         total_wall_ms_par,
         speedup: total_wall_ms_seq / total_wall_ms_par,
         pr: Some(pr),
+        xyi: Some(xyi),
+        ig: Some(ig),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
@@ -326,11 +433,17 @@ fn cmd_check(args: &[String]) {
             c.wall_ms_par / b.wall_ms_par
         );
     }
-    if let (Some(b), Some(c)) = (&baseline.pr, &current.pr) {
-        println!(
-            "  pr engine: {:.2}x → {:.2}x banded-vs-reference speedup",
-            b.speedup, c.speedup
-        );
+    for (name, b, c) in [
+        ("pr", &baseline.pr, &current.pr),
+        ("xyi", &baseline.xyi, &current.xyi),
+        ("ig", &baseline.ig, &current.ig),
+    ] {
+        if let (Some(b), Some(c)) = (b, c) {
+            println!(
+                "  {name} engine: {:.2}x → {:.2}x rewritten-vs-reference speedup",
+                b.speedup, c.speedup
+            );
+        }
     }
     if ratio > max_ratio {
         eprintln!(
@@ -342,10 +455,10 @@ fn cmd_check(args: &[String]) {
     println!("bench check: OK");
 }
 
-/// The focused Path-Remover lane: a bigger sample of the banded-vs-
-/// reference measurement `run` records, written into (or merged into)
-/// `BENCH_summary.json`.
-fn cmd_pr(args: &[String]) {
+/// One focused engine lane (`pamr-bench pr|xyi|ig`): a bigger sample of
+/// the rewritten-vs-reference measurement `run` records, written into (or
+/// merged into) `BENCH_summary.json`.
+fn cmd_engine(lane: EngineLane, args: &[String]) {
     let instances: usize = opt(args, "--instances")
         .map(|s| s.parse().expect("--instances needs a positive integer"))
         .unwrap_or(40);
@@ -362,38 +475,41 @@ fn cmd_pr(args: &[String]) {
         .map(|s| s.parse().expect("--seed needs an integer"))
         .unwrap_or(0xC0FFEE);
     let out = opt(args, "--out").unwrap_or_else(|| "BENCH_summary.json".into());
+    let name = lane.name();
 
     eprintln!(
-        "pamr-bench pr: {instances} instances × {comms} comms × {repeats} repeat(s), \
-         banded vs full-sweep reference"
+        "pamr-bench {name}: {instances} instances × {comms} comms × {repeats} repeat(s), \
+         rewritten engine vs full-scan reference"
     );
-    let pr = measure_pr(instances, comms, repeats, seed);
+    let bench = measure_engine(lane, instances, comms, repeats, seed);
     eprintln!(
-        "pamr-bench pr: banded {:.3} ms/inst, reference {:.3} ms/inst, speedup {:.2}x, \
+        "pamr-bench {name}: fast {:.3} ms/inst, reference {:.3} ms/inst, speedup {:.2}x, \
          routings identical → {out}",
-        pr.banded_ms, pr.reference_ms, pr.speedup
+        bench.fast_ms, bench.reference_ms, bench.speedup
     );
 
     // Merge into an existing report when one is present (preserving the
-    // campaign figures a prior `run` recorded); start a fresh PR-only
-    // report otherwise. An existing file that does not parse (e.g. a
-    // schema-1 report, which lacks the `pr` field) is replaced, loudly.
+    // campaign figures a prior `run` recorded); start a fresh lane-only
+    // report otherwise. An existing file that does not parse (e.g. an
+    // older-schema report, which lacks the lane fields) is replaced,
+    // loudly.
     let mut report = std::fs::read_to_string(&out)
         .ok()
         .and_then(|text| match serde_json::from_str::<BenchReport>(&text) {
             Ok(report) => Some(report),
             Err(e) => {
                 eprintln!(
-                    "pamr-bench pr: existing {out} does not parse as a bench report \
-                     ({e}); replacing it with a PR-only report"
+                    "pamr-bench {name}: existing {out} does not parse as a bench report \
+                     ({e}); replacing it with a {name}-only report"
                 );
                 None
             }
         })
         .unwrap_or_else(|| BenchReport {
-            schema: 2,
-            profile: "pr".into(),
+            schema: 3,
+            profile: name.into(),
             threads: rayon::current_num_threads(),
+            nproc: nproc(),
             trials: 0,
             seed,
             figures: Vec::new(),
@@ -401,8 +517,14 @@ fn cmd_pr(args: &[String]) {
             total_wall_ms_par: 0.0,
             speedup: 0.0,
             pr: None,
+            xyi: None,
+            ig: None,
         });
-    report.pr = Some(pr);
+    match lane {
+        EngineLane::Pr => report.pr = Some(bench),
+        EngineLane::Xyi => report.xyi = Some(bench),
+        EngineLane::Ig => report.ig = Some(bench),
+    }
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("{json}");

@@ -1,11 +1,14 @@
-//! The two greedy heuristics: Simple Greedy (§5.1) and Improved Greedy
-//! (§5.2).
+//! The Simple-greedy heuristic (§5.1).
+//!
+//! Its sibling, Improved greedy (§5.2), lives in [`crate::ig`] — it shares
+//! the fractional pre-routing machinery with PR and got its own module when
+//! the candidate selection was rewritten on the shared load index.
 
 use crate::comm::{Comm, CommSet, SortOrder};
-use crate::heuristic::{surrogate_link_cost, Heuristic};
+use crate::heuristic::Heuristic;
 use crate::routing::Routing;
 use crate::scratch::RouteScratch;
-use pamr_mesh::{Band, Coord, LoadMap, Mesh, Path, Rect, Step};
+use pamr_mesh::{Coord, LoadMap, Mesh, Path};
 use pamr_power::PowerModel;
 
 /// **SG — Simple greedy** (§5.1).
@@ -85,142 +88,10 @@ fn sg_route_one(mesh: &Mesh, loads: &LoadMap, c: &Comm) -> Path {
     Path::from_moves(c.src, moves)
 }
 
-/// **IG — Improved greedy** (§5.2).
-///
-/// All communications are first virtually pre-routed with the ideal
-/// fractional sharing of Figure 3. Processing them by decreasing weight,
-/// IG removes the current communication's fractional contribution and then
-/// builds its single path hop by hop: each candidate next link is scored by
-/// a lower bound on the power to reach the sink through it (the candidate
-/// link's own power plus, for every remaining diagonal, the power of the
-/// least loaded link that remains reachable), and the cheaper candidate is
-/// taken.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ImprovedGreedy {
-    /// Processing order (decreasing weight by default, per the paper).
-    pub order: SortOrder,
-}
-
-impl Heuristic for ImprovedGreedy {
-    fn name(&self) -> &'static str {
-        "IG"
-    }
-
-    fn route_with(&self, cs: &CommSet, model: &PowerModel, scratch: &mut RouteScratch) -> Routing {
-        let mesh = cs.mesh();
-        scratch.loads.fit(mesh);
-        let loads = &mut scratch.loads;
-        // One band per communication, computed once and reused both for the
-        // virtual pre-routing (Figure 3 ideal sharing) and for the per-hop
-        // tail bound below — the tail bound used to rebuild a `Band` for
-        // every candidate hop, which dominated IG's runtime.
-        let bands: Vec<Band> = cs.comms().iter().map(|c| c.band(mesh)).collect();
-        for (c, band) in cs.comms().iter().zip(&bands) {
-            apply_ideal(loads, band, c.weight, 1.0);
-        }
-        let mut paths: Vec<Option<Path>> = vec![None; cs.len()];
-        for &i in &cs.by_order(self.order) {
-            let c = &cs.comms()[i];
-            // Remove this communication's own pre-routing before choosing
-            // its real path.
-            apply_ideal(loads, &bands[i], c.weight, -1.0);
-            let path = ig_route_one(mesh, loads, model, c, &bands[i]);
-            loads.add_path(mesh, &path, c.weight);
-            paths[i] = Some(path);
-        }
-        Routing::single(cs, paths.into_iter().map(Option::unwrap).collect())
-    }
-}
-
-/// Adds (`sign = 1.0`) or removes (`-1.0`) a communication's Figure 3 ideal
-/// fractional contribution: `weight / |group|` on every band-group link.
-fn apply_ideal(loads: &mut LoadMap, band: &Band, weight: f64, sign: f64) {
-    for g in band.groups() {
-        let share = sign * weight / g.len() as f64;
-        for &l in g {
-            loads.add(l, share);
-        }
-    }
-}
-
-/// Lower bound on the power to go from `from` to `snk` assuming for each
-/// remaining diagonal crossing the least-loaded reachable link can be used.
-///
-/// `band` is the *communication's* full band, `t_from` the diagonal
-/// crossings already taken and `rect` the bounding box of the remaining
-/// sub-path: the links of the `from → snk` sub-band are exactly the band
-/// links of the remaining groups whose endpoints lie in `rect`, so no
-/// sub-band needs to be built.
-fn ig_tail_bound(
-    mesh: &Mesh,
-    loads: &LoadMap,
-    model: &PowerModel,
-    band: &Band,
-    t_from: usize,
-    rect: Rect,
-    weight: f64,
-) -> f64 {
-    let mut total = 0.0;
-    for g in &band.groups()[t_from..] {
-        let mut cheapest = f64::INFINITY;
-        for &l in g {
-            let (a, b) = mesh.link_endpoints(l);
-            if rect.contains(a) && rect.contains(b) {
-                let cost = surrogate_link_cost(model, loads.get(l) + weight);
-                cheapest = cheapest.min(cost);
-            }
-        }
-        total += cheapest;
-    }
-    total
-}
-
-fn ig_route_one(mesh: &Mesh, loads: &LoadMap, model: &PowerModel, c: &Comm, band: &Band) -> Path {
-    let (sv, sh) = c.quadrant().steps();
-    let mut cur = c.src;
-    let mut moves = Vec::with_capacity(c.len());
-    while cur != c.snk {
-        let step = match (cur.u != c.snk.u, cur.v != c.snk.v) {
-            (true, false) => sv,
-            (false, true) => sh,
-            (true, true) => {
-                let mut best = (f64::INFINITY, sv);
-                for s in [sv, sh] {
-                    let link = mesh.link_id(cur, s).unwrap();
-                    let next = mesh.step(cur, s).unwrap();
-                    let tail = if next == c.snk {
-                        0.0
-                    } else {
-                        ig_tail_bound(
-                            mesh,
-                            loads,
-                            model,
-                            band,
-                            moves.len() + 1,
-                            Rect::spanning(next, c.snk),
-                            c.weight,
-                        )
-                    };
-                    let bound = surrogate_link_cost(model, loads.get(link) + c.weight) + tail;
-                    // Strict `<` keeps the vertical move on ties (sv first).
-                    if bound < best.0 {
-                        best = (bound, s);
-                    }
-                }
-                best.1
-            }
-            (false, false) => unreachable!(),
-        };
-        moves.push(step);
-        cur = mesh.step(cur, step).unwrap();
-    }
-    debug_assert!(moves.iter().all(|&s: &Step| c.quadrant().allows(s)));
-    Path::from_moves(c.src, moves)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ig::ImprovedGreedy;
     use pamr_mesh::Mesh;
 
     fn check_valid(h: &dyn Heuristic, cs: &CommSet, model: &PowerModel) -> Routing {
@@ -273,25 +144,6 @@ mod tests {
     }
 
     #[test]
-    fn ig_beats_or_matches_xy_on_crossing_traffic() {
-        let mesh = Mesh::new(4, 4);
-        let cs = CommSet::new(
-            mesh,
-            vec![
-                Comm::new(Coord::new(0, 0), Coord::new(3, 3), 2.0),
-                Comm::new(Coord::new(0, 0), Coord::new(3, 3), 2.0),
-                Comm::new(Coord::new(0, 3), Coord::new(3, 0), 1.0),
-            ],
-        );
-        let model = PowerModel::theory(3.0);
-        let ig = check_valid(&ImprovedGreedy::default(), &cs, &model);
-        let xy = crate::rules::xy_routing(&cs);
-        let p_ig = ig.power(&cs, &model).unwrap().total();
-        let p_xy = xy.power(&cs, &model).unwrap().total();
-        assert!(p_ig <= p_xy + 1e-9, "IG {p_ig} worse than XY {p_xy}");
-    }
-
-    #[test]
     fn greedy_handles_local_and_straight_comms() {
         let mesh = Mesh::new(3, 4);
         let cs = CommSet::new(
@@ -323,30 +175,6 @@ mod tests {
         assert_eq!(
             dist_to_diagonal(src, snk, Coord::new(1, 3)),
             dist_to_diagonal(src, snk, Coord::new(3, 1))
-        );
-    }
-
-    #[test]
-    fn ig_processes_heaviest_first() {
-        // The heavy flow should get the contention-free diagonal spread
-        // benefit: with one heavy and one light comm sharing poles, both
-        // must end feasible and the heavy one's path must avoid sharing all
-        // of its links with the light one.
-        let mesh = Mesh::new(2, 2);
-        let cs = CommSet::new(
-            mesh,
-            vec![
-                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 1.0),
-                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 3.0),
-            ],
-        );
-        let model = PowerModel::fig2();
-        let r = ImprovedGreedy::default().route(&cs, &model);
-        // Optimal 1-MP on Fig. 2 is 56: one comm on XY, the other on YX.
-        let p = r.power(&cs, &model).unwrap().total();
-        assert!(
-            (p - 56.0).abs() < 1e-9,
-            "IG should find the Fig. 2 1-MP optimum, got {p}"
         );
     }
 }

@@ -2,7 +2,8 @@
 //! and the BEST portfolio (§5–§6).
 
 use crate::comm::CommSet;
-use crate::greedy::{ImprovedGreedy, SimpleGreedy};
+use crate::greedy::SimpleGreedy;
+use crate::ig::ImprovedGreedy;
 use crate::pr::PathRemover;
 use crate::routing::Routing;
 use crate::rules::xy_routing;

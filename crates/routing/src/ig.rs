@@ -1,0 +1,405 @@
+//! The Improved-greedy heuristic (§5.2), with an indexed candidate
+//! selection.
+//!
+//! IG routes each communication hop by hop, scoring every candidate link by
+//! a lower bound on the power to reach the sink through it: the candidate's
+//! own cost plus, for every remaining diagonal of the communication's band,
+//! the cost of the cheapest link still reachable inside the shrinking
+//! bounding box. The literal formulation (kept verbatim in
+//! [`mod@reference`]) recomputes each group's cheapest link with a full
+//! scan — `O(band links)` *per candidate hop*, the same rescan-everything
+//! pattern PR 4 profiled as the improvement loops' real bottleneck.
+//!
+//! The engine here exploits that the load map is **frozen** while one
+//! communication routes (its own ideal share is removed up front, and its
+//! real path is only committed afterwards): before the hop loop it builds a
+//! per-group min-load index — each band group's links sorted ascending by
+//! the same `(load bits, link id)` key the shared
+//! [`loadq`](crate::loadq) module orders the max-load queue by — and each
+//! tail-bound term then walks a group's index in ascending-load order and
+//! stops at the **first** link inside the bounding box. The link-power
+//! model is monotone in load, so that first hit is exactly the full scan's
+//! `min` — same value, same bits — at a fraction of the probes.
+//!
+//! Both engines produce **bit-identical** routings, and
+//! `tests/xyi_differential.rs` enforces it with a differential oracle over
+//! randomized §6 workloads plus a byte-identical seeded campaign report.
+//! [`set_implementation`] swaps the engine behind
+//! [`HeuristicKind::Ig`](crate::HeuristicKind) at runtime, mirroring
+//! [`pr::set_implementation`](crate::pr::set_implementation).
+
+use crate::comm::{Comm, CommSet, SortOrder};
+use crate::heuristic::{surrogate_link_cost, Heuristic};
+use crate::routing::Routing;
+use crate::scratch::RouteScratch;
+use pamr_mesh::{Band, LinkId, LoadMap, Mesh, Path, Rect, Step};
+use pamr_power::PowerModel;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+pub mod reference;
+
+pub use reference::ReferenceImprovedGreedy;
+
+/// **IG — Improved greedy** (§5.2).
+///
+/// All communications are first virtually pre-routed with the ideal
+/// fractional sharing of Figure 3. Processing them by decreasing weight,
+/// IG removes the current communication's fractional contribution and then
+/// builds its single path hop by hop: each candidate next link is scored by
+/// a lower bound on the power to reach the sink through it (the candidate
+/// link's own power plus, for every remaining diagonal, the power of the
+/// least loaded link that remains reachable), and the cheaper candidate is
+/// taken.
+///
+/// This is the indexed implementation (see the module docs);
+/// [`ReferenceImprovedGreedy`] is the bit-identical full-scan oracle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ImprovedGreedy {
+    /// Processing order (decreasing weight by default, per the paper).
+    pub order: SortOrder,
+}
+
+/// Which Improved-greedy engine [`ImprovedGreedy`] (and hence
+/// [`HeuristicKind::Ig`](crate::HeuristicKind)) dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IgImpl {
+    /// The indexed engine (default).
+    Indexed,
+    /// The full-scan oracle ([`mod@reference`]).
+    Reference,
+}
+
+/// Process-global engine selector, written only by [`set_implementation`].
+static IG_IMPL: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the engine behind [`ImprovedGreedy`]. A process-global test and
+/// benchmark hook: the differential suite uses it to run whole campaigns
+/// against the [`mod@reference`] oracle, and `pamr-bench ig` uses it to
+/// time both engines through the production dispatch path. Defaults to
+/// [`IgImpl::Indexed`]; production code never calls this.
+pub fn set_implementation(imp: IgImpl) {
+    IG_IMPL.store(imp as u8, Ordering::Relaxed);
+}
+
+/// The engine currently behind [`ImprovedGreedy`].
+pub fn implementation() -> IgImpl {
+    match IG_IMPL.load(Ordering::Relaxed) {
+        0 => IgImpl::Indexed,
+        _ => IgImpl::Reference,
+    }
+}
+
+/// Adds (`sign = 1.0`) or removes (`-1.0`) a communication's Figure 3 ideal
+/// fractional contribution: `weight / |group|` on every band-group link.
+pub(super) fn apply_ideal(loads: &mut LoadMap, band: &Band, weight: f64, sign: f64) {
+    for g in band.groups() {
+        let share = sign * weight / g.len() as f64;
+        for &l in g {
+            loads.add(l, share);
+        }
+    }
+}
+
+/// The reused min-index buffers (`ig_keys`, `ig_off`, `ig_info` of
+/// [`RouteScratch`]), borrowed together.
+type MinIndexBufs<'a> = (
+    &'a mut Vec<(u64, u32)>,
+    &'a mut Vec<usize>,
+    &'a mut Vec<(f64, pamr_mesh::Coord, pamr_mesh::Coord)>,
+);
+
+/// Builds the per-group min-load index of one communication's band into the
+/// reused `keys`/`off`/`info` buffers: `keys[off[t]..off[t + 1]]` holds
+/// group `t`'s links as `(load bits, link id)` pairs sorted ascending, and
+/// `info` carries, in the same order, each entry's surrogate cost at
+/// `load + weight` plus its link endpoints. Loads are non-negative, so the
+/// bit order is the load order with ties towards the smaller link id — the
+/// exact mirror of the max-load queue's key.
+///
+/// Precomputing the costs here is what moves the expensive power-model
+/// evaluation out of the hop loop: the load map is frozen while the
+/// communication routes, so each band link's cost is the same at every
+/// hop — `O(band links)` model calls per communication instead of
+/// `O(path length × band links)`.
+fn build_min_index(
+    mesh: &Mesh,
+    loads: &LoadMap,
+    model: &PowerModel,
+    band: &Band,
+    weight: f64,
+    (keys, off, info): MinIndexBufs<'_>,
+) {
+    keys.clear();
+    off.clear();
+    info.clear();
+    off.push(0);
+    for g in band.groups() {
+        let start = keys.len();
+        keys.extend(
+            g.iter()
+                .map(|&l| (loads.get(l).to_bits(), l.index() as u32)),
+        );
+        keys[start..].sort_unstable();
+        off.push(keys.len());
+    }
+    info.extend(keys.iter().map(|&(bits, l)| {
+        let (a, b) = mesh.link_endpoints(LinkId(l as usize));
+        (
+            surrogate_link_cost(model, f64::from_bits(bits) + weight),
+            a,
+            b,
+        )
+    }));
+}
+
+/// Lower bound on the power to go from the current core to `snk` assuming
+/// for each remaining diagonal crossing the least-loaded reachable link can
+/// be used — the indexed twin of the oracle's
+/// [`reference::ig_tail_bound`]: each group contributes the precomputed
+/// cost of its first index entry whose endpoints lie in `rect`, which
+/// monotonicity of the link-power model makes bit-identical to the full
+/// scan's `min`.
+fn tail_bound_indexed(
+    off: &[usize],
+    info: &[(f64, pamr_mesh::Coord, pamr_mesh::Coord)],
+    t_from: usize,
+    rect: Rect,
+) -> f64 {
+    let mut total = 0.0;
+    for t in t_from..off.len() - 1 {
+        let mut cheapest = f64::INFINITY;
+        for &(cost, a, b) in &info[off[t]..off[t + 1]] {
+            if rect.contains(a) && rect.contains(b) {
+                cheapest = cost;
+                break;
+            }
+        }
+        total += cheapest;
+    }
+    total
+}
+
+/// Hop-by-hop path construction over the prebuilt min-load index. The load
+/// map is frozen for the whole call, so the index stays valid across hops.
+fn ig_route_one_indexed(
+    mesh: &Mesh,
+    loads: &LoadMap,
+    model: &PowerModel,
+    c: &Comm,
+    off: &[usize],
+    info: &[(f64, pamr_mesh::Coord, pamr_mesh::Coord)],
+) -> Path {
+    let (sv, sh) = c.quadrant().steps();
+    let mut cur = c.src;
+    let mut moves = Vec::with_capacity(c.len());
+    while cur != c.snk {
+        let step = match (cur.u != c.snk.u, cur.v != c.snk.v) {
+            (true, false) => sv,
+            (false, true) => sh,
+            (true, true) => {
+                let mut best = (f64::INFINITY, sv);
+                for s in [sv, sh] {
+                    let link = mesh.link_id(cur, s).unwrap();
+                    let next = mesh.step(cur, s).unwrap();
+                    let tail = if next == c.snk {
+                        0.0
+                    } else {
+                        tail_bound_indexed(off, info, moves.len() + 1, Rect::spanning(next, c.snk))
+                    };
+                    let bound = surrogate_link_cost(model, loads.get(link) + c.weight) + tail;
+                    // Strict `<` keeps the vertical move on ties (sv first).
+                    if bound < best.0 {
+                        best = (bound, s);
+                    }
+                }
+                best.1
+            }
+            (false, false) => unreachable!(),
+        };
+        moves.push(step);
+        cur = mesh.step(cur, step).unwrap();
+    }
+    debug_assert!(moves.iter().all(|&s: &Step| c.quadrant().allows(s)));
+    Path::from_moves(c.src, moves)
+}
+
+impl ImprovedGreedy {
+    /// The indexed engine, unconditionally — what the differential suite
+    /// compares against [`ReferenceImprovedGreedy`] regardless of the
+    /// process-global [`implementation`] selector.
+    pub fn route_indexed_with(
+        &self,
+        cs: &CommSet,
+        model: &PowerModel,
+        scratch: &mut RouteScratch,
+    ) -> Routing {
+        let mesh = cs.mesh();
+        let RouteScratch {
+            loads,
+            ig_keys,
+            ig_off,
+            ig_info,
+            ..
+        } = scratch;
+        loads.fit(mesh);
+        // One band per communication, computed once and reused both for the
+        // virtual pre-routing (Figure 3 ideal sharing) and for the per-hop
+        // tail bound below.
+        let bands: Vec<Band> = cs.comms().iter().map(|c| c.band(mesh)).collect();
+        for (c, band) in cs.comms().iter().zip(&bands) {
+            apply_ideal(loads, band, c.weight, 1.0);
+        }
+        let mut paths: Vec<Option<Path>> = vec![None; cs.len()];
+        for &i in &cs.by_order(self.order) {
+            let c = &cs.comms()[i];
+            // Remove this communication's own pre-routing before choosing
+            // its real path; the load map is then frozen until the path
+            // commits, which is what keeps the min-load index valid.
+            apply_ideal(loads, &bands[i], c.weight, -1.0);
+            // Straight and local communications never branch, so their hop
+            // loop consults no tail bound: skip the index build outright.
+            if c.src.u != c.snk.u && c.src.v != c.snk.v {
+                build_min_index(
+                    mesh,
+                    loads,
+                    model,
+                    &bands[i],
+                    c.weight,
+                    (&mut *ig_keys, &mut *ig_off, &mut *ig_info),
+                );
+            } else {
+                ig_keys.clear();
+                ig_off.clear();
+                ig_info.clear();
+                ig_off.push(0);
+            }
+            let path = ig_route_one_indexed(mesh, loads, model, c, ig_off, ig_info);
+            loads.add_path(mesh, &path, c.weight);
+            paths[i] = Some(path);
+        }
+        Routing::single(cs, paths.into_iter().map(Option::unwrap).collect())
+    }
+}
+
+impl Heuristic for ImprovedGreedy {
+    fn name(&self) -> &'static str {
+        "IG"
+    }
+
+    fn route_with(&self, cs: &CommSet, model: &PowerModel, scratch: &mut RouteScratch) -> Routing {
+        match implementation() {
+            IgImpl::Indexed => self.route_indexed_with(cs, model, scratch),
+            IgImpl::Reference => {
+                ReferenceImprovedGreedy { order: self.order }.route_with(cs, model, scratch)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Comm;
+    use pamr_mesh::Coord;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ig_beats_or_matches_xy_on_crossing_traffic() {
+        let mesh = Mesh::new(4, 4);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(3, 3), 2.0),
+                Comm::new(Coord::new(0, 0), Coord::new(3, 3), 2.0),
+                Comm::new(Coord::new(0, 3), Coord::new(3, 0), 1.0),
+            ],
+        );
+        let model = PowerModel::theory(3.0);
+        let ig = ImprovedGreedy::default().route(&cs, &model);
+        assert!(ig.is_structurally_valid(&cs, 1));
+        let xy = crate::rules::xy_routing(&cs);
+        let p_ig = ig.power(&cs, &model).unwrap().total();
+        let p_xy = xy.power(&cs, &model).unwrap().total();
+        assert!(p_ig <= p_xy + 1e-9, "IG {p_ig} worse than XY {p_xy}");
+    }
+
+    #[test]
+    fn ig_processes_heaviest_first() {
+        // The heavy flow should get the contention-free diagonal spread
+        // benefit: with one heavy and one light comm sharing poles, both
+        // must end feasible and the heavy one's path must avoid sharing all
+        // of its links with the light one.
+        let mesh = Mesh::new(2, 2);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 1.0),
+                Comm::new(Coord::new(0, 0), Coord::new(1, 1), 3.0),
+            ],
+        );
+        let model = PowerModel::fig2();
+        let r = ImprovedGreedy::default().route(&cs, &model);
+        // Optimal 1-MP on Fig. 2 is 56: one comm on XY, the other on YX.
+        let p = r.power(&cs, &model).unwrap().total();
+        assert!(
+            (p - 56.0).abs() < 1e-9,
+            "IG should find the Fig. 2 1-MP optimum, got {p}"
+        );
+    }
+
+    #[test]
+    fn indexed_matches_reference_on_random_instances() {
+        // A compact in-crate differential check (the full oracle lives in
+        // tests/xyi_differential.rs): identical routings on random instances
+        // covering all four quadrants, straight lines and local traffic.
+        let model = PowerModel::kim_horowitz();
+        let mut scratch = crate::RouteScratch::new();
+        for seed in 0..24u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let (p, q) = (rng.gen_range(2..=7), rng.gen_range(2..=7));
+            let mesh = Mesh::new(p, q);
+            let n = rng.gen_range(1..=16);
+            let comms = (0..n)
+                .map(|_| {
+                    Comm::new(
+                        Coord::new(rng.gen_range(0..p), rng.gen_range(0..q)),
+                        Coord::new(rng.gen_range(0..p), rng.gen_range(0..q)),
+                        rng.gen_range(1.0..2500.0),
+                    )
+                })
+                .collect();
+            let cs = CommSet::new(mesh, comms);
+            let indexed = ImprovedGreedy::default().route_indexed_with(&cs, &model, &mut scratch);
+            let reference =
+                ReferenceImprovedGreedy::default().route_with(&cs, &model, &mut scratch);
+            assert_eq!(
+                indexed, reference,
+                "seed {seed}: indexed IG diverged from the full-scan oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn implementation_switch_swaps_the_engine() {
+        // Relaxed global switch: both settings must produce identical
+        // routings through the public dispatch (the differential contract),
+        // and the selector must round-trip.
+        let mesh = Mesh::new(4, 4);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(3, 3), 2.0),
+                Comm::new(Coord::new(3, 0), Coord::new(0, 3), 1.0),
+            ],
+        );
+        let model = PowerModel::theory(3.0);
+        assert_eq!(implementation(), IgImpl::Indexed);
+        let indexed = ImprovedGreedy::default().route(&cs, &model);
+        set_implementation(IgImpl::Reference);
+        assert_eq!(implementation(), IgImpl::Reference);
+        let reference = ImprovedGreedy::default().route(&cs, &model);
+        set_implementation(IgImpl::Indexed);
+        assert_eq!(indexed, reference);
+    }
+}

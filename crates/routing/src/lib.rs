@@ -51,6 +51,8 @@ pub mod fractional;
 pub mod fw;
 pub mod greedy;
 pub mod heuristic;
+pub mod ig;
+pub mod loadq;
 pub mod multipath;
 pub mod pr;
 pub mod routing;
@@ -64,8 +66,10 @@ pub use comm::{Comm, CommSet, SortOrder};
 pub use exact::optimal_single_path;
 pub use fractional::{ideal_loads, ideal_power_lower_bound};
 pub use fw::{frank_wolfe, FrankWolfeResult};
-pub use greedy::{ImprovedGreedy, SimpleGreedy};
+pub use greedy::SimpleGreedy;
 pub use heuristic::{surrogate_link_cost, Best, Heuristic, HeuristicKind, SURROGATE_PENALTY};
+pub use ig::{IgImpl, ImprovedGreedy, ReferenceImprovedGreedy};
+pub use loadq::LoadQueue;
 pub use multipath::SplitMp;
 pub use pr::{PathRemover, PrError, PrImpl, ReferencePathRemover};
 pub use routing::Routing;
@@ -73,4 +77,4 @@ pub use rules::{xy_routing, yx_routing};
 pub use scratch::RouteScratch;
 pub use tables::{FlowId, RoutingTables};
 pub use two_bend::TwoBend;
-pub use xyi::XyImprover;
+pub use xyi::{ReferenceXyImprover, XyImprover, XyiImpl};

@@ -91,7 +91,7 @@ impl<H: Heuristic> Heuristic for SplitMp<H> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::greedy::ImprovedGreedy;
+    use crate::ig::ImprovedGreedy;
     use crate::pr::PathRemover;
     use crate::two_bend::TwoBend;
     use pamr_mesh::{Coord, Mesh};

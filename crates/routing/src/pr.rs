@@ -30,6 +30,7 @@
 
 use crate::comm::CommSet;
 use crate::heuristic::Heuristic;
+use crate::loadq::LoadQueue;
 use crate::routing::Routing;
 use crate::scratch::{reset_flags, RouteScratch};
 use pamr_mesh::{Band, Coord, LinkId, LoadMap, Mesh, Path, Step};
@@ -173,15 +174,12 @@ fn iv_intersect(a: Iv, b: Iv) -> Iv {
     }
 }
 
-/// Key of the loaded-link priority queue: `(load bits, Reverse(link id))`.
-type QueueKey = (u64, std::cmp::Reverse<usize>);
-
 /// The reusable per-removal buffers the banded engine borrows from
 /// [`RouteScratch`], split out so the candidate scan can keep reading
 /// `scratch.users` while a removal mutates these.
 struct BandBufs<'a> {
     loads: &'a mut LoadMap,
-    queue: &'a mut std::collections::BTreeSet<QueueKey>,
+    queue: &'a mut LoadQueue,
     live: &'a [u32],
     fwd_iv: &'a mut Vec<Iv>,
     bwd_iv: &'a mut Vec<Iv>,
@@ -191,25 +189,16 @@ struct BandBufs<'a> {
 }
 
 impl BandBufs<'_> {
-    /// [`LoadMap::add`] that also keeps the loaded-link queue in sync: the
-    /// queue holds exactly the links with strictly positive load and at
+    /// [`LoadMap::add`] that also keeps the shared [`LoadQueue`] in sync:
+    /// the queue holds exactly the links with strictly positive load and at
     /// least one unresolved user. The load *values* are bit-identical to
     /// the full-sweep oracle's (same operations per link in the same
-    /// order), so the queue's reverse iteration reproduces its loaded-link
-    /// scan order exactly.
+    /// order), so the queue's descending iteration reproduces its
+    /// loaded-link scan order exactly.
     fn add_load(&mut self, l: LinkId, delta: f64) {
-        let old = self.loads.get(l);
         self.loads.add(l, delta);
-        let new = self.loads.get(l);
         if self.live[l.index()] > 0 {
-            if old > 0.0 {
-                self.queue
-                    .remove(&(old.to_bits(), std::cmp::Reverse(l.index())));
-            }
-            if new > 0.0 {
-                self.queue
-                    .insert((new.to_bits(), std::cmp::Reverse(l.index())));
-            }
+            self.queue.set(l, self.loads.get(l));
         }
     }
 }
@@ -232,8 +221,13 @@ struct BandedComm {
     reach: Vec<Iv>,
     /// Number of groups with more than one alive link.
     multi: usize,
-    /// Set once a reachable set stopped being a contiguous row interval;
-    /// from then on every removal of this communication full-sweeps.
+    /// Set while a reachable set is not a contiguous row interval: the next
+    /// removal of this communication full-sweeps instead of propagating
+    /// incrementally. The full sweep rebuilds the `reach` intervals from
+    /// its own reachability flags, so the flag clears again as soon as
+    /// every diagonal's useful set is back to one contiguous run —
+    /// fragmentation no longer pins a communication to the slow path for
+    /// good.
     fragmented: bool,
 }
 
@@ -463,9 +457,11 @@ impl BandedComm {
 
     /// The full-sweep fallback: identical to the reference engine's
     /// cleaning pass (same operations on the load map, in the same order),
-    /// plus the banded bookkeeping of `counts` and `multi`. The `reach`
-    /// intervals are left stale — `fragmented` is sticky, so they are never
-    /// consulted again for this communication.
+    /// plus the banded bookkeeping of `counts` and `multi`. Afterwards the
+    /// `reach` intervals are rebuilt from the sweep's reachability flags
+    /// ([`BandedComm::rebuild_reach`]); when every diagonal's useful set is
+    /// a contiguous run again, `fragmented` clears and later removals
+    /// re-enter the fast banded path.
     fn full_reshare(
         &mut self,
         mesh: &Mesh,
@@ -529,7 +525,47 @@ impl BandedComm {
                 self.multi += 1;
             }
         }
+        self.fragmented = !self.rebuild_reach(mesh, bufs.fwd, bufs.bwd);
         Ok(())
+    }
+
+    /// Rebuilds the per-diagonal useful-core intervals from a full sweep's
+    /// reachability flags, returning `true` when every diagonal's useful
+    /// set is one contiguous row run (the banded invariant) and `false`
+    /// when any set is still fragmented.
+    ///
+    /// The flags were computed *before* path cleaning, but `fwd ∩ bwd` is
+    /// the same set either way: a core that is forward- and
+    /// backward-reachable lies on a full source→sink path, and every link
+    /// of that path survives cleaning. On `false` the partially-rewritten
+    /// intervals are left stale, which is safe because the caller keeps
+    /// `fragmented` set and the next removal full-sweeps again.
+    fn rebuild_reach(&mut self, mesh: &Mesh, fwd: &[bool], bwd: &[bool]) -> bool {
+        for t in 0..=self.band.len() {
+            let (b_lo, b_hi) = self.band.diag_rows(mesh, t);
+            let mut iv = IV_EMPTY;
+            for u in b_lo..=b_hi {
+                let c = self
+                    .band
+                    .core_on_diag(mesh, t, u)
+                    .expect("diag_rows rows hold a band core");
+                let i = mesh.core_index(c);
+                if fwd[i] && bwd[i] {
+                    if iv_is_empty(iv) {
+                        iv = (u, u);
+                    } else if u == iv.1 + 1 {
+                        iv.1 = u;
+                    } else {
+                        return false; // still fragmented
+                    }
+                }
+            }
+            // Path cleaning already errored on an emptied group, so every
+            // diagonal keeps at least one useful core here.
+            debug_assert!(!iv_is_empty(iv));
+            self.reach[t] = iv;
+        }
+        true
     }
 
     /// Number of alive links in the group containing `link` and the link's
@@ -619,12 +655,7 @@ impl PathRemover {
         // Which communications' bands contain each link (static superset,
         // built in reused buffers).
         let nslots = mesh.num_link_slots();
-        for v in scratch.users.iter_mut() {
-            v.clear();
-        }
-        if scratch.users.len() < nslots {
-            scratch.users.resize_with(nslots, Vec::new);
-        }
+        scratch.users_fit(nslots);
         for (i, c) in comms.iter().enumerate() {
             for l in c.band.links() {
                 scratch.users[l.index()].push(i);
@@ -658,21 +689,20 @@ impl PathRemover {
             }
         }
 
-        // Loaded-link priority queue: exactly the links with positive load
-        // and at least one unresolved user, keyed so that reverse iteration
-        // yields decreasing load with ties towards the smaller link id —
-        // the full-sweep oracle's scan order. Maintained incrementally by
-        // [`BandBufs::add_load`] instead of being rebuilt (and re-scanned,
-        // O(links²)) on every removal.
-        scratch.queue.clear();
+        // Shared loaded-link priority queue ([`LoadQueue`]): exactly the
+        // links with positive load and at least one unresolved user, whose
+        // descending iteration yields decreasing load with ties towards the
+        // smaller link id — the full-sweep oracle's scan order. Maintained
+        // incrementally by [`BandBufs::add_load`] instead of being rebuilt
+        // (and re-scanned, O(links²)) on every removal.
         {
             let live = &scratch.live_users;
-            scratch.queue.extend(
+            scratch.queue.rebuild(
+                nslots,
                 scratch
                     .loads
                     .iter_active()
-                    .filter(|(l, _)| live[l.index()] > 0)
-                    .map(|(l, v)| (v.to_bits(), std::cmp::Reverse(l.index()))),
+                    .filter(|(l, _)| live[l.index()] > 0),
             );
         }
 
@@ -681,17 +711,11 @@ impl PathRemover {
         let mut unresolved = comms.iter().filter(|c| !c.resolved()).count();
         while unresolved > 0 {
             let mut removed = false;
-            let mut cursor: Option<QueueKey> = None;
             // Examine queued links in decreasing-load order; rejected links
-            // keep their key, so the scan resumes strictly below `cursor`.
-            'links: loop {
-                let key = match cursor {
-                    None => scratch.queue.iter().next_back().copied(),
-                    Some(c) => scratch.queue.range(..c).next_back().copied(),
-                };
-                let Some(key) = key else { break };
-                cursor = Some(key);
-                let link = LinkId(key.1 .0);
+            // keep their key, so the scan resumes strictly below the
+            // cursor.
+            let mut cursor = scratch.queue.cursor();
+            'links: while let Some((link, _)) = cursor.next(&scratch.queue) {
                 // Candidates in presorted decreasing-weight order.
                 for &i in &scratch.users[link.index()] {
                     if comms[i].resolved() {
@@ -720,12 +744,7 @@ impl PathRemover {
                                     let slot = l.index();
                                     scratch.live_users[slot] -= 1;
                                     if scratch.live_users[slot] == 0 {
-                                        let v = scratch.loads.get(l);
-                                        if v > 0.0 {
-                                            scratch
-                                                .queue
-                                                .remove(&(v.to_bits(), std::cmp::Reverse(slot)));
-                                        }
+                                        scratch.queue.set(l, 0.0);
                                     }
                                 }
                             }
@@ -993,30 +1012,67 @@ mod tests {
                 );
             }
         }
-        // The fragmented comm keeps matching the oracle on later removals.
-        let j_next = banded.alive[2]
-            .iter()
-            .position(|&a| a)
-            .expect("group 2 still has alive links");
-        assert!(banded.counts[2] >= 2);
-        let mut bufs = BandBufs {
-            loads: &mut loads_b,
-            queue: &mut scratch.queue,
-            live: &live,
-            fwd_iv: &mut scratch.fwd_iv,
-            bwd_iv: &mut scratch.bwd_iv,
-            rows: &mut scratch.rows,
-            fwd: &mut scratch.fwd,
-            bwd: &mut scratch.bwd,
-        };
-        banded
-            .remove_and_reshare(&mesh, 0, (2, j_next), &mut bufs)
-            .unwrap();
-        reference
-            .remove_and_reshare(&mesh, 0, (2, j_next), &mut loads_r, &mut fwd, &mut bwd)
-            .unwrap();
-        assert_eq!(banded.alive, reference.alive);
+        // The fragmented comm keeps matching the oracle on later removals —
+        // and the fallback is no longer sticky: each full sweep rebuilds
+        // the per-diagonal intervals, so the communication re-enters the
+        // fast banded path as soon as every useful set is contiguous again.
+        // Drive the removal sequence to full resolution, checking
+        // bit-identity after every step and recording the fragmented flag.
+        let mut flag_history = vec![banded.fragmented];
+        while !banded.resolved() {
+            let (t, j) = banded
+                .counts
+                .iter()
+                .enumerate()
+                .find(|&(_, &c)| c >= 2)
+                .map(|(t, _)| (t, banded.alive[t].iter().position(|&a| a).unwrap()))
+                .expect("unresolved comm has a multi-link group");
+            let mut bufs = BandBufs {
+                loads: &mut loads_b,
+                queue: &mut scratch.queue,
+                live: &live,
+                fwd_iv: &mut scratch.fwd_iv,
+                bwd_iv: &mut scratch.bwd_iv,
+                rows: &mut scratch.rows,
+                fwd: &mut scratch.fwd,
+                bwd: &mut scratch.bwd,
+            };
+            banded
+                .remove_and_reshare(&mesh, 0, (t, j), &mut bufs)
+                .unwrap();
+            reference
+                .remove_and_reshare(&mesh, 0, (t, j), &mut loads_r, &mut fwd, &mut bwd)
+                .unwrap();
+            assert_eq!(banded.alive, reference.alive, "alive sets diverged");
+            for l in mesh.links() {
+                assert_eq!(
+                    loads_b.get(l).to_bits(),
+                    loads_r.get(l).to_bits(),
+                    "load of {l} diverged"
+                );
+            }
+            flag_history.push(banded.fragmented);
+        }
         assert_eq!(banded.resolved(), reference.resolved);
+        // The workload fragmented the band mid-run…
+        assert!(flag_history.iter().any(|&f| f), "workload never fragmented");
+        // …and the rebuilt intervals un-stuck it before resolution: the
+        // final removals run through the banded fast path again.
+        assert!(
+            !flag_history.last().unwrap(),
+            "fragmentation fallback stayed sticky to the end"
+        );
+        let first_frag = flag_history.iter().position(|&f| f).unwrap();
+        let unstuck_at = first_frag
+            + flag_history[first_frag..]
+                .iter()
+                .position(|&f| !f)
+                .expect("flag must clear after fragmenting");
+        assert!(
+            unstuck_at < flag_history.len() - 1,
+            "un-sticking must happen before the final removal so later \
+             removals exercise the banded path (history: {flag_history:?})"
+        );
     }
 
     #[test]

@@ -15,8 +15,9 @@
 use super::PrError;
 use crate::comm::CommSet;
 use crate::heuristic::Heuristic;
+use crate::loadq::select_max;
 use crate::routing::Routing;
-use crate::scratch::{reset_flags, select_max, RouteScratch};
+use crate::scratch::{reset_flags, RouteScratch};
 use pamr_mesh::{Band, Coord, LinkId, LoadMap, Mesh, Path, Step};
 use pamr_power::PowerModel;
 
@@ -231,12 +232,7 @@ impl ReferencePathRemover {
         // Which communications' bands contain each link (static superset,
         // built in reused buffers).
         let nslots = mesh.num_link_slots();
-        for v in scratch.users.iter_mut() {
-            v.clear();
-        }
-        if scratch.users.len() < nslots {
-            scratch.users.resize_with(nslots, Vec::new);
-        }
+        scratch.users_fit(nslots);
         for (i, c) in comms.iter().enumerate() {
             for l in c.band.links() {
                 scratch.users[l.index()].push(i);

@@ -9,6 +9,7 @@
 //!
 //! [`Heuristic::route_with`]: crate::heuristic::Heuristic::route_with
 
+use crate::loadq::LoadQueue;
 use pamr_mesh::{LinkId, LoadMap};
 
 /// Reusable working memory for [`Heuristic::route_with`].
@@ -23,13 +24,15 @@ use pamr_mesh::{LinkId, LoadMap};
 pub struct RouteScratch {
     /// Link-load accumulator (sized per mesh by `LoadMap::fit`).
     pub(crate) loads: LoadMap,
-    /// Sorted `(link, load)` working list (XYI's and PR's loaded-link scan).
+    /// Sorted `(link, load)` working list (the reference oracles'
+    /// `select_max` loaded-link scan).
     pub(crate) active: Vec<(LinkId, f64)>,
     /// Forward-reachability flags, one per core (PR's path cleaning).
     pub(crate) fwd: Vec<bool>,
     /// Backward-reachability flags, one per core (PR's path cleaning).
     pub(crate) bwd: Vec<bool>,
-    /// Per-link list of communications whose band contains the link (PR).
+    /// Per-link list of communications using the link — PR keys it by band
+    /// membership, XYI by the current path crossing it.
     pub(crate) users: Vec<Vec<usize>>,
     /// Candidate-communication index buffer (PR's per-link scan).
     pub(crate) cands: Vec<usize>,
@@ -37,13 +40,11 @@ pub struct RouteScratch {
     /// the link (banded PR): links with no unresolved user can never host a
     /// removal, so the loaded-link scan skips them wholesale.
     pub(crate) live_users: Vec<u32>,
-    /// Loaded-link priority queue (banded PR): keys are
-    /// `(load bits, Reverse(link index))`, so reverse iteration yields
-    /// decreasing load with ties towards the smaller link id — exactly the
-    /// [`select_max`] order. IEEE-754 bit patterns of strictly positive
-    /// floats sort like the floats themselves, and the queue only ever
-    /// holds strictly positive loads of links with unresolved users.
-    pub(crate) queue: std::collections::BTreeSet<(u64, std::cmp::Reverse<usize>)>,
+    /// Shared loaded-link priority queue ([`LoadQueue`]): the banded PR
+    /// keys it to the links with unresolved users, queue-driven XYI to
+    /// every loaded link. Its descending order is exactly the
+    /// [`select_max`](crate::loadq::select_max) order.
+    pub(crate) queue: LoadQueue,
     /// Per-diagonal forward reachable-interval run (banded PR): the row
     /// intervals recomputed downstream of a removed link.
     pub(crate) fwd_iv: Vec<(usize, usize)>,
@@ -51,6 +52,14 @@ pub struct RouteScratch {
     pub(crate) bwd_iv: Vec<(usize, usize)>,
     /// Row-coverage marks for one diagonal (banded PR's contiguity check).
     pub(crate) rows: Vec<bool>,
+    /// Flat per-group `(load bits, link)` keys of one communication's band,
+    /// each group sorted ascending (indexed IG's min-load tail bound).
+    pub(crate) ig_keys: Vec<(u64, u32)>,
+    /// Group offsets into `ig_keys` (`len + 1` entries).
+    pub(crate) ig_off: Vec<usize>,
+    /// Aligned with `ig_keys`: each entry's precomputed surrogate cost at
+    /// `load + weight` and its link endpoints (indexed IG).
+    pub(crate) ig_info: Vec<(f64, pamr_mesh::Coord, pamr_mesh::Coord)>,
 }
 
 impl RouteScratch {
@@ -58,37 +67,23 @@ impl RouteScratch {
     pub fn new() -> Self {
         RouteScratch::default()
     }
+
+    /// Resets the per-link `users` table to `n_slots` empty lists, keeping
+    /// every inner allocation (PR and XYI re-key it on every route).
+    pub(crate) fn users_fit(&mut self, n_slots: usize) {
+        for v in self.users.iter_mut() {
+            v.clear();
+        }
+        if self.users.len() < n_slots {
+            self.users.resize_with(n_slots, Vec::new);
+        }
+    }
 }
 
 /// Resets a flag buffer to `n` `false` entries, keeping its allocation.
 pub(crate) fn reset_flags(buf: &mut Vec<bool>, n: usize) {
     buf.clear();
     buf.resize(n, false);
-}
-
-/// Selection-scan: moves the entry of `active[k..]` with the highest load
-/// (ties broken towards the smallest link id) into `active[k]` and returns
-/// it; `None` when `k` is past the end.
-///
-/// PR and XYI examine loaded links in decreasing-load order but almost
-/// always act on the first few, so lazily selecting each next maximum
-/// (`O(n)` per examined link) beats sorting the whole list (`O(n log n)`)
-/// on every iteration of their improvement loops. Consuming `k = 0, 1, …`
-/// yields exactly the fully-sorted order.
-pub(crate) fn select_max(active: &mut [(LinkId, f64)], k: usize) -> Option<(LinkId, f64)> {
-    if k >= active.len() {
-        return None;
-    }
-    let mut best = k;
-    for i in k + 1..active.len() {
-        let (bl, bv) = active[best];
-        let (il, iv) = active[i];
-        if iv > bv || (iv == bv && il < bl) {
-            best = i;
-        }
-    }
-    active.swap(k, best);
-    Some(active[k])
 }
 
 #[cfg(test)]
@@ -150,24 +145,6 @@ mod tests {
         let _sg = crate::greedy::SimpleGreedy::default().route_with(&b, &model, &mut scratch);
         let pr2 = crate::pr::PathRemover.route_with(&a, &model, &mut scratch);
         assert_eq!(pr1.loads(&a), pr2.loads(&a));
-    }
-
-    #[test]
-    fn select_max_yields_sorted_order() {
-        let mk = |i: usize| LinkId(i);
-        let mut active = vec![(mk(3), 1.0), (mk(1), 5.0), (mk(0), 5.0), (mk(2), 3.0)];
-        let mut order = Vec::new();
-        let mut k = 0;
-        while let Some((l, v)) = select_max(&mut active, k) {
-            order.push((l, v));
-            k += 1;
-        }
-        // Decreasing load, ties towards the smaller link id.
-        assert_eq!(
-            order,
-            vec![(mk(0), 5.0), (mk(1), 5.0), (mk(2), 3.0), (mk(3), 1.0)]
-        );
-        assert!(select_max(&mut active, 4).is_none());
     }
 
     #[test]

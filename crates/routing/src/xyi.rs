@@ -1,11 +1,49 @@
-//! The XY-improver heuristic (§5.4).
+//! The XY-improver heuristic (§5.4), with a queue-driven improvement loop.
+//!
+//! XYI's §5.4 description examines loaded links in decreasing-load order
+//! and, for every examined link, offers each communication crossing it a
+//! corner flip. The literal formulation (kept verbatim in
+//! [`mod@reference`]) rebuilds the loaded-link list and re-runs an `O(links)`
+//! selection scan per examined link on every iteration of the improvement
+//! loop, and probes **all** communications per link — the same `O(links²)`
+//! selection bottleneck PR 4 removed from the Path-Remover.
+//!
+//! The engine here follows the PR 4 playbook on the shared
+//! [`LoadQueue`](crate::loadq::LoadQueue):
+//!
+//! * the loaded links live in an incrementally-maintained max-load index;
+//!   an accepted move re-keys only the four affected links (lazy
+//!   invalidation + one batched refresh) instead of rebuilding the list;
+//! * a descending [`Cursor`] walks the index in
+//!   exactly the `select_max` order, resuming below rejected links;
+//! * a per-link *crossing index* (`LinkId → sorted comm indices`, the same
+//!   `users` scratch table PR keys by band membership) restricts the
+//!   candidate scan to the communications whose current path actually
+//!   crosses the examined link — every other communication's flip
+//!   candidate is structurally `None` and contributed nothing but a
+//!   wasted path walk.
+//!
+//! Both engines produce **bit-identical** routings: they evaluate the same
+//! flips in the same order with the same floating-point operations (the
+//! skipped communications perform none), accept the same moves, and
+//! `tests/xyi_differential.rs` enforces it with a differential oracle over
+//! randomized §6 workloads plus a byte-identical seeded campaign report.
+//! [`set_implementation`] swaps the engine behind
+//! [`HeuristicKind::Xyi`](crate::HeuristicKind) at runtime, mirroring
+//! [`pr::set_implementation`](crate::pr::set_implementation).
 
 use crate::comm::CommSet;
 use crate::heuristic::{surrogate_link_cost, Heuristic};
+use crate::loadq::Cursor;
 use crate::routing::Routing;
-use crate::scratch::{select_max, RouteScratch};
+use crate::scratch::RouteScratch;
 use pamr_mesh::{LinkId, Mesh, Path};
 use pamr_power::PowerModel;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+pub mod reference;
+
+pub use reference::ReferenceXyImprover;
 
 /// Relative improvement below which a modification is not considered an
 /// improvement (guards termination against floating-point noise).
@@ -27,11 +65,15 @@ const IMPROVE_EPS: f64 = 1e-9;
 ///   link to be vertical).
 ///
 /// If some modification lowers the (surrogate) power, the best one is
-/// applied, loads are updated and the link list is re-sorted; otherwise the
-/// link is dropped from the list and the next most loaded link is examined.
-/// Because XYI minimises the *surrogate* cost, it can also repair instances
-/// on which XY exceeds link bandwidths — the paper's campaign counts on
-/// this (XYI succeeds on ~46% of instances vs ~15% for XY).
+/// applied, loads are updated and the scan restarts from the most loaded
+/// link; otherwise the link is dropped from the list and the next most
+/// loaded link is examined. Because XYI minimises the *surrogate* cost, it
+/// can also repair instances on which XY exceeds link bandwidths — the
+/// paper's campaign counts on this (XYI succeeds on ~46% of instances vs
+/// ~15% for XY).
+///
+/// This is the queue-driven implementation (see the module docs);
+/// [`ReferenceXyImprover`] is the bit-identical full-scan oracle.
 #[derive(Debug, Clone, Copy)]
 pub struct XyImprover {
     /// Safety bound on accepted modifications (the surrogate strictly
@@ -47,6 +89,36 @@ impl Default for XyImprover {
     }
 }
 
+/// Which XY-improver engine [`XyImprover`] (and hence
+/// [`HeuristicKind::Xyi`](crate::HeuristicKind)) dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XyiImpl {
+    /// The queue-driven engine (default).
+    Queued,
+    /// The full-scan oracle ([`mod@reference`]).
+    Reference,
+}
+
+/// Process-global engine selector, written only by [`set_implementation`].
+static XYI_IMPL: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the engine behind [`XyImprover`]. A process-global test and
+/// benchmark hook: the differential suite uses it to run whole campaigns
+/// against the [`mod@reference`] oracle, and `pamr-bench xyi` uses it to
+/// time both engines through the production dispatch path. Defaults to
+/// [`XyiImpl::Queued`]; production code never calls this.
+pub fn set_implementation(imp: XyiImpl) {
+    XYI_IMPL.store(imp as u8, Ordering::Relaxed);
+}
+
+/// The engine currently behind [`XyImprover`].
+pub fn implementation() -> XyiImpl {
+    match XYI_IMPL.load(Ordering::Relaxed) {
+        0 => XyiImpl::Queued,
+        _ => XyiImpl::Reference,
+    }
+}
+
 /// The paper's single candidate modification of `path` to avoid `link`,
 /// without building the new path: the position of the move swap plus the
 /// two removed and two added links. `None` when the move would violate the
@@ -55,7 +127,7 @@ impl Default for XyImprover {
 /// Only the two links at `swap_at` / `swap_at + 1` differ between the old
 /// and new paths, so the candidate is fully described — and its surrogate
 /// delta evaluable — with zero allocations.
-fn flip_candidate(
+pub(super) fn flip_candidate(
     mesh: &Mesh,
     path: &Path,
     link: LinkId,
@@ -121,46 +193,61 @@ fn flip_move(mesh: &Mesh, path: &Path, link: LinkId) -> Option<(Path, [LinkId; 2
     Some((Path::from_moves(path.src(), new_moves), removed, added))
 }
 
-impl Heuristic for XyImprover {
-    fn name(&self) -> &'static str {
-        "XYI"
-    }
-
-    fn route_with(&self, cs: &CommSet, model: &PowerModel, scratch: &mut RouteScratch) -> Routing {
+impl XyImprover {
+    /// The queue-driven engine, unconditionally — what the differential
+    /// suite compares against [`ReferenceXyImprover`] regardless of the
+    /// process-global [`implementation`] selector.
+    pub fn route_queued_with(
+        &self,
+        cs: &CommSet,
+        model: &PowerModel,
+        scratch: &mut RouteScratch,
+    ) -> Routing {
         let mesh = cs.mesh();
         let mut paths: Vec<Path> = cs.comms().iter().map(|c| Path::xy(c.src, c.snk)).collect();
         scratch.loads.fit(mesh);
-        let loads = &mut scratch.loads;
         for (c, p) in cs.comms().iter().zip(&paths) {
-            loads.add_path(mesh, p, c.weight);
+            scratch.loads.add_path(mesh, p, c.weight);
         }
+        // Crossing index: which communications' *current* paths cross each
+        // link, kept sorted ascending so the candidate scan visits them in
+        // the same order as the oracle's all-comms sweep (non-crossing
+        // communications flip to `None` there and contribute nothing).
+        let nslots = mesh.num_link_slots();
+        scratch.users_fit(nslots);
+        for (i, p) in paths.iter().enumerate() {
+            for l in p.links(mesh) {
+                scratch.users[l.index()].push(i);
+            }
+        }
+        // Max-load index over every loaded link; an accepted move re-keys
+        // only the four links it touched.
+        scratch.queue.rebuild(nslots, scratch.loads.iter_active());
         let mut moves_done = 0;
         'outer: while moves_done < self.max_moves {
-            // Loaded links examined in decreasing-load order, selected
-            // lazily: an improving modification is usually found within the
-            // first few links, so the full sort is almost never needed.
-            scratch.active.clear();
-            scratch.active.extend(loads.iter_active());
-            let mut next = 0;
-            while let Some((link, _)) = select_max(&mut scratch.active, next) {
-                next += 1;
+            // Loaded links examined in decreasing-load order straight off
+            // the shared queue — the exact `select_max` order the oracle
+            // re-derives by scanning.
+            let mut cursor = Cursor::default();
+            while let Some((link, _)) = cursor.next(&scratch.queue) {
                 // Best modification among the communications on this link:
                 // (delta, comm index, swap position, removed, added links).
                 type Candidate = (f64, usize, usize, [LinkId; 2], [LinkId; 2]);
                 let mut best: Option<Candidate> = None;
-                for (i, c) in cs.comms().iter().enumerate() {
+                for &i in &scratch.users[link.index()] {
+                    let c = &cs.comms()[i];
                     if let Some((swap_at, rem, add)) = flip_candidate(mesh, &paths[i], link) {
                         let mut delta = 0.0;
                         // Cost after removing the comm from `rem` and adding
                         // it to `add`, minus current cost, over the affected
                         // links only.
                         for l in rem {
-                            let load = loads.get(l);
+                            let load = scratch.loads.get(l);
                             delta += surrogate_link_cost(model, load - c.weight)
                                 - surrogate_link_cost(model, load);
                         }
                         for l in add {
-                            let load = loads.get(l);
+                            let load = scratch.loads.get(l);
                             delta += surrogate_link_cost(model, load + c.weight)
                                 - surrogate_link_cost(model, load);
                         }
@@ -171,26 +258,63 @@ impl Heuristic for XyImprover {
                 }
                 if let Some((_, i, swap_at, rem, add)) = best {
                     let w = cs.comms()[i].weight;
+                    // Lazy invalidation: the `LoadMap` clamps cancellation
+                    // residue, so the queue re-keys from the map's final
+                    // values in one batched refresh.
                     for l in rem {
-                        loads.add(l, -w);
+                        scratch.loads.add(l, -w);
+                        scratch.queue.mark_dirty(l);
                     }
                     for l in add {
-                        loads.add(l, w);
+                        scratch.loads.add(l, w);
+                        scratch.queue.mark_dirty(l);
                     }
+                    scratch.queue.refresh(&scratch.loads);
                     // Only now build the accepted path (one allocation per
                     // applied move instead of one per evaluated candidate).
                     let mut new_moves = paths[i].moves().to_vec();
                     new_moves.swap(swap_at, swap_at + 1);
                     paths[i] = Path::from_moves(paths[i].src(), new_moves);
+                    // Re-home the comm in the crossing index: its new path
+                    // differs from the old one in exactly `rem` → `add`.
+                    for l in rem {
+                        let u = &mut scratch.users[l.index()];
+                        let pos = u.binary_search(&i).expect("comm crossed a removed link");
+                        u.remove(pos);
+                    }
+                    for l in add {
+                        let u = &mut scratch.users[l.index()];
+                        let pos = u
+                            .binary_search(&i)
+                            .expect_err("comm cannot already cross an added link");
+                        u.insert(pos, i);
+                    }
                     moves_done += 1;
-                    continue 'outer; // re-sort and restart from the top
+                    continue 'outer; // restart from the most loaded link
                 }
-                // No improvement through this link: drop it and try the next
-                // one (the paper removes it from the list).
+                // No improvement through this link: leave it queued (its
+                // key is unchanged) and let the cursor move on (the paper
+                // removes it from the list).
             }
             break; // no link admits an improving modification
         }
         Routing::single(cs, paths)
+    }
+}
+
+impl Heuristic for XyImprover {
+    fn name(&self) -> &'static str {
+        "XYI"
+    }
+
+    fn route_with(&self, cs: &CommSet, model: &PowerModel, scratch: &mut RouteScratch) -> Routing {
+        match implementation() {
+            XyiImpl::Queued => self.route_queued_with(cs, model, scratch),
+            XyiImpl::Reference => ReferenceXyImprover {
+                max_moves: self.max_moves,
+            }
+            .route_with(cs, model, scratch),
+        }
     }
 }
 
@@ -200,6 +324,8 @@ mod tests {
     use crate::comm::Comm;
     use crate::rules::xy_routing;
     use pamr_mesh::{Coord, Step};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn flip_vertical_link_moves_corner_towards_source() {
@@ -316,5 +442,59 @@ mod tests {
             .unwrap()
             .total();
         assert!(p <= p_xy + 1e-9);
+    }
+
+    #[test]
+    fn queued_matches_reference_on_random_instances() {
+        // A compact in-crate differential check (the full oracle lives in
+        // tests/xyi_differential.rs): identical routings on random instances
+        // covering all four quadrants, straight lines and local traffic.
+        let model = PowerModel::kim_horowitz();
+        let mut scratch = crate::RouteScratch::new();
+        for seed in 0..24u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let (p, q) = (rng.gen_range(2..=7), rng.gen_range(2..=7));
+            let mesh = Mesh::new(p, q);
+            let n = rng.gen_range(1..=16);
+            let comms = (0..n)
+                .map(|_| {
+                    Comm::new(
+                        Coord::new(rng.gen_range(0..p), rng.gen_range(0..q)),
+                        Coord::new(rng.gen_range(0..p), rng.gen_range(0..q)),
+                        rng.gen_range(1.0..2500.0),
+                    )
+                })
+                .collect();
+            let cs = CommSet::new(mesh, comms);
+            let queued = XyImprover::default().route_queued_with(&cs, &model, &mut scratch);
+            let reference = ReferenceXyImprover::default().route_with(&cs, &model, &mut scratch);
+            assert_eq!(
+                queued, reference,
+                "seed {seed}: queued XYI diverged from the full-scan oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn implementation_switch_swaps_the_engine() {
+        // Relaxed global switch: both settings must produce identical
+        // routings through the public dispatch (the differential contract),
+        // and the selector must round-trip.
+        let mesh = Mesh::new(4, 4);
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(3, 3), 2.0),
+                Comm::new(Coord::new(3, 0), Coord::new(0, 3), 1.0),
+            ],
+        );
+        let model = PowerModel::theory(3.0);
+        assert_eq!(implementation(), XyiImpl::Queued);
+        let queued = XyImprover::default().route(&cs, &model);
+        set_implementation(XyiImpl::Reference);
+        assert_eq!(implementation(), XyiImpl::Reference);
+        let reference = XyImprover::default().route(&cs, &model);
+        set_implementation(XyiImpl::Queued);
+        assert_eq!(queued, reference);
     }
 }

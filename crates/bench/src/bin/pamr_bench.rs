@@ -12,6 +12,7 @@
 //! pamr-bench pr  [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]
 //! pamr-bench xyi [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]
 //! pamr-bench ig  [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]
+//! pamr-bench serve [--comms N] [--repeats R] [--seed S] [--out FILE]
 //! ```
 //!
 //! `run` executes the campaigns and writes the report; `check` compares a
@@ -29,11 +30,15 @@
 //! both produce identical routings **before** timing, and records the
 //! per-instance speedup in the matching section of `BENCH_summary.json`
 //! (merging into an existing report when one is present); `run` records a
-//! smaller version of every lane.
+//! smaller version of every lane. `serve` is the daemon lane: per-request
+//! latency of `add_comm` against a resident `RoutingSession` (bounded
+//! incremental repair) versus the stateless alternative of re-routing the
+//! whole live set from scratch on every request.
 
 use pamr_routing::{
-    Heuristic as _, ImprovedGreedy, PathRemover, ReferenceImprovedGreedy, ReferencePathRemover,
-    ReferenceXyImprover, RouteScratch, XyImprover,
+    Heuristic as _, HeuristicKind, ImprovedGreedy, PathRemover, ReferenceImprovedGreedy,
+    ReferencePathRemover, ReferenceXyImprover, RouteScratch, RoutingSession, SessionConfig,
+    XyImprover,
 };
 use pamr_sim::experiments::{fig7, fig8, fig9, Experiment};
 use pamr_sim::{Campaign, ShardSpec};
@@ -195,6 +200,73 @@ fn measure_engine(
     }
 }
 
+/// The `serve` lane of `BENCH_summary.json`: per-request `add_comm`
+/// latency of the resident session versus a stateless from-scratch
+/// re-route of the live set on every request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ServeBench {
+    /// Requests per pass (= live communications after the last one).
+    requests: usize,
+    /// Timing repetitions over the request script.
+    repeats: usize,
+    /// Master seed of the instance draw.
+    seed: u64,
+    /// Mean per-request latency with the resident session (bounded
+    /// incremental repair), milliseconds.
+    incremental_ms_per_req: f64,
+    /// Mean per-request latency re-routing the whole live prefix from
+    /// scratch with the same heuristic, milliseconds.
+    scratch_ms_per_req: f64,
+    /// `scratch_ms_per_req / incremental_ms_per_req`.
+    speedup: f64,
+}
+
+/// Times the serve lane: the same `requests`-long `add_comm` script is
+/// answered once by a resident [`RoutingSession`] (the `pamr serve`
+/// implementation) and once by batch-re-routing the live prefix from
+/// scratch on every request (what a stateless daemon would do).
+///
+/// The draw uses the 100–800 weight regime: at 80 communications it keeps
+/// the 8×8 platform feasible (max link load ≈ 2700 of 3500), which is the
+/// operating point a daemon actually serves. The §6.2 mixed regime
+/// (100–2500) is hopelessly infeasible at this count, and an infeasible
+/// state forces the session to escalate every request to a full re-route —
+/// that measures the escalation path, not incremental repair.
+fn measure_serve(requests: usize, repeats: usize, seed: u64) -> ServeBench {
+    let mesh = pamr_bench::mesh8();
+    let model = pamr_bench::model();
+    let cs = pamr_bench::uniform_instance(&mesh, requests, 100.0, 800.0, seed);
+
+    let start = Instant::now();
+    for _ in 0..repeats {
+        let mut session = RoutingSession::new(mesh, model.clone(), SessionConfig::default());
+        for c in cs.comms() {
+            session.add_comm(*c);
+        }
+        assert_eq!(session.len(), requests);
+    }
+    let incremental_ms_per_req = start.elapsed().as_secs_f64() * 1e3 / (repeats * requests) as f64;
+
+    let mut scratch = RouteScratch::new();
+    let start = Instant::now();
+    for _ in 0..repeats {
+        for i in 1..=requests {
+            let prefix = pamr_routing::CommSet::new(mesh, cs.comms()[..i].to_vec());
+            let _ = HeuristicKind::Xyi.route_with(&prefix, &model, &mut scratch);
+        }
+    }
+    let scratch_ms_per_req = start.elapsed().as_secs_f64() * 1e3 / (repeats * requests) as f64;
+
+    ServeBench {
+        requests,
+        repeats,
+        seed,
+        incremental_ms_per_req,
+        scratch_ms_per_req,
+        speedup: scratch_ms_per_req / incremental_ms_per_req,
+    }
+}
+
 /// The whole report (`BENCH_summary.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchReport {
@@ -231,6 +303,8 @@ struct BenchReport {
     xyi: Option<EngineBench>,
     /// The indexed-vs-reference Improved-greedy lane (`run` / `ig`).
     ig: Option<EngineBench>,
+    /// The incremental-vs-stateless daemon lane (`run` / `serve`).
+    serve: Option<ServeBench>,
 }
 
 /// Hardware threads of this machine, as recorded in the report.
@@ -245,7 +319,8 @@ fn usage() -> ! {
         "usage:\n  pamr-bench run [--profile smoke|full] [--trials N] [--seed S] [--out FILE]\n  \
          pamr-bench check --baseline FILE --current FILE [--max-ratio R]\n  \
          pamr-bench shard [--shards N] [--trials T] [--seed S] [--pamr PATH] [--out FILE]\n  \
-         pamr-bench pr|xyi|ig [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]"
+         pamr-bench pr|xyi|ig [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]\n  \
+         pamr-bench serve [--comms N] [--repeats R] [--seed S] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -266,6 +341,7 @@ fn main() {
         Some("pr") => cmd_engine(EngineLane::Pr, &args[1..]),
         Some("xyi") => cmd_engine(EngineLane::Xyi, &args[1..]),
         Some("ig") => cmd_engine(EngineLane::Ig, &args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => usage(),
     }
 }
@@ -361,11 +437,16 @@ fn cmd_run(args: &[String]) {
         lanes.next().unwrap(),
         lanes.next().unwrap(),
     );
+    let serve = measure_serve(80, 2, seed);
+    eprintln!(
+        "  serve: incremental {:.3} ms/req, from-scratch {:.3} ms/req, speedup {:.1}x",
+        serve.incremental_ms_per_req, serve.scratch_ms_per_req, serve.speedup
+    );
 
     let total_wall_ms_seq: f64 = figures.iter().map(|f| f.wall_ms_seq).sum();
     let total_wall_ms_par: f64 = figures.iter().map(|f| f.wall_ms_par).sum();
     let report = BenchReport {
-        schema: 3,
+        schema: 4,
         profile,
         threads,
         nproc: nproc(),
@@ -378,6 +459,7 @@ fn cmd_run(args: &[String]) {
         pr: Some(pr),
         xyi: Some(xyi),
         ig: Some(ig),
+        serve: Some(serve),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
@@ -445,6 +527,12 @@ fn cmd_check(args: &[String]) {
             );
         }
     }
+    if let (Some(b), Some(c)) = (&baseline.serve, &current.serve) {
+        println!(
+            "  serve lane: {:.1}x → {:.1}x incremental-vs-scratch speedup",
+            b.speedup, c.speedup
+        );
+    }
     if ratio > max_ratio {
         eprintln!(
             "REGRESSION: parallel campaign wall time grew {ratio:.2}x over the committed \
@@ -505,26 +593,80 @@ fn cmd_engine(lane: EngineLane, args: &[String]) {
                 None
             }
         })
-        .unwrap_or_else(|| BenchReport {
-            schema: 3,
-            profile: name.into(),
-            threads: rayon::current_num_threads(),
-            nproc: nproc(),
-            trials: 0,
-            seed,
-            figures: Vec::new(),
-            total_wall_ms_seq: 0.0,
-            total_wall_ms_par: 0.0,
-            speedup: 0.0,
-            pr: None,
-            xyi: None,
-            ig: None,
-        });
+        .unwrap_or_else(|| empty_report(name, seed));
     match lane {
         EngineLane::Pr => report.pr = Some(bench),
         EngineLane::Xyi => report.xyi = Some(bench),
         EngineLane::Ig => report.ig = Some(bench),
     }
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("{json}");
+}
+
+/// A lane-only report skeleton for subcommands that merge into
+/// `BENCH_summary.json` when no prior `run` recorded the figures.
+fn empty_report(profile: &str, seed: u64) -> BenchReport {
+    BenchReport {
+        schema: 4,
+        profile: profile.into(),
+        threads: rayon::current_num_threads(),
+        nproc: nproc(),
+        trials: 0,
+        seed,
+        figures: Vec::new(),
+        total_wall_ms_seq: 0.0,
+        total_wall_ms_par: 0.0,
+        speedup: 0.0,
+        pr: None,
+        xyi: None,
+        ig: None,
+        serve: None,
+    }
+}
+
+/// The focused daemon lane (`pamr-bench serve`): a bigger sample of the
+/// incremental-vs-stateless measurement `run` records, merged into
+/// `BENCH_summary.json` like the engine lanes.
+fn cmd_serve(args: &[String]) {
+    let requests: usize = opt(args, "--comms")
+        .map(|s| s.parse().expect("--comms needs a positive integer"))
+        .unwrap_or(80);
+    assert!(requests > 0, "--comms must be positive");
+    let repeats: usize = opt(args, "--repeats")
+        .map(|s| s.parse().expect("--repeats needs a positive integer"))
+        .unwrap_or(5);
+    assert!(repeats > 0, "--repeats must be positive");
+    let seed: u64 = opt(args, "--seed")
+        .map(|s| s.parse().expect("--seed needs an integer"))
+        .unwrap_or(0xC0FFEE);
+    let out = opt(args, "--out").unwrap_or_else(|| "BENCH_summary.json".into());
+
+    eprintln!(
+        "pamr-bench serve: {requests} add_comm requests × {repeats} repeat(s), \
+         resident session vs from-scratch re-route"
+    );
+    let bench = measure_serve(requests, repeats, seed);
+    eprintln!(
+        "pamr-bench serve: incremental {:.3} ms/req, from-scratch {:.3} ms/req, \
+         speedup {:.1}x → {out}",
+        bench.incremental_ms_per_req, bench.scratch_ms_per_req, bench.speedup
+    );
+
+    let mut report = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|text| match serde_json::from_str::<BenchReport>(&text) {
+            Ok(report) => Some(report),
+            Err(e) => {
+                eprintln!(
+                    "pamr-bench serve: existing {out} does not parse as a bench report \
+                     ({e}); replacing it with a serve-only report"
+                );
+                None
+            }
+        })
+        .unwrap_or_else(|| empty_report("serve", seed));
+    report.serve = Some(bench);
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("{json}");

@@ -55,6 +55,16 @@ impl LoadMap {
         }
     }
 
+    /// Overwrites `link`'s load with `value`. Unlike [`LoadMap::add`] there
+    /// is no cancellation residue: callers that re-derive a link's exact
+    /// load (e.g. the routing session summing over its crossing index) can
+    /// pin the map bit-for-bit to the recomputed value.
+    #[inline]
+    pub fn set(&mut self, link: LinkId, value: f64) {
+        debug_assert!(value >= 0.0, "link loads are non-negative, got {value}");
+        self.loads[link.0] = value;
+    }
+
     /// Adds `amount` along every link of `path`.
     pub fn add_path(&mut self, mesh: &Mesh, path: &Path, amount: f64) {
         for l in path.links(mesh) {

@@ -58,6 +58,7 @@ pub mod pr;
 pub mod routing;
 pub mod rules;
 pub mod scratch;
+pub mod session;
 pub mod tables;
 pub mod two_bend;
 pub mod xyi;
@@ -75,6 +76,7 @@ pub use pr::{PathRemover, PrError, PrImpl, ReferencePathRemover};
 pub use routing::Routing;
 pub use rules::{xy_routing, yx_routing};
 pub use scratch::RouteScratch;
+pub use session::{RepairMode, RoutingSession, SessionConfig, SessionStats, SlotId};
 pub use tables::{FlowId, RoutingTables};
 pub use two_bend::TwoBend;
 pub use xyi::{ReferenceXyImprover, XyImprover, XyiImpl};

@@ -1,0 +1,774 @@
+//! A long-lived **routing session**: the state behind `pamr serve`.
+//!
+//! The batch heuristics of §5 route a full [`CommSet`] from scratch. The
+//! paper's own motivating scenario (§6.4, dynamic leakage observation) is
+//! traffic that *arrives and departs over time*, and ROADMAP item 1 asks for
+//! routing-as-a-service: a resident process that answers
+//! `add_comm`/`remove_comm` requests without re-running a whole heuristic
+//! per request.
+//!
+//! [`RoutingSession`] keeps the mesh, the live communications and their
+//! current paths, the per-link [`LoadMap`] and the shared
+//! [`LoadQueue`] max-load index **resident across
+//! requests**, together with two crossing indices:
+//!
+//! * `users` — for every link, the live communications whose *current path*
+//!   crosses it (the index queue-driven XYI keys per route call);
+//! * `band_users` — for every link, the live communications whose
+//!   [`Band`](pamr_mesh::Band) *could* use it (the index the banded PR keys
+//!   per route call).
+//!
+//! Mutations are **incremental**. An added communication is routed alone
+//! (its XY path) and then locally repaired with a *bounded* XYI improvement
+//! pass restricted to a scope seeded from its band links; a removal
+//! decrements loads through [`LoadQueue::set`](crate::loadq::LoadQueue::set)
+//! and repairs the scope seeded from the current paths of the communications
+//! whose band overlaps the freed links. Accepted moves extend the scope to
+//! the links they touch, so relief propagates exactly as far as it is
+//! earned. If the bounded pass ends on an infeasible load map the session
+//! **escalates** to a full re-route of the surviving set — the session is
+//! never less feasible than the batch heuristic on the same instance.
+//!
+//! With [`RepairMode::Full`] every mutation instead re-routes the whole
+//! surviving set through the configured batch heuristic, making the session
+//! state *bit-identical by construction* to a from-scratch batch route of
+//! the same communications in slot order. `tests/session_differential.rs`
+//! pins both modes: full repair reproduces the batch power report bit for
+//! bit over randomized add/remove scripts, and bounded repair stays within a
+//! gated power bound of it while `pamr-bench serve` shows the incremental
+//! latency win.
+//!
+//! Load accounting is *recomputed, not accumulated*: after every mutation
+//! the loads of the touched links are re-summed over `users` in ascending
+//! slot order ([`LoadMap::set`]), so the resident map is bit-identical to a
+//! naive recomputation from the live paths at every step — the invariant
+//! `crates/sim/tests/session_prop.rs` drives scripts against.
+
+use crate::comm::{Comm, CommSet};
+use crate::heuristic::{surrogate_link_cost, HeuristicKind};
+use crate::loadq::{Cursor, LoadQueue};
+use crate::routing::Routing;
+use crate::scratch::RouteScratch;
+use crate::xyi;
+use pamr_mesh::{LinkId, LoadMap, Mesh, Path};
+use pamr_power::{Infeasible, PowerBreakdown, PowerModel};
+
+/// How the session restores routing quality after a mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairMode {
+    /// Bounded local repair (the default): an XYI improvement pass
+    /// restricted to a band-seeded link scope, capped at `max_moves`
+    /// accepted flips per mutation, escalating to a full re-route only when
+    /// the bounded result is infeasible.
+    Bounded {
+        /// Cap on accepted flips per mutation.
+        max_moves: usize,
+    },
+    /// Full (unbounded) repair: every mutation re-routes the surviving set
+    /// through the configured batch heuristic. Bit-identical to batch
+    /// routing by construction — the differential oracle's reference mode.
+    Full,
+}
+
+impl Default for RepairMode {
+    /// Bounded repair with a generous flip budget.
+    fn default() -> Self {
+        RepairMode::Bounded { max_moves: 10_000 }
+    }
+}
+
+/// Session configuration: which batch heuristic backs full re-routes and
+/// how mutations are repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Heuristic used by full re-routes ([`RoutingSession::reroute`],
+    /// [`RepairMode::Full`] and bounded-mode escalation).
+    pub heuristic: HeuristicKind,
+    /// Repair policy applied after every `add_comm`/`remove_comm`.
+    pub repair: RepairMode,
+}
+
+impl Default for SessionConfig {
+    /// XYI-backed full re-routes with bounded local repair.
+    fn default() -> Self {
+        SessionConfig {
+            heuristic: HeuristicKind::Xyi,
+            repair: RepairMode::default(),
+        }
+    }
+}
+
+/// Stable handle of a communication within one session.
+///
+/// Handles of removed communications are invalidated and their slots may be
+/// reused by later additions; the session answers queries on dead handles
+/// with `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId(usize);
+
+impl SlotId {
+    /// The underlying slot index (dense, reused after removals).
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Counters describing the work a session has performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Communications added.
+    pub adds: u64,
+    /// Communications removed.
+    pub removes: u64,
+    /// Accepted flips across all bounded repair passes.
+    pub repair_moves: u64,
+    /// Full re-routes (explicit, [`RepairMode::Full`], or escalations).
+    pub full_reroutes: u64,
+    /// Bounded passes that ended infeasible and escalated to a full
+    /// re-route.
+    pub escalations: u64,
+}
+
+/// One live communication: the request plus its current path.
+#[derive(Debug, Clone)]
+struct LiveComm {
+    comm: Comm,
+    path: Path,
+}
+
+/// A resident incremental routing session (see the [module docs](self)).
+#[derive(Debug)]
+pub struct RoutingSession {
+    mesh: Mesh,
+    model: PowerModel,
+    config: SessionConfig,
+    /// Slot-indexed live communications; `None` marks a dead slot.
+    slots: Vec<Option<LiveComm>>,
+    /// Dead slots available for reuse (LIFO).
+    free: Vec<usize>,
+    n_live: usize,
+    /// Authoritative per-link loads, always equal to the ascending-slot sum
+    /// of the weights in `users` (bit-exactly; see the module docs).
+    loads: LoadMap,
+    /// Resident max-load index, always keyed to `loads`' positive entries.
+    queue: LoadQueue,
+    /// Per-link sorted slots whose **current path** crosses the link.
+    users: Vec<Vec<usize>>,
+    /// Per-link sorted slots whose **band** contains the link.
+    band_users: Vec<Vec<usize>>,
+    /// Scope queue of one bounded repair pass (kept for its allocations).
+    repair_queue: LoadQueue,
+    /// Working memory for full re-routes through the batch heuristics.
+    scratch: RouteScratch,
+    stats: SessionStats,
+}
+
+impl RoutingSession {
+    /// An empty session on `mesh` under `model`.
+    pub fn new(mesh: Mesh, model: PowerModel, config: SessionConfig) -> Self {
+        let n_slots = mesh.num_link_slots();
+        let mut queue = LoadQueue::new();
+        queue.fit(n_slots);
+        let mut repair_queue = LoadQueue::new();
+        repair_queue.fit(n_slots);
+        RoutingSession {
+            mesh,
+            model,
+            config,
+            slots: Vec::new(),
+            free: Vec::new(),
+            n_live: 0,
+            loads: LoadMap::new(&mesh),
+            queue,
+            users: vec![Vec::new(); n_slots],
+            band_users: vec![Vec::new(); n_slots],
+            repair_queue,
+            scratch: RouteScratch::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The mesh.
+    #[inline]
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The power model.
+    #[inline]
+    pub fn model(&self) -> &PowerModel {
+        &self.model
+    }
+
+    /// The configuration.
+    #[inline]
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Number of live communications.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n_live
+    }
+
+    /// True iff no communication is live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n_live == 0
+    }
+
+    /// Work counters.
+    #[inline]
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// The resident per-link loads.
+    #[inline]
+    pub fn loads(&self) -> &LoadMap {
+        &self.loads
+    }
+
+    /// The resident max-load index (always keyed to [`RoutingSession::loads`]).
+    #[inline]
+    pub fn load_index(&self) -> &LoadQueue {
+        &self.queue
+    }
+
+    /// Largest single-link load, off the resident index in `O(1)`.
+    pub fn max_load(&self) -> f64 {
+        self.queue.peek_max().map_or(0.0, |(_, v)| v)
+    }
+
+    /// True iff `slot` refers to a live communication.
+    pub fn contains(&self, slot: SlotId) -> bool {
+        self.slots.get(slot.0).is_some_and(Option::is_some)
+    }
+
+    /// The live communication behind `slot`, if any.
+    pub fn comm(&self, slot: SlotId) -> Option<&Comm> {
+        self.slots.get(slot.0)?.as_ref().map(|lc| &lc.comm)
+    }
+
+    /// The current path of `slot`, if live.
+    pub fn path(&self, slot: SlotId) -> Option<&Path> {
+        self.slots.get(slot.0)?.as_ref().map(|lc| &lc.path)
+    }
+
+    /// Iterates over the live communications in ascending slot order.
+    pub fn live(&self) -> impl Iterator<Item = (SlotId, &Comm, &Path)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(s, e)| e.as_ref().map(|lc| (SlotId(s), &lc.comm, &lc.path)))
+    }
+
+    /// The power report of the current state, or `Err(Infeasible)` when
+    /// some link is over capacity.
+    pub fn power(&self) -> Result<PowerBreakdown, Infeasible> {
+        self.model.power(&self.mesh, &self.loads)
+    }
+
+    /// The surviving communications as a batch instance, in ascending slot
+    /// order — exactly what a from-scratch batch route (the differential
+    /// oracle) sees.
+    pub fn live_comm_set(&self) -> CommSet {
+        self.live_comm_set_with_slots().0
+    }
+
+    /// The current state as `(instance, routing)` — the session-side
+    /// counterpart of a batch [`Heuristic::route`] result.
+    ///
+    /// [`Heuristic::route`]: crate::heuristic::Heuristic::route
+    pub fn live_routing(&self) -> (CommSet, Routing) {
+        let (cs, slots) = self.live_comm_set_with_slots();
+        let paths = slots
+            .iter()
+            .map(|&s| self.slots[s].as_ref().expect("slot is live").path.clone())
+            .collect();
+        let routing = Routing::single(&cs, paths);
+        (cs, routing)
+    }
+
+    fn live_comm_set_with_slots(&self) -> (CommSet, Vec<usize>) {
+        let mut comms = Vec::with_capacity(self.n_live);
+        let mut slots = Vec::with_capacity(self.n_live);
+        for (s, e) in self.slots.iter().enumerate() {
+            if let Some(lc) = e {
+                comms.push(lc.comm);
+                slots.push(s);
+            }
+        }
+        (CommSet::new(self.mesh, comms), slots)
+    }
+
+    /// Adds a communication: routes it alone (its XY path) and repairs per
+    /// the configured [`RepairMode`]. Returns the stable handle.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is off-mesh (validate first — `Comm::new`
+    /// already rejects non-positive weights). The serve layer turns both
+    /// conditions into structured protocol errors before constructing the
+    /// `Comm`.
+    pub fn add_comm(&mut self, comm: Comm) -> SlotId {
+        assert!(
+            self.mesh.contains(comm.src) && self.mesh.contains(comm.snk),
+            "communication {comm} leaves the {}×{} mesh",
+            self.mesh.rows(),
+            self.mesh.cols()
+        );
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.slots.push(None);
+            self.slots.len() - 1
+        });
+        let path = Path::xy(comm.src, comm.snk);
+        let band = comm.band(&self.mesh);
+        for l in band.links() {
+            insert_slot(&mut self.band_users[l.index()], slot);
+        }
+        self.slots[slot] = Some(LiveComm { comm, path });
+        self.n_live += 1;
+        self.attach_path(slot);
+        self.stats.adds += 1;
+        match self.config.repair {
+            RepairMode::Full => self.full_reroute(),
+            RepairMode::Bounded { max_moves } => {
+                // Scope: the new communication's band — every link its own
+                // flips can reach, and where it just raised the pressure on
+                // whatever was already routed there.
+                self.repair_queue.fit(self.mesh.num_link_slots());
+                for l in band.links() {
+                    self.scope_link(l);
+                }
+                self.bounded_repair(max_moves);
+            }
+        }
+        SlotId(slot)
+    }
+
+    /// Removes a live communication, decrementing the freed links through
+    /// the resident index and repairing per the configured [`RepairMode`].
+    /// Returns the removed communication, or `None` for a dead handle.
+    pub fn remove_comm(&mut self, slot: SlotId) -> Option<Comm> {
+        let s = slot.0;
+        let live = self.slots.get(s)?.clone()?;
+        self.detach_path(s);
+        let band = live.comm.band(&self.mesh);
+        for l in band.links() {
+            remove_slot(&mut self.band_users[l.index()], s);
+        }
+        self.slots[s] = None;
+        self.free.push(s);
+        self.n_live -= 1;
+        self.stats.removes += 1;
+        match self.config.repair {
+            RepairMode::Full => self.full_reroute(),
+            RepairMode::Bounded { max_moves } => {
+                // Scope: the current paths of every communication whose band
+                // overlaps the freed links — the ones that could flip into
+                // the capacity the removal just released.
+                let mesh = self.mesh;
+                self.repair_queue.fit(mesh.num_link_slots());
+                for l in live.path.links(&mesh) {
+                    for i in 0..self.band_users[l.index()].len() {
+                        let u = self.band_users[l.index()][i];
+                        let path = self.slots[u]
+                            .as_ref()
+                            .expect("band index only holds live slots")
+                            .path
+                            .clone();
+                        for pl in path.links(&mesh) {
+                            self.scope_link(pl);
+                        }
+                    }
+                }
+                self.bounded_repair(max_moves);
+            }
+        }
+        Some(live.comm)
+    }
+
+    /// Full re-route of the surviving set through the configured batch
+    /// heuristic (also what [`RepairMode::Full`] runs after every mutation
+    /// and what bounded repair escalates to on infeasibility).
+    pub fn reroute(&mut self) {
+        self.full_reroute();
+    }
+
+    /// Keys `link` into the repair scope at its current load (no-op for
+    /// idle links — the queue only ever holds strictly positive loads).
+    fn scope_link(&mut self, link: LinkId) {
+        self.repair_queue.set(link, self.loads.get(link));
+    }
+
+    /// Inserts `slot`'s current path into `users` and re-derives the loads
+    /// of the crossed links.
+    fn attach_path(&mut self, slot: usize) {
+        let mesh = self.mesh;
+        let path = self.slots[slot]
+            .as_ref()
+            .expect("slot is live")
+            .path
+            .clone();
+        for l in path.links(&mesh) {
+            insert_slot(&mut self.users[l.index()], slot);
+            self.recompute_link(l);
+        }
+    }
+
+    /// Removes `slot`'s current path from `users` and re-derives the loads
+    /// of the freed links.
+    fn detach_path(&mut self, slot: usize) {
+        let mesh = self.mesh;
+        let path = self.slots[slot]
+            .as_ref()
+            .expect("slot is live")
+            .path
+            .clone();
+        for l in path.links(&mesh) {
+            remove_slot(&mut self.users[l.index()], slot);
+            self.recompute_link(l);
+        }
+    }
+
+    /// Re-derives `link`'s load as the ascending-slot sum over its crossing
+    /// communications and re-keys the resident index ([`LoadQueue::set`]).
+    /// Exact by construction: no incremental accumulation residue.
+    fn recompute_link(&mut self, link: LinkId) {
+        let mut sum = 0.0;
+        for &s in &self.users[link.index()] {
+            sum += self.slots[s]
+                .as_ref()
+                .expect("users index only holds live slots")
+                .comm
+                .weight;
+        }
+        self.loads.set(link, sum);
+        self.queue.set(link, sum);
+    }
+
+    /// The bounded XYI improvement pass over the current repair scope (see
+    /// the [module docs](self)); escalates to a full re-route when the
+    /// repaired state is still infeasible.
+    fn bounded_repair(&mut self, max_moves: usize) {
+        let mut moves = 0;
+        'outer: while moves < max_moves {
+            // Scoped links in decreasing-load order — the select_max order
+            // batch XYI examines, restricted to the scope.
+            let mut cursor = Cursor::default();
+            while let Some((link, _)) = cursor.next(&self.repair_queue) {
+                // Best flip among the communications crossing this link:
+                // (delta, slot, swap position, removed, added links).
+                type Candidate = (f64, usize, usize, [LinkId; 2], [LinkId; 2]);
+                let mut best: Option<Candidate> = None;
+                for &i in &self.users[link.index()] {
+                    let lc = self.slots[i]
+                        .as_ref()
+                        .expect("users index only holds live slots");
+                    if let Some((swap_at, rem, add)) =
+                        xyi::flip_candidate(&self.mesh, &lc.path, link)
+                    {
+                        let w = lc.comm.weight;
+                        let mut delta = 0.0;
+                        for l in rem {
+                            let load = self.loads.get(l);
+                            delta += surrogate_link_cost(&self.model, load - w)
+                                - surrogate_link_cost(&self.model, load);
+                        }
+                        for l in add {
+                            let load = self.loads.get(l);
+                            delta += surrogate_link_cost(&self.model, load + w)
+                                - surrogate_link_cost(&self.model, load);
+                        }
+                        if delta < -xyi::IMPROVE_EPS
+                            && best.as_ref().is_none_or(|(b, ..)| delta < *b)
+                        {
+                            best = Some((delta, i, swap_at, rem, add));
+                        }
+                    }
+                }
+                if let Some((_, i, swap_at, rem, add)) = best {
+                    self.apply_flip(i, swap_at, rem, add);
+                    moves += 1;
+                    self.stats.repair_moves += 1;
+                    continue 'outer; // restart from the scope's new maximum
+                }
+            }
+            break; // no scoped link admits an improving flip
+        }
+        // Escape hatch: a locally-repaired state that is still over
+        // capacity falls back to the batch heuristic, so the session is
+        // feasible whenever a from-scratch route of the same set would be.
+        if self.power().is_err() {
+            self.stats.escalations += 1;
+            self.full_reroute();
+        }
+    }
+
+    /// Applies one accepted flip: rebuilds the path, re-homes the crossing
+    /// index on the two removed/two added links, and re-keys their loads in
+    /// the resident *and* scope queues (the scope grows with touched links).
+    fn apply_flip(&mut self, slot: usize, swap_at: usize, rem: [LinkId; 2], add: [LinkId; 2]) {
+        let lc = self.slots[slot].as_mut().expect("slot is live");
+        let mut new_moves = lc.path.moves().to_vec();
+        new_moves.swap(swap_at, swap_at + 1);
+        lc.path = Path::from_moves(lc.path.src(), new_moves);
+        for l in rem {
+            remove_slot(&mut self.users[l.index()], slot);
+        }
+        for l in add {
+            insert_slot(&mut self.users[l.index()], slot);
+        }
+        for l in rem.into_iter().chain(add) {
+            self.recompute_link(l);
+            self.repair_queue.set(l, self.loads.get(l));
+        }
+    }
+
+    /// Re-routes the surviving set from scratch with the configured batch
+    /// heuristic and rebuilds every resident structure from the result.
+    fn full_reroute(&mut self) {
+        self.stats.full_reroutes += 1;
+        let (cs, slots) = self.live_comm_set_with_slots();
+        let routing = self
+            .config
+            .heuristic
+            .route_with(&cs, &self.model, &mut self.scratch);
+        for (pos, &s) in slots.iter().enumerate() {
+            self.slots[s].as_mut().expect("slot is live").path = routing.path(pos).clone();
+        }
+        // Rebuild users and loads in ascending slot order: per link this
+        // accumulates weights in exactly the order `recompute_link` sums
+        // them, so incremental and rebuilt states are bit-identical.
+        for v in self.users.iter_mut() {
+            v.clear();
+        }
+        self.loads.clear();
+        for &s in &slots {
+            let lc = self.slots[s].as_ref().expect("slot is live");
+            for l in lc.path.links(&self.mesh) {
+                self.users[l.index()].push(s);
+            }
+            self.loads.add_path(&self.mesh, &lc.path, lc.comm.weight);
+        }
+        self.queue
+            .rebuild(self.mesh.num_link_slots(), self.loads.iter_active());
+    }
+}
+
+/// Inserts `slot` into a sorted slot list (must be absent).
+fn insert_slot(v: &mut Vec<usize>, slot: usize) {
+    let pos = v
+        .binary_search(&slot)
+        .expect_err("slot cannot already be indexed here");
+    v.insert(pos, slot);
+}
+
+/// Removes `slot` from a sorted slot list (must be present).
+fn remove_slot(v: &mut Vec<usize>, slot: usize) {
+    let pos = v.binary_search(&slot).expect("slot is indexed here");
+    v.remove(pos);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::Heuristic;
+    use crate::XyImprover;
+    use pamr_mesh::Coord;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn kh_session(config: SessionConfig) -> RoutingSession {
+        RoutingSession::new(Mesh::new(4, 4), PowerModel::kim_horowitz(), config)
+    }
+
+    /// Recomputes the load map naively from the live paths, in ascending
+    /// slot order — the invariant oracle.
+    fn naive_loads(s: &RoutingSession) -> LoadMap {
+        let mut lm = LoadMap::new(s.mesh());
+        for (_, c, p) in s.live() {
+            lm.add_path(s.mesh(), p, c.weight);
+        }
+        lm
+    }
+
+    fn assert_consistent(s: &RoutingSession) {
+        let naive = naive_loads(s);
+        for l in s.mesh().links() {
+            assert_eq!(
+                s.loads().get(l).to_bits(),
+                naive.get(l).to_bits(),
+                "resident load of {l} desynced from the naive recomputation"
+            );
+            assert_eq!(
+                s.load_index().get(l).to_bits(),
+                if naive.get(l) > 0.0 {
+                    naive.get(l)
+                } else {
+                    0.0
+                }
+                .to_bits(),
+                "resident queue key of {l} desynced"
+            );
+        }
+        assert_eq!(s.max_load().to_bits(), naive.max_load().to_bits());
+    }
+
+    #[test]
+    fn add_remove_keeps_indices_consistent() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for &repair in &[RepairMode::Bounded { max_moves: 10_000 }, RepairMode::Full] {
+            let mut s = kh_session(SessionConfig {
+                heuristic: HeuristicKind::Xyi,
+                repair,
+            });
+            let mut handles = Vec::new();
+            for step in 0..60 {
+                if handles.is_empty() || rng.gen_range(0..100) < 65 {
+                    let c = Comm::new(
+                        Coord::new(rng.gen_range(0..4), rng.gen_range(0..4)),
+                        Coord::new(rng.gen_range(0..4), rng.gen_range(0..4)),
+                        rng.gen_range(100.0..2500.0),
+                    );
+                    handles.push(s.add_comm(c));
+                } else {
+                    let h = handles.swap_remove(rng.gen_range(0..handles.len()));
+                    assert!(s.remove_comm(h).is_some(), "step {step}: live handle");
+                }
+                assert_consistent(&s);
+                let (cs, routing) = s.live_routing();
+                assert!(routing.is_structurally_valid(&cs, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn full_mode_is_bit_identical_to_batch() {
+        let mut s = kh_session(SessionConfig {
+            heuristic: HeuristicKind::Xyi,
+            repair: RepairMode::Full,
+        });
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut handles = Vec::new();
+        for _ in 0..30 {
+            if handles.is_empty() || rng.gen_range(0..100) < 70 {
+                handles.push(s.add_comm(Comm::new(
+                    Coord::new(rng.gen_range(0..4), rng.gen_range(0..4)),
+                    Coord::new(rng.gen_range(0..4), rng.gen_range(0..4)),
+                    rng.gen_range(100.0..2500.0),
+                )));
+            } else {
+                let h = handles.swap_remove(rng.gen_range(0..handles.len()));
+                s.remove_comm(h);
+            }
+            let (cs, routing) = s.live_routing();
+            let batch = XyImprover::default().route(&cs, s.model());
+            assert_eq!(
+                routing, batch,
+                "full-repair session diverged from batch XYI"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_handles_answer_none() {
+        let mut s = kh_session(SessionConfig::default());
+        let h = s.add_comm(Comm::new(Coord::new(0, 0), Coord::new(2, 2), 5.0));
+        assert!(s.contains(h));
+        assert_eq!(s.remove_comm(h).map(|c| c.weight), Some(5.0));
+        assert!(!s.contains(h));
+        assert!(s.remove_comm(h).is_none());
+        assert!(s.comm(h).is_none());
+        assert!(s.path(h).is_none());
+        assert!(s.is_empty());
+        assert_eq!(s.max_load(), 0.0);
+    }
+
+    #[test]
+    fn slots_are_reused_after_removal() {
+        let mut s = kh_session(SessionConfig::default());
+        let a = s.add_comm(Comm::new(Coord::new(0, 0), Coord::new(1, 1), 1.0));
+        let b = s.add_comm(Comm::new(Coord::new(3, 3), Coord::new(2, 2), 1.0));
+        s.remove_comm(a);
+        let c = s.add_comm(Comm::new(Coord::new(0, 3), Coord::new(3, 0), 1.0));
+        assert_eq!(c.index(), a.index(), "freed slot is reused");
+        assert_ne!(b.index(), c.index());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn local_comm_is_a_no_op_on_loads() {
+        let mut s = kh_session(SessionConfig::default());
+        let h = s.add_comm(Comm::new(Coord::new(1, 1), Coord::new(1, 1), 9.0));
+        assert_eq!(s.max_load(), 0.0);
+        assert_eq!(s.power().unwrap().total(), 0.0);
+        s.remove_comm(h);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn bounded_repair_relieves_a_stacked_link() {
+        // Two heavy same-pole flows on a 2×2: XY stacks both on the same
+        // two links; the bounded pass must separate them like batch XYI.
+        let mesh = Mesh::new(2, 2);
+        let mut s = RoutingSession::new(mesh, PowerModel::fig2(), SessionConfig::default());
+        s.add_comm(Comm::new(Coord::new(0, 0), Coord::new(1, 1), 1.0));
+        s.add_comm(Comm::new(Coord::new(0, 0), Coord::new(1, 1), 3.0));
+        let p = s.power().unwrap().total();
+        assert!(
+            (p - 56.0).abs() < 1e-9,
+            "expected the 1-MP optimum 56, got {p}"
+        );
+        assert!(s.stats().repair_moves > 0, "repair must have moved a flow");
+        assert_eq!(s.stats().full_reroutes, 0, "no escalation was needed");
+    }
+
+    #[test]
+    fn infeasible_bounded_result_escalates_to_batch() {
+        // A session whose bounded pass cannot fix the overload must end in
+        // exactly the batch heuristic's state.
+        let mesh = Mesh::new(2, 2);
+        let model = PowerModel::fig2(); // BW = 4
+        let mut s = RoutingSession::new(mesh, model, SessionConfig::default());
+        s.add_comm(Comm::new(Coord::new(0, 0), Coord::new(1, 1), 3.0));
+        s.add_comm(Comm::new(Coord::new(0, 0), Coord::new(1, 1), 3.0));
+        // XY stacks 6.0 > 4; XYI (bounded or batch) separates XY + YX.
+        assert!(s.power().is_ok(), "the session must repair the overload");
+        let (cs, routing) = s.live_routing();
+        let batch = XyImprover::default().route(&cs, s.model());
+        assert_eq!(
+            routing
+                .power(&cs, s.model())
+                .map(|b| b.total().to_bits())
+                .ok(),
+            batch
+                .power(&cs, s.model())
+                .map(|b| b.total().to_bits())
+                .ok(),
+        );
+    }
+
+    #[test]
+    fn explicit_reroute_matches_batch() {
+        let mut s = kh_session(SessionConfig {
+            heuristic: HeuristicKind::Pr,
+            repair: RepairMode::Bounded { max_moves: 4 },
+        });
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..12 {
+            s.add_comm(Comm::new(
+                Coord::new(rng.gen_range(0..4), rng.gen_range(0..4)),
+                Coord::new(rng.gen_range(0..4), rng.gen_range(0..4)),
+                rng.gen_range(100.0..2500.0),
+            ));
+        }
+        s.reroute();
+        let (cs, routing) = s.live_routing();
+        let batch = HeuristicKind::Pr.route(&cs, s.model());
+        assert_eq!(routing, batch, "explicit reroute diverged from batch PR");
+        assert_consistent(&s);
+    }
+}

@@ -46,8 +46,9 @@ pub mod reference;
 pub use reference::ReferenceXyImprover;
 
 /// Relative improvement below which a modification is not considered an
-/// improvement (guards termination against floating-point noise).
-const IMPROVE_EPS: f64 = 1e-9;
+/// improvement (guards termination against floating-point noise). Shared
+/// with the session's bounded repair pass ([`crate::session`]).
+pub(crate) const IMPROVE_EPS: f64 = 1e-9;
 
 /// **XYI — XY improver** (§5.4).
 ///
@@ -127,7 +128,7 @@ pub fn implementation() -> XyiImpl {
 /// Only the two links at `swap_at` / `swap_at + 1` differ between the old
 /// and new paths, so the candidate is fully described — and its surrogate
 /// delta evaluable — with zero allocations.
-pub(super) fn flip_candidate(
+pub(crate) fn flip_candidate(
     mesh: &Mesh,
     path: &Path,
     link: LinkId,

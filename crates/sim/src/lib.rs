@@ -35,10 +35,12 @@ pub mod campaign;
 pub mod cli;
 pub mod experiments;
 pub mod runner;
+pub mod serve;
 pub mod shard;
 pub mod stats;
 pub mod summary;
 pub mod table;
+pub mod testutil;
 pub mod viz;
 
 pub use campaign::{experiment_seed, trial_seed, Campaign, ShardSpec};

@@ -1,0 +1,439 @@
+//! The `pamr serve` wire protocol: newline-delimited JSON requests over
+//! stdin/stdout (or a TCP socket) against a resident
+//! [`RoutingSession`].
+//!
+//! One request per line, one response per line, in order. Requests are
+//! JSON objects dispatched on their `"op"` field:
+//!
+//! | op             | request fields                          |
+//! |----------------|-----------------------------------------|
+//! | `add_comm`     | `id`, `src {u,v}`, `snk {u,v}`, `weight`|
+//! | `remove_comm`  | `id`                                    |
+//! | `reroute`      | —                                       |
+//! | `power_report` | —                                       |
+//! | `snapshot`     | —                                       |
+//!
+//! Every response carries `"ok"` and echoes `"op"`; failures are
+//! **structured errors** (`{"ok":false,"op":…,"error":"…"}`), never a
+//! process death — malformed JSON, unknown ops, duplicate or unknown ids,
+//! off-mesh endpoints and invalid weights all come back as error lines
+//! while the session keeps serving. The exact bytes of the protocol are
+//! pinned by `crates/sim/tests/fixtures/session_golden.jsonl`
+//! (`PAMR_BLESS=1` regenerates) and the shrinking scripts of
+//! `crates/sim/tests/session_prop.rs`.
+
+use pamr_mesh::Coord;
+use pamr_power::PowerModel;
+use pamr_routing::{Comm, RoutingSession, SessionConfig, SlotId};
+use serde::Value;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+/// A protocol server: a [`RoutingSession`] plus the wire-level id space
+/// (client-chosen string ids mapped to session slots).
+#[derive(Debug)]
+pub struct Server {
+    session: RoutingSession,
+    /// Live wire ids → session handles.
+    ids: HashMap<String, SlotId>,
+    /// Slot-indexed wire ids of the live communications (for snapshots).
+    names: Vec<Option<String>>,
+}
+
+impl Server {
+    /// A server over an empty session.
+    pub fn new(mesh: pamr_mesh::Mesh, model: PowerModel, config: SessionConfig) -> Self {
+        Server {
+            session: RoutingSession::new(mesh, model, config),
+            ids: HashMap::new(),
+            names: Vec::new(),
+        }
+    }
+
+    /// The underlying session (tests inspect its resident indices).
+    pub fn session(&self) -> &RoutingSession {
+        &self.session
+    }
+
+    /// Handles one request line and returns the response line (no trailing
+    /// newline). Never panics on untrusted input: every failure is a
+    /// structured `{"ok":false,…}` response.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        let (op, result) = match serde_json::from_str::<Value>(line) {
+            Err(e) => (None, Err(format!("invalid JSON: {e}"))),
+            Ok(req) => {
+                let op = req.get("op").and_then(|v| match v {
+                    Value::Str(s) => Some(s.clone()),
+                    _ => None,
+                });
+                let result = match op.as_deref() {
+                    None => Err("missing string field `op`".to_string()),
+                    Some("add_comm") => self.op_add_comm(&req),
+                    Some("remove_comm") => self.op_remove_comm(&req),
+                    Some("reroute") => Ok(self.op_reroute()),
+                    Some("power_report") => Ok(self.op_power_report()),
+                    Some("snapshot") => Ok(self.op_snapshot()),
+                    Some(other) => Err(format!(
+                        "unknown op {other:?} (add_comm | remove_comm | reroute | \
+                         power_report | snapshot)"
+                    )),
+                };
+                (op, result)
+            }
+        };
+        let value = match result {
+            Ok(v) => v,
+            Err(error) => obj(vec![
+                ("ok", Value::Bool(false)),
+                ("op", op.map_or(Value::Null, Value::Str)),
+                ("error", Value::Str(error)),
+            ]),
+        };
+        serde_json::to_string(&value).expect("responses are plain JSON values")
+    }
+
+    fn op_add_comm(&mut self, req: &Value) -> Result<Value, String> {
+        let id = str_field(req, "id")?;
+        if self.ids.contains_key(&id) {
+            return Err(format!("duplicate id {id:?}"));
+        }
+        let src = coord_field(req, "src")?;
+        let snk = coord_field(req, "snk")?;
+        let weight = f64_field(req, "weight")?;
+        if !(weight > 0.0 && weight.is_finite()) {
+            return Err(format!(
+                "weight must be strictly positive and finite, got {weight}"
+            ));
+        }
+        let mesh = *self.session.mesh();
+        for (name, c) in [("src", src), ("snk", snk)] {
+            if !mesh.contains(c) {
+                return Err(format!(
+                    "{name} ({},{}) is outside the {}x{} mesh",
+                    c.u,
+                    c.v,
+                    mesh.rows(),
+                    mesh.cols()
+                ));
+            }
+        }
+        let slot = self.session.add_comm(Comm::new(src, snk, weight));
+        if self.names.len() <= slot.index() {
+            self.names.resize(slot.index() + 1, None);
+        }
+        self.names[slot.index()] = Some(id.clone());
+        self.ids.insert(id.clone(), slot);
+        let path_len = self.session.path(slot).expect("slot is live").len();
+        Ok(obj(vec![
+            ("ok", Value::Bool(true)),
+            ("op", s("add_comm")),
+            ("id", Value::Str(id)),
+            ("path_len", u(path_len)),
+            ("n_comms", u(self.session.len())),
+            ("max_load", Value::Float(self.session.max_load())),
+            ("feasible", Value::Bool(self.session.power().is_ok())),
+        ]))
+    }
+
+    fn op_remove_comm(&mut self, req: &Value) -> Result<Value, String> {
+        let id = str_field(req, "id")?;
+        let slot = self
+            .ids
+            .remove(&id)
+            .ok_or_else(|| format!("unknown id {id:?}"))?;
+        self.names[slot.index()] = None;
+        self.session
+            .remove_comm(slot)
+            .expect("the id map only holds live slots");
+        Ok(obj(vec![
+            ("ok", Value::Bool(true)),
+            ("op", s("remove_comm")),
+            ("id", Value::Str(id)),
+            ("n_comms", u(self.session.len())),
+            ("max_load", Value::Float(self.session.max_load())),
+            ("feasible", Value::Bool(self.session.power().is_ok())),
+        ]))
+    }
+
+    fn op_reroute(&mut self) -> Value {
+        self.session.reroute();
+        obj(vec![
+            ("ok", Value::Bool(true)),
+            ("op", s("reroute")),
+            ("n_comms", u(self.session.len())),
+            ("max_load", Value::Float(self.session.max_load())),
+            ("feasible", Value::Bool(self.session.power().is_ok())),
+        ])
+    }
+
+    fn op_power_report(&self) -> Value {
+        let power = self.session.power();
+        let (total, leakage, dynamic, active) = match &power {
+            Ok(b) => (
+                Value::Float(b.total()),
+                Value::Float(b.leakage),
+                Value::Float(b.dynamic),
+                u(b.active_links),
+            ),
+            Err(_) => (Value::Null, Value::Null, Value::Null, Value::Null),
+        };
+        obj(vec![
+            ("ok", Value::Bool(true)),
+            ("op", s("power_report")),
+            ("n_comms", u(self.session.len())),
+            ("feasible", Value::Bool(power.is_ok())),
+            ("total_mw", total),
+            ("leakage_mw", leakage),
+            ("dynamic_mw", dynamic),
+            ("active_links", active),
+            ("max_load", Value::Float(self.session.max_load())),
+            ("total_load", Value::Float(self.session.loads().total())),
+        ])
+    }
+
+    fn op_snapshot(&self) -> Value {
+        let mesh = self.session.mesh();
+        let comms: Vec<Value> = self
+            .session
+            .live()
+            .map(|(slot, c, p)| {
+                let id = self.names[slot.index()]
+                    .clone()
+                    .expect("live slots carry a wire id");
+                obj(vec![
+                    ("id", Value::Str(id)),
+                    ("src", coord_value(c.src)),
+                    ("snk", coord_value(c.snk)),
+                    ("weight", Value::Float(c.weight)),
+                    ("path", Value::Str(p.to_string())),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("ok", Value::Bool(true)),
+            ("op", s("snapshot")),
+            (
+                "mesh",
+                obj(vec![("rows", u(mesh.rows())), ("cols", u(mesh.cols()))]),
+            ),
+            ("n_comms", u(self.session.len())),
+            ("comms", Value::Array(comms)),
+        ])
+    }
+}
+
+/// Serves requests line by line from `input` to `out`, one response per
+/// request, flushing after each (a piped client sees its answer
+/// immediately). Blank lines are ignored.
+pub fn serve_lines<R: BufRead, W: Write>(
+    server: &mut Server,
+    input: R,
+    mut out: W,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(out, "{}", server.handle_line(&line))?;
+        out.flush()?;
+    }
+    Ok(())
+}
+
+/// Binds `addr` and serves clients sequentially, the session persisting
+/// across connections. A client I/O error drops that client and keeps the
+/// listener alive; runs until the process is killed.
+pub fn serve_tcp(server: &mut Server, addr: &str) -> std::io::Result<()> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    eprintln!(
+        "pamr serve: listening on {}",
+        listener
+            .local_addr()
+            .map_or(addr.to_string(), |a| a.to_string())
+    );
+    for stream in listener.incoming() {
+        let result = stream.and_then(|stream| {
+            let reader = std::io::BufReader::new(stream.try_clone()?);
+            serve_lines(server, reader, stream)
+        });
+        if let Err(e) = result {
+            eprintln!("pamr serve: client error: {e}");
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Wire-value helpers
+// ---------------------------------------------------------------------------
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(text: &str) -> Value {
+    Value::Str(text.to_string())
+}
+
+fn u(n: usize) -> Value {
+    Value::UInt(n as u64)
+}
+
+fn coord_value(c: Coord) -> Value {
+    obj(vec![("u", u(c.u)), ("v", u(c.v))])
+}
+
+fn field<'a>(req: &'a Value, key: &str) -> Result<&'a Value, String> {
+    req.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn str_field(req: &Value, key: &str) -> Result<String, String> {
+    match field(req, key)? {
+        Value::Str(text) => Ok(text.clone()),
+        other => Err(format!(
+            "field `{key}` must be a string, got {}",
+            other.kind()
+        )),
+    }
+}
+
+fn f64_field(req: &Value, key: &str) -> Result<f64, String> {
+    match field(req, key)? {
+        Value::Float(x) => Ok(*x),
+        Value::Int(n) => Ok(*n as f64),
+        Value::UInt(n) => Ok(*n as f64),
+        other => Err(format!(
+            "field `{key}` must be a number, got {}",
+            other.kind()
+        )),
+    }
+}
+
+fn usize_field(req: &Value, key: &str) -> Result<usize, String> {
+    match field(req, key)? {
+        Value::UInt(n) => usize::try_from(*n).map_err(|_| format!("field `{key}` out of range")),
+        Value::Int(n) if *n >= 0 => {
+            usize::try_from(*n).map_err(|_| format!("field `{key}` out of range"))
+        }
+        other => Err(format!(
+            "field `{key}` must be a non-negative integer, got {}",
+            other.kind()
+        )),
+    }
+}
+
+fn coord_field(req: &Value, key: &str) -> Result<Coord, String> {
+    let v = field(req, key)?;
+    if v.as_object().is_none() {
+        return Err(format!(
+            "field `{key}` must be a {{\"u\":…,\"v\":…}} object, got {}",
+            v.kind()
+        ));
+    }
+    Ok(Coord::new(usize_field(v, "u")?, usize_field(v, "v")?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pamr_mesh::Mesh;
+
+    fn server() -> Server {
+        Server::new(
+            Mesh::new(4, 4),
+            PowerModel::kim_horowitz(),
+            SessionConfig::default(),
+        )
+    }
+
+    #[test]
+    fn add_report_remove_round_trip() {
+        let mut srv = server();
+        let add = srv.handle_line(
+            r#"{"op":"add_comm","id":"a","src":{"u":0,"v":0},"snk":{"u":2,"v":3},"weight":100}"#,
+        );
+        assert!(
+            add.starts_with(r#"{"ok":true,"op":"add_comm","id":"a","path_len":5"#),
+            "{add}"
+        );
+        let report = srv.handle_line(r#"{"op":"power_report"}"#);
+        assert!(report.contains(r#""feasible":true"#), "{report}");
+        assert!(report.contains(r#""n_comms":1"#), "{report}");
+        let remove = srv.handle_line(r#"{"op":"remove_comm","id":"a"}"#);
+        assert!(remove.contains(r#""ok":true"#), "{remove}");
+        assert!(remove.contains(r#""n_comms":0"#), "{remove}");
+    }
+
+    #[test]
+    fn errors_are_structured_not_fatal() {
+        let mut srv = server();
+        for (line, expect) in [
+            ("{not json", "invalid JSON"),
+            (r#"{"id":"a"}"#, "missing string field `op`"),
+            (r#"{"op":"warp"}"#, "unknown op"),
+            (r#"{"op":"add_comm","id":"a"}"#, "missing field `src`"),
+            (
+                r#"{"op":"add_comm","id":"a","src":{"u":0,"v":0},"snk":{"u":9,"v":0},"weight":1}"#,
+                "outside the 4x4 mesh",
+            ),
+            (
+                r#"{"op":"add_comm","id":"a","src":{"u":0,"v":0},"snk":{"u":1,"v":0},"weight":-3}"#,
+                "strictly positive",
+            ),
+            (r#"{"op":"remove_comm","id":"ghost"}"#, "unknown id"),
+        ] {
+            let resp = srv.handle_line(line);
+            assert!(resp.starts_with(r#"{"ok":false"#), "{line} -> {resp}");
+            assert!(resp.contains(expect), "{line} -> {resp}");
+        }
+        // The session survived every error and still serves.
+        let ok = srv.handle_line(
+            r#"{"op":"add_comm","id":"a","src":{"u":0,"v":0},"snk":{"u":1,"v":1},"weight":5.5}"#,
+        );
+        assert!(ok.starts_with(r#"{"ok":true"#), "{ok}");
+        let dup = srv.handle_line(
+            r#"{"op":"add_comm","id":"a","src":{"u":0,"v":0},"snk":{"u":1,"v":1},"weight":5.5}"#,
+        );
+        assert!(dup.contains("duplicate id"), "{dup}");
+    }
+
+    #[test]
+    fn snapshot_lists_live_comms_with_paths() {
+        let mut srv = server();
+        srv.handle_line(
+            r#"{"op":"add_comm","id":"x","src":{"u":0,"v":0},"snk":{"u":1,"v":1},"weight":10}"#,
+        );
+        srv.handle_line(
+            r#"{"op":"add_comm","id":"y","src":{"u":3,"v":3},"snk":{"u":3,"v":3},"weight":1}"#,
+        );
+        let snap = srv.handle_line(r#"{"op":"snapshot"}"#);
+        assert!(snap.contains(r#""mesh":{"rows":4,"cols":4}"#), "{snap}");
+        assert!(
+            snap.contains(r#""id":"x""#) && snap.contains(r#""id":"y""#),
+            "{snap}"
+        );
+        assert!(snap.contains(r#""n_comms":2"#), "{snap}");
+    }
+
+    #[test]
+    fn serve_lines_answers_every_request_in_order() {
+        let mut srv = server();
+        let input = "\
+{\"op\":\"add_comm\",\"id\":\"a\",\"src\":{\"u\":0,\"v\":0},\"snk\":{\"u\":2,\"v\":2},\"weight\":7}\n\
+\n\
+{\"op\":\"power_report\"}\n";
+        let mut out = Vec::new();
+        serve_lines(&mut srv, input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "blank request lines are skipped: {text}");
+        assert!(lines[0].contains("add_comm"));
+        assert!(lines[1].contains("power_report"));
+    }
+}

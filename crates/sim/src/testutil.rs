@@ -1,0 +1,111 @@
+//! Shared workload sweeps for the differential-oracle test suites.
+//!
+//! The PR, XYI and session oracles all sweep the same §6-style instance
+//! families (uniform draws across mesh shapes and weight regimes, the
+//! Figure 9 length-targeted generator, merged task-graph applications).
+//! This module is the single definition of those sweeps; the seeds and
+//! draw order are part of the oracles' contracts, so changing anything
+//! here intentionally shifts every differential suite at once.
+
+use pamr_mesh::Mesh;
+use pamr_routing::CommSet;
+use pamr_workload::taskgraph::merge_applications;
+use pamr_workload::{LengthTargetedWorkload, Mapping, TaskGraph, UniformWorkload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The §6.1–6.2 generator (Figures 7 and 8: uniform endpoints and
+/// weights) over square and rectangular meshes and the paper's weight
+/// regimes, including the degenerate fixed-weight fig8 draws. Calls
+/// `visit` with each instance and a replay label.
+pub fn uniform_sweep(mut visit: impl FnMut(&CommSet, &str)) {
+    for (p, q) in [(2, 2), (3, 5), (5, 3), (8, 8), (1, 6), (6, 1)] {
+        let mesh = Mesh::new(p, q);
+        let max_n = (4 * p * q).min(80);
+        for (w_min, w_max) in [(100.0, 1500.0), (100.0, 2500.0), (1750.0, 1750.0)] {
+            for seed in 0..4u64 {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (p as u64) << 8 ^ (q as u64) << 16);
+                let n = rng.gen_range(1..=max_n);
+                let cs = UniformWorkload::new(n, w_min, w_max).generate(&mesh, &mut rng);
+                visit(&cs, &format!("{p}x{q} uniform n={n} seed={seed}"));
+            }
+        }
+    }
+}
+
+/// The Figure 9 generator: source/sink pairs drawn at a target Manhattan
+/// distance — exercises long thin bands and corner-to-corner traffic.
+pub fn length_targeted_sweep(mut visit: impl FnMut(&CommSet, &str)) {
+    let mesh = Mesh::new(8, 8);
+    for len in [2, 5, 9, 14] {
+        for seed in 0..4u64 {
+            let mut rng = SmallRng::seed_from_u64(seed * 31 + len as u64);
+            let cs = LengthTargetedWorkload::new(25, 100.0, 3500.0, len).generate(&mesh, &mut rng);
+            visit(&cs, &format!("length-targeted len={len} seed={seed}"));
+        }
+    }
+}
+
+/// System-level instances: several mapped applications merged into one
+/// communication set (§3.2), with structured traffic patterns (pipeline,
+/// stencil, transpose, hotspot, butterfly) instead of uniform draws.
+pub fn task_graph_sweep(mut visit: impl FnMut(&CommSet, &str)) {
+    let mesh = Mesh::new(8, 8);
+    for seed in 0..6u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pipeline = TaskGraph::pipeline(10, 800.0);
+        let stencil = TaskGraph::stencil(4, 5, 400.0);
+        let transpose = TaskGraph::transpose(4, 1200.0);
+        let hotspot = TaskGraph::hotspot(9, 600.0);
+        let butterfly = TaskGraph::butterfly(3, 300.0);
+        let maps: Vec<Mapping> = [
+            pipeline.n_tasks(),
+            stencil.n_tasks(),
+            transpose.n_tasks(),
+            hotspot.n_tasks(),
+            butterfly.n_tasks(),
+        ]
+        .iter()
+        .map(|&n| Mapping::random(&mesh, n, &mut rng))
+        .collect();
+        let cs = merge_applications(
+            &mesh,
+            &[
+                (&pipeline, &maps[0]),
+                (&stencil, &maps[1]),
+                (&transpose, &maps[2]),
+                (&hotspot, &maps[3]),
+                (&butterfly, &maps[4]),
+            ],
+        );
+        visit(&cs, &format!("task-graph seed={seed}"));
+    }
+}
+
+/// All three deterministic sweeps in their canonical order.
+pub fn standard_sweep(mut visit: impl FnMut(&CommSet, &str)) {
+    uniform_sweep(&mut visit);
+    length_targeted_sweep(&mut visit);
+    task_graph_sweep(&mut visit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_are_deterministic_and_non_trivial() {
+        let mut labels = Vec::new();
+        let mut total_comms = 0usize;
+        standard_sweep(|cs, label| {
+            labels.push(label.to_string());
+            total_comms += cs.len();
+        });
+        let mut again = Vec::new();
+        standard_sweep(|_, label| again.push(label.to_string()));
+        assert_eq!(labels, again, "sweep labels must be reproducible");
+        // 6 meshes × 3 regimes × 4 seeds + 4 lengths × 4 seeds + 6 graphs.
+        assert_eq!(labels.len(), 6 * 3 * 4 + 4 * 4 + 6);
+        assert!(total_comms > 1000, "sweeps should exercise real instances");
+    }
+}

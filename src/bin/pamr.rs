@@ -6,6 +6,8 @@
 //!             [--model kim-horowitz|continuous] [--split S] [--json]
 //! pamr shard  --shard i/N --out part_i.json [--trials T] [--seed S] [--threads K]
 //! pamr merge  [--figures] part_0.json part_1.json ...
+//! pamr serve  [--mesh PxQ] [--model NAME] [--heuristic NAME]
+//!             [--repair bounded|full] [--max-moves N] [--stdin | --tcp ADDR]
 //! pamr demo
 //! ```
 //!
@@ -21,6 +23,13 @@
 //! `--figures` it instead renders the recombined Figure 7–9 tables (the
 //! per-point statistics are bit-equal to the unsharded campaign's, so the
 //! tables are byte-identical too).
+//!
+//! `serve` keeps a [`RoutingSession`] resident and answers newline-delimited
+//! JSON requests (`add_comm`, `remove_comm`, `reroute`, `power_report`,
+//! `snapshot`) over stdin/stdout (`--stdin`, the default) or a TCP socket
+//! (`--tcp 127.0.0.1:9667`); see `pamr::sim::serve` for the wire schema.
+//!
+//! [`RoutingSession`]: pamr::routing::RoutingSession
 
 use pamr::prelude::*;
 use pamr::sim::shard::{merge_figures, merge_partials, ShardPartial};
@@ -38,6 +47,8 @@ fn usage() -> ! {
          pamr route --instance FILE [--heuristic NAME] [--model NAME] [--split S] [--json]\n  \
          pamr shard --shard i/N --out FILE [--trials T] [--seed S] [--threads K]\n  \
          pamr merge [--figures] FILE...\n  \
+         pamr serve [--mesh PxQ] [--model NAME] [--heuristic NAME] \
+         [--repair bounded|full] [--max-moves N] [--stdin | --tcp ADDR]\n  \
          pamr demo"
     );
     exit(2);
@@ -50,6 +61,7 @@ fn main() {
         Some("route") => cmd_route(&args[1..]),
         Some("shard") => cmd_shard(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => usage(),
     }
@@ -303,6 +315,54 @@ fn cmd_merge(args: &[String]) {
         merged.shard_count, merged.trials, merged.seed
     );
     print!("{}", merged.summary().render_report());
+}
+
+fn cmd_serve(args: &[String]) {
+    let mesh_spec = opt(args, "--mesh").unwrap_or_else(|| "8x8".into());
+    let (p, q) = mesh_spec
+        .split_once('x')
+        .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+        .unwrap_or_else(|| usage());
+    let mesh = Mesh::new(p, q);
+    let model = build_model(
+        &opt(args, "--model").unwrap_or_else(|| "kim-horowitz".into()),
+        0.0,
+    );
+    let heur_name = opt(args, "--heuristic").unwrap_or_else(|| "XYI".into());
+    let heuristic = HeuristicKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(&heur_name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown heuristic {heur_name:?} (XY SG IG TB XYI PR)");
+            exit(2);
+        });
+    let repair = match opt(args, "--repair").as_deref().unwrap_or("bounded") {
+        "full" => pamr::routing::RepairMode::Full,
+        "bounded" => {
+            let max_moves = opt(args, "--max-moves")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10_000);
+            pamr::routing::RepairMode::Bounded { max_moves }
+        }
+        other => {
+            eprintln!("unknown repair mode {other:?} (bounded | full)");
+            exit(2);
+        }
+    };
+    let config = pamr::routing::SessionConfig { heuristic, repair };
+    let mut server = pamr::sim::serve::Server::new(mesh, model, config);
+    let result = match opt(args, "--tcp") {
+        Some(addr) if !flag(args, "--stdin") => pamr::sim::serve::serve_tcp(&mut server, &addr),
+        _ => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            pamr::sim::serve::serve_lines(&mut server, stdin.lock(), stdout.lock())
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("pamr serve: {e}");
+        exit(1);
+    }
 }
 
 fn cmd_demo() {

@@ -19,10 +19,8 @@
 
 use pamr::prelude::*;
 use pamr::routing::{pr, PrImpl, ReferencePathRemover};
-use pamr::workload::taskgraph::merge_applications;
+use pamr::sim::testutil;
 use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Routes `cs` with both engines (explicitly, independent of the
 /// process-global selector) and asserts identical outcomes — routings and
@@ -47,72 +45,17 @@ fn assert_engines_agree(cs: &CommSet, label: &str) {
 
 #[test]
 fn uniform_workloads_match_across_mesh_sizes() {
-    // The §6.1–6.2 generator (Figures 7 and 8: uniform endpoints and
-    // weights) over square and rectangular meshes and the paper's weight
-    // regimes, including the degenerate fixed-weight fig8 draws.
-    for (p, q) in [(2, 2), (3, 5), (5, 3), (8, 8), (1, 6), (6, 1)] {
-        let mesh = Mesh::new(p, q);
-        let max_n = (4 * p * q).min(80);
-        for (w_min, w_max) in [(100.0, 1500.0), (100.0, 2500.0), (1750.0, 1750.0)] {
-            for seed in 0..4u64 {
-                let mut rng = SmallRng::seed_from_u64(seed ^ (p as u64) << 8 ^ (q as u64) << 16);
-                let n = rng.gen_range(1..=max_n);
-                let cs = UniformWorkload::new(n, w_min, w_max).generate(&mesh, &mut rng);
-                assert_engines_agree(&cs, &format!("{p}x{q} uniform n={n} seed={seed}"));
-            }
-        }
-    }
+    testutil::uniform_sweep(assert_engines_agree);
 }
 
 #[test]
 fn length_targeted_workloads_match() {
-    // The Figure 9 generator: source/sink pairs drawn at a target Manhattan
-    // distance — exercises long thin bands and corner-to-corner traffic.
-    let mesh = Mesh::new(8, 8);
-    for len in [2, 5, 9, 14] {
-        for seed in 0..4u64 {
-            let mut rng = SmallRng::seed_from_u64(seed * 31 + len as u64);
-            let cs = LengthTargetedWorkload::new(25, 100.0, 3500.0, len).generate(&mesh, &mut rng);
-            assert_engines_agree(&cs, &format!("length-targeted len={len} seed={seed}"));
-        }
-    }
+    testutil::length_targeted_sweep(assert_engines_agree);
 }
 
 #[test]
 fn task_graph_workloads_match() {
-    // System-level instances: several mapped applications merged into one
-    // communication set (§3.2), with structured traffic patterns (pipeline,
-    // stencil, transpose, hotspot, butterfly) instead of uniform draws.
-    let mesh = Mesh::new(8, 8);
-    for seed in 0..6u64 {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let pipeline = TaskGraph::pipeline(10, 800.0);
-        let stencil = TaskGraph::stencil(4, 5, 400.0);
-        let transpose = TaskGraph::transpose(4, 1200.0);
-        let hotspot = TaskGraph::hotspot(9, 600.0);
-        let butterfly = TaskGraph::butterfly(3, 300.0);
-        let maps: Vec<Mapping> = [
-            pipeline.n_tasks(),
-            stencil.n_tasks(),
-            transpose.n_tasks(),
-            hotspot.n_tasks(),
-            butterfly.n_tasks(),
-        ]
-        .iter()
-        .map(|&n| Mapping::random(&mesh, n, &mut rng))
-        .collect();
-        let cs = merge_applications(
-            &mesh,
-            &[
-                (&pipeline, &maps[0]),
-                (&stencil, &maps[1]),
-                (&transpose, &maps[2]),
-                (&hotspot, &maps[3]),
-                (&butterfly, &maps[4]),
-            ],
-        );
-        assert_engines_agree(&cs, &format!("task-graph seed={seed}"));
-    }
+    testutil::task_graph_sweep(assert_engines_agree);
 }
 
 /// Random instances mixing all quadrants, straight lines, duplicates and

@@ -76,6 +76,22 @@ impl Value {
     }
 }
 
+// `Value` is its own data model, so (de)serialisation is the identity.
+// Real serde_json offers the same through `serde_json::Value`'s blanket
+// impls; the `pamr serve` wire protocol relies on it to parse requests
+// whose shape is not known until the `"op"` field is inspected.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Serialization / deserialization error.
 #[derive(Debug, Clone)]
 pub struct Error(String);

@@ -13,6 +13,7 @@
 //! pamr-bench xyi [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]
 //! pamr-bench ig  [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]
 //! pamr-bench serve [--comms N] [--repeats R] [--seed S] [--out FILE]
+//! pamr-bench precompute [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]
 //! ```
 //!
 //! `run` executes the campaigns and writes the report; `check` compares a
@@ -33,12 +34,15 @@
 //! smaller version of every lane. `serve` is the daemon lane: per-request
 //! latency of `add_comm` against a resident `RoutingSession` (bounded
 //! incremental repair) versus the stateless alternative of re-routing the
-//! whole live set from scratch on every request.
+//! whole live set from scratch on every request. `precompute` is the
+//! two-phase lane: the campaign trial loop with the shared
+//! precompute/customize split (interned per-endpoint tables) versus the
+//! literal rebuild-per-trial path, cross-checked bit-identical first.
 
 use pamr_routing::{
-    Heuristic as _, HeuristicKind, ImprovedGreedy, PathRemover, ReferenceImprovedGreedy,
-    ReferencePathRemover, ReferenceXyImprover, RouteScratch, RoutingSession, SessionConfig,
-    XyImprover,
+    precompute, Heuristic as _, HeuristicKind, ImprovedGreedy, MeshPrecompute, PathRemover,
+    PrecomputeImpl, ReferenceImprovedGreedy, ReferencePathRemover, ReferenceXyImprover,
+    RouteScratch, RoutingSession, SessionConfig, SimpleGreedy, XyImprover,
 };
 use pamr_sim::experiments::{fig7, fig8, fig9, Experiment};
 use pamr_sim::{Campaign, ShardSpec};
@@ -200,6 +204,129 @@ fn measure_engine(
     }
 }
 
+/// The `precompute` lane of `BENCH_summary.json`: the shared
+/// precompute/customize split versus the literal rebuild-per-trial path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PrecomputeBench {
+    /// Campaign-style trials timed per pass.
+    instances: usize,
+    /// Communications per instance.
+    comms: usize,
+    /// Timing repetitions over the trial set.
+    repeats: usize,
+    /// Master seed of the instance draws.
+    seed: u64,
+    /// Mean per-trial runtime with the shared precompute
+    /// ([`PrecomputeImpl::Cached`], the production default), milliseconds.
+    cached_ms: f64,
+    /// Mean per-trial runtime rebuilding bands, row intervals and seed
+    /// paths from scratch every call ([`PrecomputeImpl::Rebuild`]), ms.
+    rebuild_ms: f64,
+    /// `rebuild_ms / cached_ms`.
+    speedup: f64,
+    /// Both implementations produced identical routings on every trial.
+    identical: bool,
+}
+
+/// Times the IG-heavy campaign trial — the §5.2 greedy family (SG then
+/// indexed IG) over §6.2 uniform 80-communication instances — once with
+/// the shared precompute/customize split and once with literal per-call
+/// rebuilds, cross-checking bit-identical routings first.
+///
+/// The greedy family is the precompute's best customer: SG consumes the
+/// cached decreasing-weight order, and IG additionally consumes the
+/// interned bands (ideal sharing + min-load index) and the tabulated
+/// per-level cost ladder. The rebuild pass is the literal pre-split path —
+/// fresh bands, fresh sort, per-query power-fit evaluation — so the ratio
+/// is the split's end-to-end campaign-level payoff on sweeps whose
+/// per-trial time IG dominates.
+fn measure_precompute(
+    instances: usize,
+    comms: usize,
+    repeats: usize,
+    seed: u64,
+) -> PrecomputeBench {
+    let mesh = pamr_bench::mesh8();
+    let model = pamr_bench::model();
+    let sets: Vec<_> = (0..instances)
+        .map(|i| {
+            pamr_bench::uniform_instance(
+                &mesh,
+                comms,
+                100.0,
+                2500.0,
+                seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
+            )
+        })
+        .collect();
+    // One IG-heavy campaign trial: the greedy family over one instance.
+    let trial = |cs: &pamr_routing::CommSet, scratch: &mut RouteScratch| {
+        let _ = SimpleGreedy::default().route_with(cs, &model, scratch);
+        let _ = ImprovedGreedy::default().route_indexed_with(cs, &model, scratch);
+    };
+    // Differential cross-check before timing: identical routings under
+    // both implementations, per instance.
+    let outcomes = |imp: PrecomputeImpl| {
+        precompute::set_implementation(imp);
+        let mut scratch = RouteScratch::new();
+        let out: Vec<_> = sets
+            .iter()
+            .map(|cs| {
+                (
+                    SimpleGreedy::default().route_with(cs, &model, &mut scratch),
+                    ImprovedGreedy::default().route_indexed_with(cs, &model, &mut scratch),
+                )
+            })
+            .collect();
+        precompute::set_implementation(PrecomputeImpl::Cached);
+        out
+    };
+    let identical = outcomes(PrecomputeImpl::Cached) == outcomes(PrecomputeImpl::Rebuild);
+    assert!(
+        identical,
+        "cached tables changed a routing — the precompute lane refuses to time"
+    );
+    // One shared precompute, as `Summary::run` builds for a whole campaign:
+    // on the 8×8 campaign mesh it saturates after a few trials (≤ 4096
+    // distinct pairs) and then serves the sweep's remaining ~10⁵ trials, so
+    // the steady state is what "campaign-level" means here.
+    let shared = std::sync::Arc::new(MeshPrecompute::new(mesh));
+    let timed = |imp: PrecomputeImpl| -> f64 {
+        precompute::set_implementation(imp);
+        let mut scratch = RouteScratch::new();
+        if imp == PrecomputeImpl::Cached {
+            scratch.attach_precompute(std::sync::Arc::clone(&shared));
+        }
+        // Untimed warm pass for *both* implementations: it saturates the
+        // cached pass's interner (the campaign steady state) and warms
+        // caches and branch predictors equally for the rebuild pass.
+        for cs in &sets {
+            trial(cs, &mut scratch);
+        }
+        let start = Instant::now();
+        for _ in 0..repeats {
+            for cs in &sets {
+                trial(cs, &mut scratch);
+            }
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3 / (repeats * sets.len()) as f64;
+        precompute::set_implementation(PrecomputeImpl::Cached);
+        ms
+    };
+    let cached_ms = timed(PrecomputeImpl::Cached);
+    let rebuild_ms = timed(PrecomputeImpl::Rebuild);
+    PrecomputeBench {
+        instances,
+        comms,
+        repeats,
+        seed,
+        cached_ms,
+        rebuild_ms,
+        speedup: rebuild_ms / cached_ms,
+        identical,
+    }
+}
+
 /// The `serve` lane of `BENCH_summary.json`: per-request `add_comm`
 /// latency of the resident session versus a stateless from-scratch
 /// re-route of the live set on every request.
@@ -305,6 +432,8 @@ struct BenchReport {
     ig: Option<EngineBench>,
     /// The incremental-vs-stateless daemon lane (`run` / `serve`).
     serve: Option<ServeBench>,
+    /// The shared-precompute-vs-rebuild lane (`run` / `precompute`).
+    precompute: Option<PrecomputeBench>,
 }
 
 /// Hardware threads of this machine, as recorded in the report.
@@ -320,7 +449,8 @@ fn usage() -> ! {
          pamr-bench check --baseline FILE --current FILE [--max-ratio R]\n  \
          pamr-bench shard [--shards N] [--trials T] [--seed S] [--pamr PATH] [--out FILE]\n  \
          pamr-bench pr|xyi|ig [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]\n  \
-         pamr-bench serve [--comms N] [--repeats R] [--seed S] [--out FILE]"
+         pamr-bench serve [--comms N] [--repeats R] [--seed S] [--out FILE]\n  \
+         pamr-bench precompute [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -342,6 +472,7 @@ fn main() {
         Some("xyi") => cmd_engine(EngineLane::Xyi, &args[1..]),
         Some("ig") => cmd_engine(EngineLane::Ig, &args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("precompute") => cmd_precompute(&args[1..]),
         _ => usage(),
     }
 }
@@ -357,6 +488,7 @@ fn time_group(exps: &[Experiment], trials: usize, seed: u64, threads: usize) -> 
         trials,
         seed,
         shard: ShardSpec::FULL,
+        pre: None,
     };
     let start = Instant::now();
     for exp in exps {
@@ -442,11 +574,16 @@ fn cmd_run(args: &[String]) {
         "  serve: incremental {:.3} ms/req, from-scratch {:.3} ms/req, speedup {:.1}x",
         serve.incremental_ms_per_req, serve.scratch_ms_per_req, serve.speedup
     );
+    let pre = measure_precompute(12, 80, 2, seed);
+    eprintln!(
+        "  precompute: cached {:.2} ms/trial, rebuild {:.2} ms/trial, speedup {:.2}x",
+        pre.cached_ms, pre.rebuild_ms, pre.speedup
+    );
 
     let total_wall_ms_seq: f64 = figures.iter().map(|f| f.wall_ms_seq).sum();
     let total_wall_ms_par: f64 = figures.iter().map(|f| f.wall_ms_par).sum();
     let report = BenchReport {
-        schema: 4,
+        schema: 5,
         profile,
         threads,
         nproc: nproc(),
@@ -460,6 +597,7 @@ fn cmd_run(args: &[String]) {
         xyi: Some(xyi),
         ig: Some(ig),
         serve: Some(serve),
+        precompute: Some(pre),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
@@ -530,6 +668,12 @@ fn cmd_check(args: &[String]) {
     if let (Some(b), Some(c)) = (&baseline.serve, &current.serve) {
         println!(
             "  serve lane: {:.1}x → {:.1}x incremental-vs-scratch speedup",
+            b.speedup, c.speedup
+        );
+    }
+    if let (Some(b), Some(c)) = (&baseline.precompute, &current.precompute) {
+        println!(
+            "  precompute lane: {:.2}x → {:.2}x cached-vs-rebuild speedup",
             b.speedup, c.speedup
         );
     }
@@ -608,7 +752,7 @@ fn cmd_engine(lane: EngineLane, args: &[String]) {
 /// `BENCH_summary.json` when no prior `run` recorded the figures.
 fn empty_report(profile: &str, seed: u64) -> BenchReport {
     BenchReport {
-        schema: 4,
+        schema: 5,
         profile: profile.into(),
         threads: rayon::current_num_threads(),
         nproc: nproc(),
@@ -622,6 +766,7 @@ fn empty_report(profile: &str, seed: u64) -> BenchReport {
         xyi: None,
         ig: None,
         serve: None,
+        precompute: None,
     }
 }
 
@@ -667,6 +812,57 @@ fn cmd_serve(args: &[String]) {
         })
         .unwrap_or_else(|| empty_report("serve", seed));
     report.serve = Some(bench);
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("{json}");
+}
+
+/// The focused precompute lane (`pamr-bench precompute`): a bigger sample
+/// of the cached-vs-rebuild measurement `run` records, merged into
+/// `BENCH_summary.json` like the engine lanes.
+fn cmd_precompute(args: &[String]) {
+    let instances: usize = opt(args, "--instances")
+        .map(|s| s.parse().expect("--instances needs a positive integer"))
+        .unwrap_or(40);
+    assert!(instances > 0, "--instances must be positive");
+    let comms: usize = opt(args, "--comms")
+        .map(|s| s.parse().expect("--comms needs a positive integer"))
+        .unwrap_or(80);
+    assert!(comms > 0, "--comms must be positive");
+    let repeats: usize = opt(args, "--repeats")
+        .map(|s| s.parse().expect("--repeats needs a positive integer"))
+        .unwrap_or(8);
+    assert!(repeats > 0, "--repeats must be positive");
+    let seed: u64 = opt(args, "--seed")
+        .map(|s| s.parse().expect("--seed needs an integer"))
+        .unwrap_or(0xC0FFEE);
+    let out = opt(args, "--out").unwrap_or_else(|| "BENCH_summary.json".into());
+
+    eprintln!(
+        "pamr-bench precompute: {instances} trials × {comms} comms × {repeats} repeat(s), \
+         shared precompute vs rebuild-per-trial"
+    );
+    let bench = measure_precompute(instances, comms, repeats, seed);
+    eprintln!(
+        "pamr-bench precompute: cached {:.3} ms/trial, rebuild {:.3} ms/trial, \
+         speedup {:.2}x, routings identical → {out}",
+        bench.cached_ms, bench.rebuild_ms, bench.speedup
+    );
+
+    let mut report = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|text| match serde_json::from_str::<BenchReport>(&text) {
+            Ok(report) => Some(report),
+            Err(e) => {
+                eprintln!(
+                    "pamr-bench precompute: existing {out} does not parse as a bench report \
+                     ({e}); replacing it with a precompute-only report"
+                );
+                None
+            }
+        })
+        .unwrap_or_else(|| empty_report("precompute", seed));
+    report.precompute = Some(bench);
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("{json}");

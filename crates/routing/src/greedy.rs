@@ -30,10 +30,27 @@ impl Heuristic for SimpleGreedy {
 
     fn route_with(&self, cs: &CommSet, _model: &PowerModel, scratch: &mut RouteScratch) -> Routing {
         let mesh = cs.mesh();
+        let use_cache = scratch.ensure_customized(cs);
         scratch.loads.fit(mesh);
+        // The processing order is the only weight-dependent precomputation
+        // SG does; take the customize phase's cached copy when available
+        // (bit-identical — it is CommSet::by_order's own result).
+        let order_buf;
+        let order: &[usize] = match scratch
+            .cust
+            .as_ref()
+            .filter(|_| use_cache)
+            .and_then(|cu| cu.order(self.order))
+        {
+            Some(o) => o,
+            None => {
+                order_buf = cs.by_order(self.order);
+                &order_buf
+            }
+        };
         let loads = &mut scratch.loads;
         let mut paths: Vec<Option<Path>> = vec![None; cs.len()];
-        for &i in &cs.by_order(self.order) {
+        for &i in order {
             let c = &cs.comms()[i];
             let path = sg_route_one(mesh, loads, c);
             loads.add_path(mesh, &path, c.weight);

@@ -38,6 +38,23 @@ pub fn surrogate_link_cost(model: &PowerModel, load: f64) -> f64 {
     }
 }
 
+/// One surrogate cost query, answered from the precomputed per-level
+/// [`CostLadder`](crate::precompute::CostLadder) when the cached engine
+/// path customized one for this model (bit-identical by construction), and
+/// by evaluating the power fit through [`surrogate_link_cost`] otherwise —
+/// the literal pre-split path.
+#[inline]
+pub(crate) fn link_cost(
+    model: &PowerModel,
+    ladder: Option<&crate::precompute::CostLadder>,
+    load: f64,
+) -> f64 {
+    match ladder {
+        Some(l) => l.cost(load),
+        None => surrogate_link_cost(model, load),
+    }
+}
+
 /// A single-path routing heuristic (§5). All heuristics are deterministic;
 /// given the same instance and model they produce the same routing.
 pub trait Heuristic {

@@ -29,7 +29,8 @@
 //! [`pr::set_implementation`](crate::pr::set_implementation).
 
 use crate::comm::{Comm, CommSet, SortOrder};
-use crate::heuristic::{surrogate_link_cost, Heuristic};
+use crate::heuristic::{link_cost, Heuristic};
+use crate::precompute::CostLadder;
 use crate::routing::Routing;
 use crate::scratch::RouteScratch;
 use pamr_mesh::{Band, LinkId, LoadMap, Mesh, Path, Rect, Step};
@@ -108,6 +109,25 @@ type MinIndexBufs<'a> = (
     &'a mut Vec<(f64, pamr_mesh::Coord, pamr_mesh::Coord)>,
 );
 
+/// The cached twin of [`apply_ideal`]: same shares (`weight /
+/// group.len() as f64`, the divisor converted once at table-build time),
+/// added over the flat id-sorted link array instead of the nested band
+/// groups. Each link receives exactly one add per call, so the in-group
+/// ordering cannot change any sum — the load map is bit-identical.
+fn apply_ideal_cached(
+    loads: &mut LoadMap,
+    et: &crate::precompute::EndpointTables,
+    weight: f64,
+    sign: f64,
+) {
+    for t in 0..et.band().len() {
+        let share = sign * weight / et.ig_div(t);
+        for &(l, _, _) in et.ig_group(t) {
+            loads.add(l, share);
+        }
+    }
+}
+
 /// Builds the per-group min-load index of one communication's band into the
 /// reused `keys`/`off`/`info` buffers: `keys[off[t]..off[t + 1]]` holds
 /// group `t`'s links as `(load bits, link id)` pairs sorted ascending, and
@@ -125,6 +145,7 @@ fn build_min_index(
     mesh: &Mesh,
     loads: &LoadMap,
     model: &PowerModel,
+    ladder: Option<&CostLadder>,
     band: &Band,
     weight: f64,
     (keys, off, info): MinIndexBufs<'_>,
@@ -145,7 +166,48 @@ fn build_min_index(
     info.extend(keys.iter().map(|&(bits, l)| {
         let (a, b) = mesh.link_endpoints(LinkId(l as usize));
         (
-            surrogate_link_cost(model, f64::from_bits(bits) + weight),
+            link_cost(model, ladder, f64::from_bits(bits) + weight),
+            a,
+            b,
+        )
+    }));
+}
+
+/// The cached twin of [`build_min_index`], fed from the precomputed flat
+/// link array: endpoints come from the table instead of per-entry mesh
+/// lookups, and the sort key's tie-breaker is the flat position — links
+/// are id-ascending within each group, so `(load bits, flat pos)` orders
+/// exactly like `(load bits, link id)` and the resulting index is
+/// bit-identical.
+fn build_min_index_cached(
+    loads: &LoadMap,
+    model: &PowerModel,
+    ladder: Option<&CostLadder>,
+    et: &crate::precompute::EndpointTables,
+    weight: f64,
+    (keys, off, info): MinIndexBufs<'_>,
+) {
+    keys.clear();
+    off.clear();
+    info.clear();
+    off.push(0);
+    for t in 0..et.band().len() {
+        let base = et.ig_group_start(t);
+        let start = keys.len();
+        keys.extend(
+            et.ig_group(t)
+                .iter()
+                .enumerate()
+                .map(|(j, &(l, _, _))| (loads.get(l).to_bits(), base + j as u32)),
+        );
+        keys[start..].sort_unstable();
+        off.push(keys.len());
+    }
+    let flat = et.ig_flat();
+    info.extend(keys.iter().map(|&(bits, pos)| {
+        let (_, a, b) = flat[pos as usize];
+        (
+            link_cost(model, ladder, f64::from_bits(bits) + weight),
             a,
             b,
         )
@@ -185,6 +247,7 @@ fn ig_route_one_indexed(
     mesh: &Mesh,
     loads: &LoadMap,
     model: &PowerModel,
+    ladder: Option<&CostLadder>,
     c: &Comm,
     off: &[usize],
     info: &[(f64, pamr_mesh::Coord, pamr_mesh::Coord)],
@@ -206,7 +269,7 @@ fn ig_route_one_indexed(
                     } else {
                         tail_bound_indexed(off, info, moves.len() + 1, Rect::spanning(next, c.snk))
                     };
-                    let bound = surrogate_link_cost(model, loads.get(link) + c.weight) + tail;
+                    let bound = link_cost(model, ladder, loads.get(link) + c.weight) + tail;
                     // Strict `<` keeps the vertical move on ties (sv first).
                     if bound < best.0 {
                         best = (bound, s);
@@ -233,47 +296,90 @@ impl ImprovedGreedy {
         model: &PowerModel,
         scratch: &mut RouteScratch,
     ) -> Routing {
+        let use_cache = scratch.ensure_customized(cs);
+        let use_ladder = use_cache && scratch.ensure_ladder(model);
         let mesh = cs.mesh();
         let RouteScratch {
             loads,
             ig_keys,
             ig_off,
             ig_info,
+            cust,
+            ladder,
             ..
         } = scratch;
+        let ladder = ladder.as_ref().filter(|_| use_ladder);
         loads.fit(mesh);
-        // One band per communication, computed once and reused both for the
-        // virtual pre-routing (Figure 3 ideal sharing) and for the per-hop
-        // tail bound below.
-        let bands: Vec<Band> = cs.comms().iter().map(|c| c.band(mesh)).collect();
-        for (c, band) in cs.comms().iter().zip(&bands) {
-            apply_ideal(loads, band, c.weight, 1.0);
+        // One band per communication, reused both for the virtual
+        // pre-routing (Figure 3 ideal sharing) and for the per-hop tail
+        // bound below — interned endpoint tables when the precompute cache
+        // is active, rebuilt per call otherwise (the literal pre-split
+        // path; same Band values either way).
+        enum Bands<'a> {
+            Cached(&'a crate::precompute::CustomizedInstance),
+            Owned(Vec<Band>),
         }
+        let bands = match cust.as_ref().filter(|_| use_cache) {
+            Some(cu) => Bands::Cached(cu),
+            None => Bands::Owned(cs.comms().iter().map(|c| c.band(mesh)).collect()),
+        };
+        for (i, c) in cs.comms().iter().enumerate() {
+            match &bands {
+                Bands::Cached(cu) => apply_ideal_cached(loads, cu.table(i), c.weight, 1.0),
+                Bands::Owned(v) => apply_ideal(loads, &v[i], c.weight, 1.0),
+            }
+        }
+        // The decreasing-weight order is cached by the customize phase
+        // (bit-identical: it is CommSet::by_order's own result).
+        let order_buf;
+        let order: &[usize] = match &bands {
+            Bands::Cached(cu) if cu.order(self.order).is_some() => {
+                cu.order(self.order).expect("checked above")
+            }
+            _ => {
+                order_buf = cs.by_order(self.order);
+                &order_buf
+            }
+        };
         let mut paths: Vec<Option<Path>> = vec![None; cs.len()];
-        for &i in &cs.by_order(self.order) {
+        for &i in order {
             let c = &cs.comms()[i];
             // Remove this communication's own pre-routing before choosing
             // its real path; the load map is then frozen until the path
             // commits, which is what keeps the min-load index valid.
-            apply_ideal(loads, &bands[i], c.weight, -1.0);
+            match &bands {
+                Bands::Cached(cu) => apply_ideal_cached(loads, cu.table(i), c.weight, -1.0),
+                Bands::Owned(v) => apply_ideal(loads, &v[i], c.weight, -1.0),
+            }
             // Straight and local communications never branch, so their hop
             // loop consults no tail bound: skip the index build outright.
             if c.src.u != c.snk.u && c.src.v != c.snk.v {
-                build_min_index(
-                    mesh,
-                    loads,
-                    model,
-                    &bands[i],
-                    c.weight,
-                    (&mut *ig_keys, &mut *ig_off, &mut *ig_info),
-                );
+                match &bands {
+                    Bands::Cached(cu) => build_min_index_cached(
+                        loads,
+                        model,
+                        ladder,
+                        cu.table(i),
+                        c.weight,
+                        (&mut *ig_keys, &mut *ig_off, &mut *ig_info),
+                    ),
+                    Bands::Owned(v) => build_min_index(
+                        mesh,
+                        loads,
+                        model,
+                        ladder,
+                        &v[i],
+                        c.weight,
+                        (&mut *ig_keys, &mut *ig_off, &mut *ig_info),
+                    ),
+                }
             } else {
                 ig_keys.clear();
                 ig_off.clear();
                 ig_info.clear();
                 ig_off.push(0);
             }
-            let path = ig_route_one_indexed(mesh, loads, model, c, ig_off, ig_info);
+            let path = ig_route_one_indexed(mesh, loads, model, ladder, c, ig_off, ig_info);
             loads.add_path(mesh, &path, c.weight);
             paths[i] = Some(path);
         }

@@ -55,6 +55,7 @@ pub mod ig;
 pub mod loadq;
 pub mod multipath;
 pub mod pr;
+pub mod precompute;
 pub mod routing;
 pub mod rules;
 pub mod scratch;
@@ -73,6 +74,9 @@ pub use ig::{IgImpl, ImprovedGreedy, ReferenceImprovedGreedy};
 pub use loadq::LoadQueue;
 pub use multipath::SplitMp;
 pub use pr::{PathRemover, PrError, PrImpl, ReferencePathRemover};
+pub use precompute::{
+    CostLadder, CustomizedInstance, EndpointTables, MeshPrecompute, PrecomputeImpl,
+};
 pub use routing::Routing;
 pub use rules::{xy_routing, yx_routing};
 pub use scratch::RouteScratch;

@@ -47,6 +47,26 @@ fn key(link: usize, load: f64) -> Key {
 ///
 /// Holds exactly the links whose tracked load is strictly positive. See the
 /// [module docs](self) for the ordering contract and maintenance modes.
+///
+/// ```
+/// use pamr_mesh::LinkId;
+/// use pamr_routing::LoadQueue;
+///
+/// let mut q = LoadQueue::new();
+/// q.rebuild(4, [(LinkId(0), 700.0), (LinkId(1), 1200.0), (LinkId(3), 700.0)]);
+///
+/// // Descending load, ties towards the smaller link id — bit-exactly the
+/// // order the historical `select_max` scan yields for k = 0, 1, …
+/// assert_eq!(q.peek_max(), Some((LinkId(1), 1200.0)));
+/// assert_eq!(q.kth_max(1), Some((LinkId(0), 700.0)));
+///
+/// // Eager O(log n) re-key: link 1 drains to zero and leaves the index.
+/// q.set(LinkId(1), 0.0);
+/// let mut cursor = q.cursor();
+/// assert_eq!(cursor.next(&q), Some((LinkId(0), 700.0)));
+/// assert_eq!(cursor.next(&q), Some((LinkId(3), 700.0)));
+/// assert_eq!(cursor.next(&q), None);
+/// ```
 #[derive(Debug, Default)]
 pub struct LoadQueue {
     /// The ordered index; greatest key = most loaded link.

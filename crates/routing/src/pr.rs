@@ -31,11 +31,13 @@
 use crate::comm::CommSet;
 use crate::heuristic::Heuristic;
 use crate::loadq::LoadQueue;
+use crate::precompute::EndpointTables;
 use crate::routing::Routing;
 use crate::scratch::{reset_flags, RouteScratch};
 use pamr_mesh::{Band, Coord, LinkId, LoadMap, Mesh, Path, Step};
 use pamr_power::PowerModel;
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 
 pub mod reference;
 
@@ -204,8 +206,19 @@ impl BandBufs<'_> {
 }
 
 /// Per-communication removal state of the banded engine.
+///
+/// `band` and `base_rows` are metric-independent and therefore shareable:
+/// with the precompute cache active they are `Arc` clones of the interned
+/// [`EndpointTables`]; on the rebuild path they are freshly computed —
+/// identical values either way. (They stay plain struct fields, not
+/// accessor calls, so `remove_and_reshare`'s disjoint field borrows keep
+/// compiling.)
 struct BandedComm {
-    band: Band,
+    band: Arc<Band>,
+    /// The pristine per-diagonal useful-row intervals
+    /// ([`Band::diag_rows`] for `t ∈ 0..=len`) — the start state `reach`
+    /// is seeded from and `rebuild_reach` clamps against.
+    base_rows: Arc<Vec<Iv>>,
     weight: f64,
     /// Aliveness aligned with `band.groups()`.
     alive: Vec<Vec<bool>>,
@@ -232,8 +245,24 @@ struct BandedComm {
 }
 
 impl BandedComm {
-    fn new(mesh: &Mesh, src: Coord, snk: Coord, weight: f64) -> Self {
-        let band = Band::new(mesh, src, snk);
+    /// Builds the removal state. `tables` supplies the interned band and
+    /// row intervals when the precompute cache is active; `None` rebuilds
+    /// both from the mesh (the literal pre-split path — same values).
+    fn new(
+        mesh: &Mesh,
+        src: Coord,
+        snk: Coord,
+        weight: f64,
+        tables: Option<&EndpointTables>,
+    ) -> Self {
+        let (band, base_rows) = match tables {
+            Some(t) => (Arc::clone(t.band_arc()), Arc::clone(t.diag_rows_arc())),
+            None => {
+                let band = Band::new(mesh, src, snk);
+                let rows: Vec<Iv> = (0..=band.len()).map(|t| band.diag_rows(mesh, t)).collect();
+                (Arc::new(band), Arc::new(rows))
+            }
+        };
         let alive: Vec<Vec<bool>> = band.groups().iter().map(|g| vec![true; g.len()]).collect();
         let share: Vec<f64> = band
             .groups()
@@ -242,9 +271,10 @@ impl BandedComm {
             .collect();
         let counts: Vec<usize> = band.groups().iter().map(|g| g.len()).collect();
         let multi = counts.iter().filter(|&&c| c > 1).count();
-        let reach: Vec<Iv> = (0..=band.len()).map(|t| band.diag_rows(mesh, t)).collect();
+        let reach: Vec<Iv> = base_rows.as_ref().clone();
         BandedComm {
             band,
+            base_rows,
             weight,
             alive,
             share,
@@ -542,7 +572,7 @@ impl BandedComm {
     /// `fragmented` set and the next removal full-sweeps again.
     fn rebuild_reach(&mut self, mesh: &Mesh, fwd: &[bool], bwd: &[bool]) -> bool {
         for t in 0..=self.band.len() {
-            let (b_lo, b_hi) = self.band.diag_rows(mesh, t);
+            let (b_lo, b_hi) = self.base_rows[t];
             let mut iv = IV_EMPTY;
             for u in b_lo..=b_hi {
                 let c = self
@@ -643,11 +673,24 @@ impl PathRemover {
         scratch: &mut RouteScratch,
     ) -> Result<Routing, PrError> {
         let mesh = cs.mesh();
-        let mut comms: Vec<BandedComm> = cs
-            .comms()
-            .iter()
-            .map(|c| BandedComm::new(mesh, c.src, c.snk, c.weight))
-            .collect();
+        // Per-comm removal state — band geometry and pristine row
+        // intervals come from the interned endpoint tables when the
+        // precompute cache is active (Arc clones, no Band::new), and are
+        // rebuilt from the mesh otherwise.
+        let use_cache = scratch.ensure_customized(cs);
+        let mut comms: Vec<BandedComm> = match scratch.cust.as_ref().filter(|_| use_cache) {
+            Some(cust) => cs
+                .comms()
+                .iter()
+                .enumerate()
+                .map(|(i, c)| BandedComm::new(mesh, c.src, c.snk, c.weight, Some(cust.table(i))))
+                .collect(),
+            None => cs
+                .comms()
+                .iter()
+                .map(|c| BandedComm::new(mesh, c.src, c.snk, c.weight, None))
+                .collect(),
+        };
         scratch.loads.fit(mesh);
         for c in &comms {
             c.apply_loads(&mut scratch.loads, 1.0);
@@ -958,7 +1001,7 @@ mod tests {
         // bit-identical throughout.
         let mesh = Mesh::new(4, 4);
         let (src, snk) = (Coord::new(0, 0), Coord::new(3, 3));
-        let mut banded = BandedComm::new(&mesh, src, snk, 2.0);
+        let mut banded = BandedComm::new(&mesh, src, snk, 2.0, None);
         let mut reference = reference::RefComm::new(&mesh, src, snk, 2.0);
         let mut loads_b = pamr_mesh::LoadMap::new(&mesh);
         let mut loads_r = pamr_mesh::LoadMap::new(&mesh);

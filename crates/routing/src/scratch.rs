@@ -9,15 +9,24 @@
 //!
 //! [`Heuristic::route_with`]: crate::heuristic::Heuristic::route_with
 
+use crate::comm::CommSet;
 use crate::loadq::LoadQueue;
+use crate::precompute::{self, CostLadder, CustomizedInstance, MeshPrecompute, PrecomputeImpl};
 use pamr_mesh::{LinkId, LoadMap};
+use pamr_power::PowerModel;
+use std::sync::Arc;
 
 /// Reusable working memory for [`Heuristic::route_with`].
 ///
 /// Buffers grow to the largest mesh/instance seen and stay allocated. A
-/// scratch carries **no state between calls** — every heuristic fully
-/// re-initialises what it uses, so routing through a reused scratch is
-/// bit-identical to routing through a fresh one.
+/// scratch carries **no result-bearing state between calls** — every
+/// heuristic fully re-initialises what it uses, so routing through a
+/// reused scratch is bit-identical to routing through a fresh one. The one
+/// thing deliberately carried across calls is the attached
+/// [`MeshPrecompute`] and its per-instance [`CustomizedInstance`]: those
+/// cache pure functions of `(mesh, src, snk)` — values the engines would
+/// otherwise recompute to the same bits — so reuse affects speed only
+/// (pinned by `tests/precompute_differential.rs`).
 ///
 /// [`Heuristic::route_with`]: crate::heuristic::Heuristic::route_with
 #[derive(Debug, Default)]
@@ -60,12 +69,71 @@ pub struct RouteScratch {
     /// Aligned with `ig_keys`: each entry's precomputed surrogate cost at
     /// `load + weight` and its link endpoints (indexed IG).
     pub(crate) ig_info: Vec<(f64, pamr_mesh::Coord, pamr_mesh::Coord)>,
+    /// The attached phase-one precompute (shared across trials /
+    /// sessions); lazily created for the mesh in use when absent.
+    pub(crate) pre: Option<Arc<MeshPrecompute>>,
+    /// The phase-two customization of the most recent instance, revalidated
+    /// (and rebuilt when stale) by [`ensure_customized`](Self::ensure_customized).
+    pub(crate) cust: Option<CustomizedInstance>,
+    /// The metric-dependent customization: the per-level [`CostLadder`] of
+    /// the most recent (discrete) power model, revalidated by
+    /// [`ensure_ladder`](Self::ensure_ladder).
+    pub(crate) ladder: Option<CostLadder>,
 }
 
 impl RouteScratch {
     /// A new, empty scratch. Buffers are grown on first use.
     pub fn new() -> Self {
         RouteScratch::default()
+    }
+
+    /// Attaches a shared phase-one precompute, replacing any previously
+    /// attached one (and invalidating its customization). Campaign workers
+    /// and [`crate::session::RoutingSession`]s call this so every trial /
+    /// request shares one interner; a scratch without an attachment builds
+    /// its own on first use.
+    pub fn attach_precompute(&mut self, pre: Arc<MeshPrecompute>) {
+        if self.pre.as_ref().is_none_or(|p| !Arc::ptr_eq(p, &pre)) {
+            self.pre = Some(pre);
+            self.cust = None;
+        }
+    }
+
+    /// Ensures `self.cust` describes exactly `cs`, building the precompute
+    /// and/or customization as needed. Returns `false` (and caches
+    /// nothing) when the process-global switch selects the literal
+    /// rebuild-per-trial path — the engines then reconstruct bands and
+    /// seed paths from scratch, as they did before the split.
+    pub(crate) fn ensure_customized(&mut self, cs: &CommSet) -> bool {
+        if precompute::implementation() == PrecomputeImpl::Rebuild {
+            return false;
+        }
+        if self.pre.as_ref().is_none_or(|p| p.mesh() != cs.mesh()) {
+            // Unattached scratch, or one recycled onto a different mesh:
+            // build a private precompute for the mesh actually in use.
+            self.pre = Some(Arc::new(MeshPrecompute::new(*cs.mesh())));
+            self.cust = None;
+        }
+        let pre = self.pre.as_ref().expect("attached above");
+        if self.cust.as_ref().is_none_or(|c| !c.matches(cs)) {
+            self.cust = Some(pre.customize(cs));
+        }
+        true
+    }
+
+    /// Ensures `self.ladder` tabulates exactly `model`, rebuilding it when
+    /// the model changed. Returns `false` — and the engines fall back to
+    /// per-query power-fit evaluation, the literal pre-split path — when
+    /// the model is continuous (nothing to tabulate) or the process-global
+    /// switch selects the rebuild path.
+    pub(crate) fn ensure_ladder(&mut self, model: &PowerModel) -> bool {
+        if precompute::implementation() == PrecomputeImpl::Rebuild {
+            return false;
+        }
+        if !self.ladder.as_ref().is_some_and(|l| l.matches(model)) {
+            self.ladder = CostLadder::new(model);
+        }
+        self.ladder.is_some()
     }
 
     /// Resets the per-link `users` table to `n_slots` empty lists, keeping

@@ -15,7 +15,7 @@
 //! * `users` — for every link, the live communications whose *current path*
 //!   crosses it (the index queue-driven XYI keys per route call);
 //! * `band_users` — for every link, the live communications whose
-//!   [`Band`](pamr_mesh::Band) *could* use it (the index the banded PR keys
+//!   [`Band`] *could* use it (the index the banded PR keys
 //!   per route call).
 //!
 //! Mutations are **incremental**. An added communication is routed alone
@@ -47,11 +47,13 @@
 use crate::comm::{Comm, CommSet};
 use crate::heuristic::{surrogate_link_cost, HeuristicKind};
 use crate::loadq::{Cursor, LoadQueue};
+use crate::precompute::{self, MeshPrecompute, PrecomputeImpl};
 use crate::routing::Routing;
 use crate::scratch::RouteScratch;
 use crate::xyi;
-use pamr_mesh::{LinkId, LoadMap, Mesh, Path};
+use pamr_mesh::{Band, LinkId, LoadMap, Mesh, Path};
 use pamr_power::{Infeasible, PowerBreakdown, PowerModel};
+use std::sync::Arc;
 
 /// How the session restores routing quality after a mutation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +145,10 @@ pub struct RoutingSession {
     mesh: Mesh,
     model: PowerModel,
     config: SessionConfig,
+    /// Shared per-mesh precompute: band geometry and per-endpoint tables,
+    /// reused across requests (and across sessions when constructed via
+    /// [`RoutingSession::with_precompute`]).
+    pre: Arc<MeshPrecompute>,
     /// Slot-indexed live communications; `None` marks a dead slot.
     slots: Vec<Option<LiveComm>>,
     /// Dead slots available for reuse (LIFO).
@@ -165,17 +171,34 @@ pub struct RoutingSession {
 }
 
 impl RoutingSession {
-    /// An empty session on `mesh` under `model`.
+    /// An empty session on `mesh` under `model`, owning a fresh
+    /// [`MeshPrecompute`]. Use [`RoutingSession::with_precompute`] to share
+    /// one precompute across sessions (what `pamr serve` does).
     pub fn new(mesh: Mesh, model: PowerModel, config: SessionConfig) -> Self {
+        Self::with_precompute(Arc::new(MeshPrecompute::new(mesh)), model, config)
+    }
+
+    /// An empty session on `pre`'s mesh under `model`, reusing the shared
+    /// precompute: endpoint tables built for one request (or one batch
+    /// trial) are hits for every later request on the same `(src, snk)`.
+    pub fn with_precompute(
+        pre: Arc<MeshPrecompute>,
+        model: PowerModel,
+        config: SessionConfig,
+    ) -> Self {
+        let mesh = *pre.mesh();
         let n_slots = mesh.num_link_slots();
         let mut queue = LoadQueue::new();
         queue.fit(n_slots);
         let mut repair_queue = LoadQueue::new();
         repair_queue.fit(n_slots);
+        let mut scratch = RouteScratch::new();
+        scratch.attach_precompute(Arc::clone(&pre));
         RoutingSession {
             mesh,
             model,
             config,
+            pre,
             slots: Vec::new(),
             free: Vec::new(),
             n_live: 0,
@@ -184,8 +207,27 @@ impl RoutingSession {
             users: vec![Vec::new(); n_slots],
             band_users: vec![Vec::new(); n_slots],
             repair_queue,
-            scratch: RouteScratch::new(),
+            scratch,
             stats: SessionStats::default(),
+        }
+    }
+
+    /// The shared per-mesh precompute backing this session.
+    #[inline]
+    pub fn precompute(&self) -> &Arc<MeshPrecompute> {
+        &self.pre
+    }
+
+    /// The band of `comm`, via the shared precompute's interned endpoint
+    /// tables under the default [`PrecomputeImpl::Cached`] implementation,
+    /// or rebuilt literally under [`PrecomputeImpl::Rebuild`] (the
+    /// differential oracle's path). Bit-identical either way — the cached
+    /// band is a pure function of `(mesh, src, snk)`.
+    fn comm_band(&self, comm: &Comm) -> Arc<Band> {
+        if precompute::implementation() == PrecomputeImpl::Cached {
+            Arc::clone(self.pre.endpoint_tables(comm.src, comm.snk).band_arc())
+        } else {
+            Arc::new(comm.band(&self.mesh))
         }
     }
 
@@ -307,6 +349,23 @@ impl RoutingSession {
     /// Adds a communication: routes it alone (its XY path) and repairs per
     /// the configured [`RepairMode`]. Returns the stable handle.
     ///
+    /// ```
+    /// use pamr_mesh::{Coord, Mesh};
+    /// use pamr_power::PowerModel;
+    /// use pamr_routing::{Comm, RoutingSession, SessionConfig};
+    ///
+    /// let mut session = RoutingSession::new(
+    ///     Mesh::new(4, 4),
+    ///     PowerModel::kim_horowitz(),
+    ///     SessionConfig::default(),
+    /// );
+    /// let slot = session.add_comm(Comm::new(Coord::new(0, 0), Coord::new(3, 3), 10.0));
+    /// assert_eq!(session.len(), 1);
+    /// assert!(session.max_load() >= 10.0);
+    /// session.remove_comm(slot);
+    /// assert!(session.is_empty());
+    /// ```
+    ///
     /// # Panics
     /// Panics if an endpoint is off-mesh (validate first — `Comm::new`
     /// already rejects non-positive weights). The serve layer turns both
@@ -324,7 +383,7 @@ impl RoutingSession {
             self.slots.len() - 1
         });
         let path = Path::xy(comm.src, comm.snk);
-        let band = comm.band(&self.mesh);
+        let band = self.comm_band(&comm);
         for l in band.links() {
             insert_slot(&mut self.band_users[l.index()], slot);
         }
@@ -355,7 +414,7 @@ impl RoutingSession {
         let s = slot.0;
         let live = self.slots.get(s)?.clone()?;
         self.detach_path(s);
-        let band = live.comm.band(&self.mesh);
+        let band = self.comm_band(&live.comm);
         for l in band.links() {
             remove_slot(&mut self.band_users[l.index()], s);
         }

@@ -33,7 +33,7 @@
 //! [`pr::set_implementation`](crate::pr::set_implementation).
 
 use crate::comm::CommSet;
-use crate::heuristic::{surrogate_link_cost, Heuristic};
+use crate::heuristic::{link_cost, Heuristic};
 use crate::loadq::Cursor;
 use crate::routing::Routing;
 use crate::scratch::RouteScratch;
@@ -205,7 +205,17 @@ impl XyImprover {
         scratch: &mut RouteScratch,
     ) -> Routing {
         let mesh = cs.mesh();
-        let mut paths: Vec<Path> = cs.comms().iter().map(|c| Path::xy(c.src, c.snk)).collect();
+        let use_cache = scratch.ensure_customized(cs);
+        let use_ladder = use_cache && scratch.ensure_ladder(model);
+        // Seed paths: the interned XY paths when the precompute cache is
+        // active ([`Path::xy`] is deterministic, so the clone is the value
+        // the rebuild computes), fresh XY construction otherwise.
+        let mut paths: Vec<Path> = if use_cache {
+            let cust = scratch.cust.as_ref().expect("customized above");
+            (0..cs.len()).map(|i| cust.table(i).xy().clone()).collect()
+        } else {
+            cs.comms().iter().map(|c| Path::xy(c.src, c.snk)).collect()
+        };
         scratch.loads.fit(mesh);
         for (c, p) in cs.comms().iter().zip(&paths) {
             scratch.loads.add_path(mesh, p, c.weight);
@@ -224,6 +234,11 @@ impl XyImprover {
         // Max-load index over every loaded link; an accepted move re-keys
         // only the four links it touched.
         scratch.queue.rebuild(nslots, scratch.loads.iter_active());
+        // The tabulated per-level costs of the cached path (None ⇒ evaluate
+        // the power fit per query, the literal pre-split behaviour). Taken
+        // after the last `&mut self` call so the shared borrow can live
+        // across the improvement loop.
+        let ladder = scratch.ladder.as_ref().filter(|_| use_ladder);
         let mut moves_done = 0;
         'outer: while moves_done < self.max_moves {
             // Loaded links examined in decreasing-load order straight off
@@ -244,13 +259,13 @@ impl XyImprover {
                         // links only.
                         for l in rem {
                             let load = scratch.loads.get(l);
-                            delta += surrogate_link_cost(model, load - c.weight)
-                                - surrogate_link_cost(model, load);
+                            delta += link_cost(model, ladder, load - c.weight)
+                                - link_cost(model, ladder, load);
                         }
                         for l in add {
                             let load = scratch.loads.get(l);
-                            delta += surrogate_link_cost(model, load + c.weight)
-                                - surrogate_link_cost(model, load);
+                            delta += link_cost(model, ladder, load + c.weight)
+                                - link_cost(model, ladder, load);
                         }
                         if delta < -IMPROVE_EPS && best.as_ref().is_none_or(|(b, ..)| delta < *b) {
                             best = Some((delta, i, swap_at, rem, add));

@@ -1,0 +1,96 @@
+//! Regression and property tests for the endpoint-tables interner.
+//!
+//! `MeshPrecompute` promises two things the engines lean on: identical
+//! `(src, snk)` pairs share **one** allocation (the interning regression
+//! below), and an interned table is **bit-identical** to a table built
+//! from scratch for the same pair (the shrinking property test — caching
+//! may only ever change speed, never values).
+
+use pamr_mesh::{Band, Coord, Mesh, Path};
+use pamr_routing::{Comm, CommSet, EndpointTables, MeshPrecompute};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn duplicate_endpoint_pairs_share_one_table_allocation() {
+    // Two communications with the same endpoints (different weights —
+    // weights play no part in the tables) resolve to the same Arc, both
+    // through the raw interner and through the customize phase.
+    let mesh = Mesh::new(6, 6);
+    let pre = MeshPrecompute::new(mesh);
+    let (src, snk) = (Coord::new(0, 2), Coord::new(5, 4));
+    let cs = CommSet::new(
+        mesh,
+        vec![
+            Comm::new(src, snk, 120.0),
+            Comm::new(Coord::new(3, 3), Coord::new(1, 0), 55.0),
+            Comm::new(src, snk, 990.0),
+        ],
+    );
+    let cust = pre.customize(&cs);
+    assert!(
+        Arc::ptr_eq(cust.table(0), cust.table(2)),
+        "identical (src, snk) pairs must share one EndpointTables allocation"
+    );
+    assert!(!Arc::ptr_eq(cust.table(0), cust.table(1)));
+    assert!(
+        Arc::ptr_eq(cust.table(0), &pre.endpoint_tables(src, snk)),
+        "customize must resolve through the same interner as direct lookups"
+    );
+    // Re-customizing a different instance over the same pairs allocates
+    // nothing new.
+    let (_, misses_before) = pre.cache_stats();
+    let cust2 = pre.customize(&cs);
+    let (_, misses_after) = pre.cache_stats();
+    assert_eq!(misses_before, misses_after, "re-customize must be all hits");
+    assert!(Arc::ptr_eq(cust.table(0), cust2.table(0)));
+}
+
+/// Asserts every field of a cached table equals a from-scratch rebuild.
+fn assert_tables_bit_identical(mesh: &Mesh, cached: &EndpointTables, src: Coord, snk: Coord) {
+    let fresh = EndpointTables::build(mesh, src, snk);
+    let band = Band::new(mesh, src, snk);
+    assert_eq!(cached.src(), src);
+    assert_eq!(cached.snk(), snk);
+    assert_eq!(cached.band().len(), band.len());
+    for t in 0..band.len() {
+        assert_eq!(cached.band().group(t), band.group(t), "group {t}");
+    }
+    for t in 0..=band.len() {
+        assert_eq!(cached.diag_rows()[t], band.diag_rows(mesh, t), "rows {t}");
+        assert_eq!(cached.diag_rows()[t], fresh.diag_rows()[t]);
+    }
+    assert_eq!(cached.path_count(), Path::count(src, snk));
+    assert_eq!(cached.path_count(), fresh.path_count());
+    assert_eq!(cached.xy(), &Path::xy(src, snk));
+    assert_eq!(cached.xy(), fresh.xy());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cached_tables_equal_fresh_builds_on_any_endpoints(
+        (p, q, endpoints) in (2usize..=9, 2usize..=9).prop_flat_map(|(p, q)| {
+            let pair = ((0..p, 0..q), (0..p, 0..q));
+            (Just(p), Just(q), prop::collection::vec(pair, 1..=12))
+        })
+    ) {
+        let mesh = Mesh::new(p, q);
+        let pre = MeshPrecompute::new(mesh);
+        for &((a, b), (c, d)) in &endpoints {
+            let (src, snk) = (Coord::new(a, b), Coord::new(c, d));
+            // Look up twice: the second hit must return the same Arc.
+            let first = pre.endpoint_tables(src, snk);
+            let second = pre.endpoint_tables(src, snk);
+            prop_assert!(Arc::ptr_eq(&first, &second));
+            assert_tables_bit_identical(&mesh, &first, src, snk);
+        }
+        let (_, misses) = pre.cache_stats();
+        let distinct = endpoints
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        prop_assert_eq!(misses as usize, distinct, "one build per distinct pair");
+    }
+}

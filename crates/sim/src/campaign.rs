@@ -21,11 +21,12 @@ use crate::runner::run_instance_with;
 use crate::stats::PointStats;
 use pamr_mesh::Mesh;
 use pamr_power::PowerModel;
-use pamr_routing::RouteScratch;
+use pamr_routing::{MeshPrecompute, RouteScratch};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The slice of sweep points one process owns in a multi-process campaign.
 ///
@@ -105,6 +106,13 @@ pub struct Campaign<'a> {
     pub seed: u64,
     /// The sweep points this process owns ([`ShardSpec::FULL`] = all).
     pub shard: ShardSpec,
+    /// Shared per-mesh precompute handed (as `Arc` clones) to every worker
+    /// chunk, so endpoint tables are built once per `(src, snk)` pair for
+    /// the whole campaign. `None` builds a fresh one per sweep point.
+    /// Caching never changes results — the tables are pure functions of
+    /// `(mesh, src, snk)` — so determinism and shard/merge byte-identity
+    /// are untouched.
+    pub pre: Option<&'a Arc<MeshPrecompute>>,
 }
 
 /// SplitMix64 finalizer: a full-avalanche bijection on `u64` (every input
@@ -161,15 +169,26 @@ impl Campaign<'_> {
     /// statistics deterministically.
     pub fn run_point(&self, point_index: usize, point: &SweepPoint) -> PointStats {
         let (mesh, model, seed) = (self.mesh, self.model, self.seed);
+        let shared = match self.pre {
+            Some(p) => Arc::clone(p),
+            None => Arc::new(MeshPrecompute::new(*mesh)),
+        };
         (0..self.trials)
             .into_par_iter()
-            .fold(ChunkAcc::default, |mut acc, t| {
-                let mut rng = SmallRng::seed_from_u64(trial_seed(seed, point_index, t));
-                let cs = point.workload.generate(mesh, &mut rng);
-                acc.stats
-                    .add(&run_instance_with(&cs, model, &mut acc.scratch));
-                acc
-            })
+            .fold(
+                || {
+                    let mut acc = ChunkAcc::default();
+                    acc.scratch.attach_precompute(Arc::clone(&shared));
+                    acc
+                },
+                |mut acc, t| {
+                    let mut rng = SmallRng::seed_from_u64(trial_seed(seed, point_index, t));
+                    let cs = point.workload.generate(mesh, &mut rng);
+                    acc.stats
+                        .add(&run_instance_with(&cs, model, &mut acc.scratch));
+                    acc
+                },
+            )
             .map(|acc| acc.stats)
             .reduce(PointStats::default, PointStats::merge)
     }
@@ -269,6 +288,7 @@ mod tests {
             trials: 20,
             seed: 42,
             shard: ShardSpec::FULL,
+            pre: None,
         };
         let run = |threads: usize| {
             rayon::set_num_threads(threads);
@@ -355,6 +375,7 @@ mod tests {
             trials: 8,
             seed: 11,
             shard: ShardSpec::FULL,
+            pre: None,
         };
         let all = full.run_experiment(&exp);
         for count in [2, 3] {
@@ -394,6 +415,7 @@ mod tests {
             trials: 1,
             seed: 3,
             shard: ShardSpec::FULL,
+            pre: None,
         };
         let pooled = campaign.run_pooled();
         // Nine sub-figures, each with its sweep points, one trial each.

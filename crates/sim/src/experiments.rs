@@ -226,12 +226,14 @@ pub fn run_experiment_sharded(
     seed: u64,
     shard: ShardSpec,
 ) -> ExperimentResult {
+    let pre = std::sync::Arc::new(pamr_routing::MeshPrecompute::new(*mesh));
     Campaign {
         mesh,
         model,
         trials,
         seed,
         shard,
+        pre: Some(&pre),
     }
     .run_experiment(exp)
 }

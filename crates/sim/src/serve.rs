@@ -24,10 +24,11 @@
 
 use pamr_mesh::Coord;
 use pamr_power::PowerModel;
-use pamr_routing::{Comm, RoutingSession, SessionConfig, SlotId};
+use pamr_routing::{Comm, MeshPrecompute, RoutingSession, SessionConfig, SlotId};
 use serde::Value;
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 /// A protocol server: a [`RoutingSession`] plus the wire-level id space
 /// (client-chosen string ids mapped to session slots).
@@ -41,10 +42,14 @@ pub struct Server {
 }
 
 impl Server {
-    /// A server over an empty session.
+    /// A server over an empty session, sharing one [`MeshPrecompute`]
+    /// across every request it will serve: the band geometry and endpoint
+    /// tables an `add_comm` builds are cache hits for all later requests on
+    /// the same `(src, snk)` pair.
     pub fn new(mesh: pamr_mesh::Mesh, model: PowerModel, config: SessionConfig) -> Self {
+        let pre = Arc::new(MeshPrecompute::new(mesh));
         Server {
-            session: RoutingSession::new(mesh, model, config),
+            session: RoutingSession::with_precompute(pre, model, config),
             ids: HashMap::new(),
             names: Vec::new(),
         }

@@ -81,6 +81,10 @@ impl ShardPartial {
         shard: ShardSpec,
     ) -> ShardPartial {
         let mut points = Vec::new();
+        // One shared precompute across every figure/experiment this shard
+        // owns — same sharing as the pooled campaign, with no effect on the
+        // bit-identity of the partials (tables are pure per-endpoint data).
+        let pre = std::sync::Arc::new(pamr_routing::MeshPrecompute::new(*mesh));
         for (fi, fig) in campaign_figures().into_iter().enumerate() {
             for (ei, exp) in fig.iter().enumerate() {
                 let sub = Campaign {
@@ -89,6 +93,7 @@ impl ShardPartial {
                     trials,
                     seed: experiment_seed(seed, fi, ei),
                     shard,
+                    pre: Some(&pre),
                 };
                 for (pi, point) in exp.points.iter().enumerate() {
                     if shard.owns(pi) {

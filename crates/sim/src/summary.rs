@@ -19,12 +19,16 @@ impl Summary {
     /// Runs the full campaign (all nine sub-figures) with `trials` per
     /// sweep point and pools every trial.
     pub fn run(mesh: &Mesh, model: &PowerModel, trials: usize, seed: u64) -> Summary {
+        // One shared precompute for the whole campaign: the endpoint tables
+        // built by fig7's trials are cache hits for fig8's and fig9's.
+        let pre = std::sync::Arc::new(pamr_routing::MeshPrecompute::new(*mesh));
         let pooled = Campaign {
             mesh,
             model,
             trials,
             seed,
             shard: ShardSpec::FULL,
+            pre: Some(&pre),
         }
         .run_pooled();
         Summary { pooled }

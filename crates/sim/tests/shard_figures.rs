@@ -32,6 +32,7 @@ fn sharded_figures_render_identically_to_the_unsharded_run() {
                 trials,
                 seed: experiment_seed(seed, fi, ei),
                 shard: ShardSpec::FULL,
+                pre: None,
             }
             .run_experiment(exp);
             assert_eq!(direct.id, reference[fi][ei].id);

@@ -43,6 +43,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The full architecture tour — crate map, the precompute → customize →
+// route pipeline, the engine/reference-oracle pattern — rendered into
+// this crate's front page straight from the repository's ARCHITECTURE.md.
+#![doc = ""]
+#![doc = "---"]
+#![doc = ""]
+#![doc = include_str!("../ARCHITECTURE.md")]
 
 pub use pamr_mesh as mesh;
 pub use pamr_nocsim as nocsim;

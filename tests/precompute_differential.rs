@@ -1,0 +1,193 @@
+//! Differential oracle for the precompute/customize split.
+//!
+//! The cached engine path (`precompute::PrecomputeImpl::Cached`, the
+//! default) hands SG/IG/XYI/PR interned per-endpoint tables — bands,
+//! diagonal row intervals, XY paths, sorted orders — instead of rebuilding
+//! them per trial. The tables are pure functions of `(mesh, src, snk)`, so
+//! caching may only change *speed*, never results. This suite enforces the
+//! contract three ways, mirroring `pr_differential.rs`:
+//!
+//! 1. deterministic sweeps over §6-style workloads, asserting bit-identical
+//!    routings and load maps for every heuristic cache-on vs. cache-off;
+//! 2. shrinking property tests over randomized instances (replay any
+//!    failure with `PAMR_PROPTEST_SEED=<seed>`);
+//! 3. a whole-campaign run, asserting the rendered §6.4 summary report
+//!    byte for byte across the two implementations.
+//!
+//! The implementation switch is process-global, so every test flipping it
+//! serializes on one mutex and restores [`PrecomputeImpl::Cached`] (the
+//! default) even on panic.
+
+use pamr::prelude::*;
+use pamr::routing::{precompute, PrecomputeImpl, ReferencePathRemover};
+use pamr::sim::testutil;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes the tests that flip the process-global implementation.
+static SWITCH: Mutex<()> = Mutex::new(());
+
+/// Restores the default implementation when dropped, so a failing assert
+/// inside a flipped section cannot leak `Rebuild` into another test.
+struct RestoreCached;
+impl Drop for RestoreCached {
+    fn drop(&mut self) {
+        precompute::set_implementation(PrecomputeImpl::Cached);
+    }
+}
+
+/// Routes `cs` with every precompute-consuming heuristic under `imp` and
+/// returns the exact artifacts the campaign consumes: per-heuristic
+/// routings (PR's structured error included) and the bit patterns of IG's
+/// load map.
+fn route_all(cs: &CommSet, imp: PrecomputeImpl) -> (Vec<Result<Routing, String>>, Vec<u64>) {
+    precompute::set_implementation(imp);
+    let _restore = RestoreCached;
+    let model = PowerModel::kim_horowitz();
+    let mut scratch = RouteScratch::new();
+    let mut routings = Vec::new();
+    for h in [
+        &SimpleGreedy::default() as &dyn Heuristic,
+        &ImprovedGreedy::default(),
+        &XyImprover::default(),
+    ] {
+        routings.push(Ok(h.route_with(cs, &model, &mut scratch)));
+    }
+    routings.push(
+        PathRemover
+            .try_route_banded_with(cs, &model, &mut scratch)
+            .map_err(|e| e.to_string()),
+    );
+    routings.push(
+        ReferencePathRemover
+            .try_route_with(cs, &model, &mut scratch)
+            .map_err(|e| e.to_string()),
+    );
+    let ig_loads = {
+        let loads = routings[1].as_ref().expect("IG always routes").loads(cs);
+        cs.mesh().links().map(|l| loads.get(l).to_bits()).collect()
+    };
+    (routings, ig_loads)
+}
+
+/// Routes `cs` cache-on and cache-off and asserts identical outcomes.
+fn assert_cache_is_pure(cs: &CommSet, label: &str) {
+    let _guard = SWITCH.lock().unwrap_or_else(|e| e.into_inner());
+    let cached = route_all(cs, PrecomputeImpl::Cached);
+    let rebuilt = route_all(cs, PrecomputeImpl::Rebuild);
+    assert_eq!(
+        cached.0, rebuilt.0,
+        "{label}: a routing diverged between cached and rebuilt tables"
+    );
+    assert_eq!(
+        cached.1, rebuilt.1,
+        "{label}: IG load bits diverged between cached and rebuilt tables"
+    );
+}
+
+#[test]
+fn uniform_workloads_match_across_mesh_sizes() {
+    testutil::uniform_sweep(assert_cache_is_pure);
+}
+
+#[test]
+fn length_targeted_workloads_match() {
+    testutil::length_targeted_sweep(assert_cache_is_pure);
+}
+
+#[test]
+fn task_graph_workloads_match() {
+    testutil::task_graph_sweep(assert_cache_is_pure);
+}
+
+/// Random instances mixing all quadrants, straight lines, duplicates and
+/// core-local (zero-length) communications on meshes up to 8×8.
+fn any_instance() -> impl Strategy<Value = CommSet> {
+    (1usize..=8, 1usize..=8)
+        .prop_flat_map(|(p, q)| {
+            let comms = prop::collection::vec(((0..p, 0..q), (0..p, 0..q), 1u32..=3500), 1..=24);
+            (Just((p, q)), comms)
+        })
+        .prop_map(|((p, q), comms)| {
+            CommSet::new(
+                Mesh::new(p, q),
+                comms
+                    .into_iter()
+                    .map(|((a, b), (c, d), w)| {
+                        Comm::new(Coord::new(a, b), Coord::new(c, d), w as f64)
+                    })
+                    .collect(),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cached_tables_never_change_results(cs in any_instance()) {
+        let _guard = SWITCH.lock().unwrap_or_else(|e| e.into_inner());
+        let cached = route_all(&cs, PrecomputeImpl::Cached);
+        let rebuilt = route_all(&cs, PrecomputeImpl::Rebuild);
+        prop_assert_eq!(cached.0, rebuilt.0);
+        prop_assert_eq!(cached.1, rebuilt.1);
+    }
+}
+
+#[test]
+fn session_state_is_bit_identical_across_implementations() {
+    // The resident session consults the precompute for band links on every
+    // add/remove; the cached band is the literal `Comm::band`, so a whole
+    // mutation script must leave byte-identical state either way.
+    let _guard = SWITCH.lock().unwrap_or_else(|e| e.into_inner());
+    let run = |imp: PrecomputeImpl| {
+        precompute::set_implementation(imp);
+        let _restore = RestoreCached;
+        let mesh = Mesh::new(6, 6);
+        let model = PowerModel::kim_horowitz();
+        let mut s = pamr::routing::RoutingSession::new(
+            mesh,
+            model,
+            pamr::routing::SessionConfig::default(),
+        );
+        let mut slots = Vec::new();
+        for (i, j) in [(0, 35), (3, 17), (35, 0), (17, 3), (5, 30), (30, 5)] {
+            let src = Coord::new(i / 6, i % 6);
+            let snk = Coord::new(j / 6, j % 6);
+            slots.push(s.add_comm(Comm::new(src, snk, 100.0 + i as f64)));
+        }
+        s.remove_comm(slots[1]);
+        s.remove_comm(slots[4]);
+        s.add_comm(Comm::new(Coord::new(0, 0), Coord::new(5, 5), 777.0));
+        let (cs, routing) = s.live_routing();
+        let lm = routing.loads(&cs);
+        let loads: Vec<u64> = cs.mesh().links().map(|l| lm.get(l).to_bits()).collect();
+        (routing, loads, s.stats())
+    };
+    assert_eq!(
+        run(PrecomputeImpl::Cached),
+        run(PrecomputeImpl::Rebuild),
+        "session state diverged between cached and rebuilt bands"
+    );
+}
+
+#[test]
+fn campaign_summary_is_byte_identical_across_implementations() {
+    // The §6.4 acceptance contract: a seeded campaign rendered with the
+    // shared precompute and with literal per-trial rebuilds must print the
+    // same bytes.
+    let _guard = SWITCH.lock().unwrap_or_else(|e| e.into_inner());
+    let mesh = pamr::sim::paper_mesh();
+    let model = pamr::sim::paper_model();
+    let (trials, seed) = (1, 0xD1FF);
+    assert_eq!(precompute::implementation(), PrecomputeImpl::Cached);
+    let cached = pamr::sim::summary::Summary::run(&mesh, &model, trials, seed).render_report();
+    precompute::set_implementation(PrecomputeImpl::Rebuild);
+    let _restore = RestoreCached;
+    let rebuilt = pamr::sim::summary::Summary::run(&mesh, &model, trials, seed).render_report();
+    assert!(!cached.is_empty());
+    assert_eq!(
+        cached, rebuilt,
+        "campaign summary diverged between precompute implementations"
+    );
+}

@@ -1,0 +1,111 @@
+//! Workspace walking and the whole-tree check entry point.
+//!
+//! The walker is deliberately narrow: it visits the facade `src/`, every
+//! `crates/*/src`, and every `vendor/*/src`, recursing into subdirectories
+//! and collecting `.rs` files in sorted order. Narrow scope keeps the pass
+//! fast and keeps `target/`, fixtures, and scratch files out of the report;
+//! sorted enumeration (plus the canonical sort in [`crate::report`]) makes
+//! the report byte-stable — the same bar the tool enforces elsewhere.
+//!
+//! The golden-fixture tests run this same walker over a miniature tree that
+//! mimics the workspace layout, so path-scoped rules are exercised through
+//! the exact path-derivation code the real run uses.
+
+use crate::config::Config;
+use crate::lexer;
+use crate::report::{self, Diagnostic};
+use crate::rules;
+use crate::waivers::{self, Waiver};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Lists every first-party and vendored `.rs` file under `root`, as
+/// workspace-relative forward-slash paths, sorted.
+pub fn source_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut roots: Vec<PathBuf> = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        roots.push(src);
+    }
+    for tier in ["crates", "vendor"] {
+        let dir = root.join(tier);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut members: Vec<PathBuf> = fs::read_dir(&dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.join("src").is_dir())
+            .map(|p| p.join("src"))
+            .collect();
+        members.sort();
+        roots.append(&mut members);
+    }
+
+    let mut files = Vec::new();
+    for r in &roots {
+        collect_rs(r, &mut files)?;
+    }
+    let mut rels: Vec<String> = files
+        .iter()
+        .map(|p| {
+            p.strip_prefix(root)
+                .unwrap_or(p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/")
+        })
+        .collect();
+    rels.sort();
+    Ok(rels)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// The result of a whole-tree check.
+pub struct CheckResult {
+    /// Surviving diagnostics, in canonical order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every waiver found, paired with its file (for the inventory).
+    pub waivers: Vec<(String, Waiver)>,
+    /// How many files were scanned.
+    pub files: usize,
+}
+
+/// Lexes and checks every source file under `root`.
+pub fn check_workspace(root: &Path, config: &Config) -> Result<CheckResult, String> {
+    let rels = source_files(root)?;
+    let mut diagnostics = Vec::new();
+    let mut all_waivers = Vec::new();
+    let files = rels.len();
+    for rel in rels {
+        let full = root.join(&rel);
+        let src = fs::read_to_string(&full).map_err(|e| format!("{}: {e}", full.display()))?;
+        let tokens = lexer::lex(&src);
+        for w in waivers::scan(&tokens) {
+            all_waivers.push((rel.clone(), w));
+        }
+        rules::check_file(&rel, &tokens, config, &mut diagnostics);
+    }
+    report::sort(&mut diagnostics);
+    Ok(CheckResult {
+        diagnostics,
+        waivers: all_waivers,
+        files,
+    })
+}

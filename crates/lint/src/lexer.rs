@@ -1,0 +1,571 @@
+//! A hand-rolled token-level Rust lexer.
+//!
+//! The lint rules are token patterns, so the one correctness-critical job
+//! of this module is *not* to report tokens that live inside line comments,
+//! block comments (nested), string literals, raw string literals, byte
+//! strings or char literals — the places where `unwrap` or `HashMap` is
+//! just prose. `tests/lexer_prop.rs` pins exactly that property with a
+//! shrinking proptest; `tests/golden.rs` pins the rule output built on top.
+//!
+//! The lexer is deliberately lossy about everything the rules do not need:
+//! multi-character operators come out as single-character [`TokKind::Punct`]
+//! tokens (`::` is two `:`), and numeric literals are one token regardless
+//! of suffix. Comments are *kept* in the stream (the waiver scanner reads
+//! them); rule passes filter them out via [`Token::is_code`].
+
+/// What a token is. Only the distinctions the rules and the waiver scanner
+/// observe are represented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `HashMap`, `r#type`).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Numeric literal (integer or float, any base or suffix).
+    Number,
+    /// String, raw string, byte string or char literal.
+    Literal,
+    /// A single punctuation character.
+    Punct(char),
+    /// `//…` comment (doc comments included; see [`Token::is_plain_line_comment`]).
+    LineComment,
+    /// `/* … */` comment (nesting handled).
+    BlockComment,
+}
+
+/// One lexed token with its 1-indexed source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// The token's text, owned (comment text is what the waiver scanner
+    /// parses; identifier text is what the rules match).
+    pub text: String,
+    /// 1-indexed line of the token's first character.
+    pub line: usize,
+    /// 1-indexed column (in characters) of the token's first character.
+    pub col: usize,
+    /// Byte offset of the token's first character in the source.
+    pub start: usize,
+}
+
+impl Token {
+    /// True for tokens the rule passes look at (everything but comments).
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True for a `//` comment that is *not* a doc comment (`///`, `//!`).
+    /// Waivers must live in plain comments so that documentation quoting
+    /// the waiver syntax is never parsed as a waiver.
+    pub fn is_plain_line_comment(&self) -> bool {
+        self.kind == TokKind::LineComment
+            && !self.text.starts_with("///")
+            && !self.text.starts_with("//!")
+    }
+}
+
+/// Lexes `src` into tokens (comments included, whitespace dropped).
+///
+/// Unterminated strings or block comments consume the rest of the input as
+/// one token — for a lint over code that must already compile, recovering
+/// more cleverly buys nothing.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let (line, col) = (self.line, self.col);
+            let c = self.bytes[self.pos];
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.line_comment();
+                    self.emit(TokKind::LineComment, start, line, col);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.emit(TokKind::BlockComment, start, line, col);
+                }
+                b'"' => {
+                    self.string();
+                    self.emit(TokKind::Literal, start, line, col);
+                }
+                b'\'' => {
+                    if self.lifetime_ahead() {
+                        self.bump(); // '
+                        self.ident_tail();
+                        self.emit(TokKind::Lifetime, start, line, col);
+                    } else {
+                        self.char_literal();
+                        self.emit(TokKind::Literal, start, line, col);
+                    }
+                }
+                b'r' | b'b' if self.raw_or_byte_string() => {
+                    // `raw_or_byte_string` consumed the literal.
+                    self.emit(TokKind::Literal, start, line, col);
+                }
+                _ if c == b'_' || c.is_ascii_alphabetic() => {
+                    self.bump();
+                    // Raw identifier: `r#ident` is one token (the string
+                    // forms were ruled out by `raw_or_byte_string` above).
+                    if c == b'r'
+                        && self.peek(0) == Some(b'#')
+                        && self
+                            .peek(1)
+                            .is_some_and(|b| b == b'_' || b.is_ascii_alphabetic())
+                    {
+                        self.bump();
+                    }
+                    self.ident_tail();
+                    self.emit(TokKind::Ident, start, line, col);
+                }
+                _ if c.is_ascii_digit() => {
+                    self.number();
+                    self.emit(TokKind::Number, start, line, col);
+                }
+                _ => {
+                    let ch = self.src[self.pos..].chars().next().unwrap_or('\u{fffd}');
+                    self.bump_char(ch);
+                    self.emit(TokKind::Punct(ch), start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn emit(&mut self, kind: TokKind, start: usize, line: usize, col: usize) {
+        self.out.push(Token {
+            kind,
+            text: self.src[start..self.pos].to_string(),
+            line,
+            col,
+            start,
+        });
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte (ASCII fast path — multi-byte chars go through
+    /// [`Lexer::bump_char`]).
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_char(&mut self, ch: char) {
+        self.pos += ch.len_utf8();
+        self.col += 1;
+    }
+
+    /// Advances over every char of the current line's remainder, counting
+    /// columns per character (not per byte) so diagnostics stay accurate in
+    /// the comment-heavy, occasionally-non-ASCII sources of this workspace.
+    fn line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            let ch = self.src[self.pos..].chars().next().unwrap_or('\u{fffd}');
+            self.bump_char(ch);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        let mut depth = 0usize;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            } else if self.bytes[self.pos].is_ascii() {
+                self.bump();
+            } else {
+                let ch = self.src[self.pos..].chars().next().unwrap_or('\u{fffd}');
+                self.bump_char(ch);
+            }
+        }
+    }
+
+    /// Consumes a `"…"` string starting at the opening quote, honouring
+    /// `\\` and `\"` escapes.
+    fn string(&mut self) {
+        self.bump(); // opening "
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        if self.bytes[self.pos].is_ascii() {
+                            self.bump();
+                        } else {
+                            let ch = self.src[self.pos..].chars().next().unwrap_or('\u{fffd}');
+                            self.bump_char(ch);
+                        }
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                b if b.is_ascii() => self.bump(),
+                _ => {
+                    let ch = self.src[self.pos..].chars().next().unwrap_or('\u{fffd}');
+                    self.bump_char(ch);
+                }
+            }
+        }
+    }
+
+    /// True when the `'` at the cursor starts a lifetime rather than a char
+    /// literal: the next char is an identifier start and the one after is
+    /// not a closing `'` (so `'a'` is a char but `'a,`/`'a>` are
+    /// lifetimes; `'\n'` has a backslash next and is a char).
+    fn lifetime_ahead(&self) -> bool {
+        match self.peek(1) {
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() => self.peek(2) != Some(b'\''),
+            _ => false,
+        }
+    }
+
+    /// Consumes a char literal `'x'`, `'\n'`, `'\u{1F600}'`.
+    fn char_literal(&mut self) {
+        self.bump(); // opening '
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        if self.bytes[self.pos].is_ascii() {
+                            self.bump();
+                        } else {
+                            let ch = self.src[self.pos..].chars().next().unwrap_or('\u{fffd}');
+                            self.bump_char(ch);
+                        }
+                    }
+                }
+                b'\'' => {
+                    self.bump();
+                    return;
+                }
+                b if b.is_ascii() => self.bump(),
+                _ => {
+                    let ch = self.src[self.pos..].chars().next().unwrap_or('\u{fffd}');
+                    self.bump_char(ch);
+                }
+            }
+        }
+    }
+
+    /// If the cursor sits on a raw/byte string prefix (`r"`, `r#"`, `b"`,
+    /// `br#"` …) or a raw identifier (`r#ident`), consumes it and returns
+    /// `true` for the string forms. Raw identifiers fall through to the
+    /// identifier path (returns `false` without consuming).
+    fn raw_or_byte_string(&mut self) -> bool {
+        let rest = &self.bytes[self.pos..];
+        // Determine the prefix shape: r, b, br, rb is not legal Rust.
+        let (prefix_len, raw) = match rest {
+            [b'r', b'#', c, ..] if *c == b'"' || *c == b'#' => (1, true),
+            [b'r', b'"', ..] => (1, true),
+            [b'b', b'r', b'"', ..]
+            | [b'b', b'r', b'#', b'"', ..]
+            | [b'b', b'r', b'#', b'#', ..] => (2, true),
+            [b'b', b'"', ..] => (1, false),
+            [b'b', b'\'', ..] => {
+                // Byte char literal b'x'.
+                self.bump(); // b
+                self.char_literal();
+                return true;
+            }
+            _ => return false,
+        };
+        // `r#ident` (raw identifier): r, one '#', then an ident char.
+        if raw
+            && rest.get(prefix_len) == Some(&b'#')
+            && rest
+                .get(prefix_len + 1)
+                .is_some_and(|c| *c == b'_' || c.is_ascii_alphabetic())
+        {
+            return false;
+        }
+        for _ in 0..prefix_len {
+            self.bump();
+        }
+        if raw {
+            let mut hashes = 0usize;
+            while self.peek(0) == Some(b'#') {
+                hashes += 1;
+                self.bump();
+            }
+            if self.peek(0) != Some(b'"') {
+                return true; // malformed; treat consumed prefix as literal
+            }
+            self.bump(); // opening "
+                         // Scan for `"` followed by `hashes` hashes; no escapes.
+            while self.pos < self.bytes.len() {
+                if self.bytes[self.pos] == b'"' {
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if self.peek(1 + h) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        self.bump();
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        return true;
+                    }
+                    self.bump();
+                } else if self.bytes[self.pos].is_ascii() {
+                    self.bump();
+                } else {
+                    let ch = self.src[self.pos..].chars().next().unwrap_or('\u{fffd}');
+                    self.bump_char(ch);
+                }
+            }
+            true
+        } else {
+            self.string();
+            true
+        }
+    }
+
+    fn ident_tail(&mut self) {
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.bump();
+        }
+    }
+
+    /// Consumes a numeric literal loosely: digits, base prefixes, suffixes
+    /// and a fractional part — but never a `..` range operator.
+    fn number(&mut self) {
+        self.bump();
+        loop {
+            match self.peek(0) {
+                Some(b'.') => {
+                    // `1..n` is a range, `1.0` is a float, `x.0` never
+                    // reaches here (tuple indexing lexes the int alone).
+                    if self.peek(1) == Some(b'.') {
+                        return;
+                    }
+                    if self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                        self.bump();
+                    } else {
+                        return;
+                    }
+                }
+                Some(c) if c == b'_' || c.is_ascii_alphanumeric() => self.bump(),
+                _ => return,
+            }
+        }
+    }
+}
+
+/// Spans of `#[cfg(test)] mod … { … }` regions as inclusive line ranges.
+///
+/// Unit-test modules may unwrap, use `HashSet` for assertions and measure
+/// time freely: every rule skips diagnostics inside these regions. The scan
+/// is token-based, so braces inside strings or comments cannot derail the
+/// matching (that is the lexer's guarantee).
+pub fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| t.is_code()).collect();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        // Match `# [ cfg ( test ) ]`.
+        let is_cfg_test = code[i].kind == TokKind::Punct('#')
+            && matches!(code.get(i + 1), Some(t) if t.kind == TokKind::Punct('['))
+            && matches!(code.get(i + 2), Some(t) if t.text == "cfg")
+            && matches!(code.get(i + 3), Some(t) if t.kind == TokKind::Punct('('))
+            && matches!(code.get(i + 4), Some(t) if t.text == "test")
+            && matches!(code.get(i + 5), Some(t) if t.kind == TokKind::Punct(')'))
+            && matches!(code.get(i + 6), Some(t) if t.kind == TokKind::Punct(']'));
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip any further attributes, then require `mod name {`.
+        let mut j = i + 7;
+        while matches!(code.get(j), Some(t) if t.kind == TokKind::Punct('#')) {
+            // Balanced `[...]` skip.
+            let mut depth = 0usize;
+            j += 1;
+            while let Some(t) = code.get(j) {
+                match t.kind {
+                    TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if !matches!(code.get(j), Some(t) if t.text == "mod") {
+            i += 1;
+            continue;
+        }
+        // Find the opening brace, then its match.
+        while let Some(t) = code.get(j) {
+            if t.kind == TokKind::Punct('{') {
+                break;
+            }
+            j += 1;
+        }
+        let open = j;
+        let mut depth = 0usize;
+        let mut close = None;
+        while let Some(t) = code.get(j) {
+            match t.kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let (Some(open_t), Some(c)) = (code.get(open), close) {
+            regions.push((code[i].line.min(open_t.line), code[c].line));
+            i = c + 1;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// True when `line` falls inside any of `regions` (inclusive).
+pub fn in_regions(regions: &[(usize, usize)], line: usize) -> bool {
+    regions.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            let a = "unwrap() inside a string";
+            // unwrap in a line comment
+            /* unwrap in /* a nested */ block comment */
+            let b = r#"raw "quoted" unwrap"#;
+            let c = 'u';
+            let d: &'unwrap str = "";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()), "leaked: {ids:?}");
+        assert!(ids.contains(&"real_ident".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Literal).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn positions_are_one_indexed() {
+        let toks = lex("a\n  bb");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let toks = lex("let r#type = 1;");
+        assert!(toks.iter().any(|t| t.text == "r#type"));
+    }
+
+    #[test]
+    fn byte_strings_hide_contents() {
+        let ids = idents(r##"let b = b"unwrap"; let r = br#"HashMap"#; ok();"##);
+        assert_eq!(ids, vec!["let", "b", "let", "r", "ok"]);
+    }
+
+    #[test]
+    fn test_region_detection() {
+        let src =
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let toks = lex(src);
+        let regions = test_regions(&toks);
+        assert_eq!(regions.len(), 1);
+        assert!(in_regions(&regions, 4));
+        assert!(!in_regions(&regions, 1));
+        assert!(!in_regions(&regions, 6));
+    }
+
+    #[test]
+    fn range_does_not_eat_dots() {
+        let toks = lex("for i in 0..10 {}");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Number && t.text == "0"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Number && t.text == "10"));
+    }
+}

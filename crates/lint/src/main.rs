@@ -1,0 +1,161 @@
+//! `pamr-lint` — the workspace-native static-analysis pass.
+//!
+//! ```text
+//! pamr-lint check [--json] [--deny] [--root PATH] [--set RULE=SEV]...
+//! pamr-lint rules
+//! pamr-lint waivers [--root PATH]
+//! ```
+//!
+//! `check` lexes every first-party and vendored source file and runs the
+//! determinism/panic-safety rules (see `pamr-lint rules`). Without `--deny`
+//! it always exits 0 (report-only); with `--deny` it exits 1 when any
+//! error-severity diagnostic survives waivers — the mode CI runs. `--root`
+//! points at a different workspace root (the fixture corpus uses this).
+//!
+//! `waivers` prints the full waiver inventory (`file:line RULES — reason`)
+//! and exits 1 if any waiver lacks a reason, so CI can fail on silent
+//! suppressions without re-running the whole check.
+
+#![forbid(unsafe_code)]
+
+use pamr_lint::config::Config;
+use pamr_lint::driver;
+use pamr_lint::report::{self, Severity};
+use pamr_lint::rules;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  pamr-lint check [--json] [--deny] [--root PATH] [--set RULE=SEV]...\n  \
+         pamr-lint rules\n  \
+         pamr-lint waivers [--root PATH]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("rules") => cmd_rules(),
+        Some("waivers") => cmd_waivers(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn opt(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn root_of(args: &[String]) -> PathBuf {
+    // Default to the workspace root: the binary runs via `cargo run -p
+    // pamr-lint`, whose cwd is the workspace root, but fall back to the
+    // manifest's grandparent so a target/release invocation works too.
+    match opt(args, "--root") {
+        Some(p) => PathBuf::from(p),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|e| {
+                eprintln!("cannot determine cwd: {e}");
+                exit(1);
+            });
+            if cwd.join("Cargo.toml").is_file() {
+                cwd
+            } else {
+                PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                    .ancestors()
+                    .nth(2)
+                    .map(PathBuf::from)
+                    .unwrap_or(cwd)
+            }
+        }
+    }
+}
+
+fn cmd_check(args: &[String]) {
+    let mut config = Config::default();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--set" {
+            let Some(spec) = args.get(i + 1) else { usage() };
+            if let Err(e) = config.set(spec) {
+                eprintln!("pamr-lint: {e}");
+                exit(2);
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    let root = root_of(args);
+    let result = driver::check_workspace(&root, &config).unwrap_or_else(|e| {
+        eprintln!("pamr-lint: {e}");
+        exit(1);
+    });
+    if flag(args, "--json") {
+        print!("{}", report::render_json(&result.diagnostics));
+    } else {
+        print!("{}", report::render_human(&result.diagnostics));
+        eprintln!(
+            "pamr-lint: {} file(s) scanned, {} diagnostic(s), {} waiver(s)",
+            result.files,
+            result.diagnostics.len(),
+            result.waivers.len()
+        );
+    }
+    let errors = result
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    if flag(args, "--deny") && errors > 0 {
+        eprintln!("pamr-lint: {errors} error(s) — failing (--deny)");
+        exit(1);
+    }
+}
+
+fn cmd_rules() {
+    for r in rules::REGISTRY {
+        println!("{}  {}", r.id, r.summary);
+    }
+}
+
+fn cmd_waivers(args: &[String]) {
+    let root = root_of(args);
+    let result = driver::check_workspace(&root, &Config::default()).unwrap_or_else(|e| {
+        eprintln!("pamr-lint: {e}");
+        exit(1);
+    });
+    let mut missing = 0usize;
+    for (file, w) in &result.waivers {
+        match w.reason.as_deref().filter(|r| !r.trim().is_empty()) {
+            Some(reason) => {
+                println!("{}:{} {} — {}", file, w.line, w.rules.join(", "), reason)
+            }
+            None => {
+                println!(
+                    "{}:{} {} — MISSING REASON",
+                    file,
+                    w.line,
+                    w.rules.join(", ")
+                );
+                missing += 1;
+            }
+        }
+    }
+    eprintln!(
+        "pamr-lint: {} waiver(s), {} missing a reason",
+        result.waivers.len(),
+        missing
+    );
+    if missing > 0 {
+        exit(1);
+    }
+}

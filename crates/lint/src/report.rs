@@ -1,0 +1,158 @@
+//! Diagnostics and their human/JSON renderings.
+//!
+//! Output order is part of the contract: diagnostics sort by
+//! `(file, line, col, rule)` so the report is byte-stable across directory
+//! enumeration order and rule execution order — the same determinism bar
+//! the tool enforces on the rest of the workspace.
+
+use serde::Value;
+
+/// How seriously a diagnostic is taken (per-rule, see
+/// [`Config`](crate::config::Config)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The rule is disabled.
+    Off,
+    /// Reported, but never fails `--deny`.
+    Warn,
+    /// Reported and fails `--deny`.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase name used in CLI overrides and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Off => "off",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses a CLI severity name.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "off" => Some(Severity::Off),
+            "warn" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+/// One finding: a rule fired at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`D001`, `P001`, `W000` …).
+    pub rule: &'static str,
+    /// Effective severity under the active configuration.
+    pub severity: Severity,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// 1-indexed column.
+    pub col: usize,
+    /// What happened and what to do instead.
+    pub message: String,
+}
+
+/// Sorts diagnostics into the canonical reporting order.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+}
+
+/// The `file:line:col: RULE message` lines, one per diagnostic.
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!(
+            "{}:{}:{}: {} [{}] {}\n",
+            d.file,
+            d.line,
+            d.col,
+            d.rule,
+            d.severity.name(),
+            d.message
+        ));
+    }
+    out
+}
+
+/// The machine-readable report: a JSON object with a schema version and the
+/// sorted diagnostics array (pretty-printed; pinned byte-for-byte by the
+/// golden fixtures).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let items: Vec<Value> = diags
+        .iter()
+        .map(|d| {
+            Value::Object(vec![
+                ("rule".to_string(), Value::Str(d.rule.to_string())),
+                (
+                    "severity".to_string(),
+                    Value::Str(d.severity.name().to_string()),
+                ),
+                ("file".to_string(), Value::Str(d.file.clone())),
+                ("line".to_string(), Value::UInt(d.line as u64)),
+                ("col".to_string(), Value::UInt(d.col as u64)),
+                ("message".to_string(), Value::Str(d.message.clone())),
+            ])
+        })
+        .collect();
+    let root = Value::Object(vec![
+        ("schema".to_string(), Value::UInt(1)),
+        ("diagnostics".to_string(), Value::Array(items)),
+    ]);
+    let mut s = serde_json::to_string_pretty(&root).expect("plain JSON value");
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(file: &str, line: usize, col: usize, rule: &'static str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            file: file.to_string(),
+            line,
+            col,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn sort_is_total_and_stable_by_position() {
+        let mut v = vec![
+            d("b.rs", 1, 1, "D001"),
+            d("a.rs", 9, 9, "P001"),
+            d("a.rs", 9, 1, "U001"),
+        ];
+        sort(&mut v);
+        assert_eq!(
+            v.iter()
+                .map(|x| (x.file.as_str(), x.line, x.col))
+                .collect::<Vec<_>>(),
+            vec![("a.rs", 9, 1), ("a.rs", 9, 9), ("b.rs", 1, 1)]
+        );
+    }
+
+    #[test]
+    fn human_rendering_shape() {
+        let s = render_human(&[d("x.rs", 3, 7, "D002")]);
+        assert_eq!(s, "x.rs:3:7: D002 [error] m\n");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let s = render_json(&[d("x.rs", 3, 7, "D002")]);
+        let v: Value = serde_json::from_str(&s).unwrap();
+        let diags = v.get("diagnostics").unwrap();
+        match diags {
+            Value::Array(items) => assert_eq!(items.len(), 1),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Inline waivers: `// pamr-lint: allow(RULE, reason = "…")`.
+//!
+//! A waiver is a *plain* line comment (doc comments quoting the syntax are
+//! ignored) whose text, after `//` and whitespace, starts with
+//! `pamr-lint:`. It names one or more rule ids and must carry a
+//! `reason = "…"` — a waiver without a reason is itself a diagnostic
+//! ([`W000`](crate::rules)), because an unexplained suppression is exactly
+//! the silent invariant erosion this tool exists to stop. Unknown rule ids
+//! are diagnosed too ([`W001`](crate::rules)): a typoed waiver would
+//! otherwise suppress nothing while looking like it did.
+//!
+//! Scope: a waiver covers diagnostics on **its own line** (trailing form)
+//! and on **the next line** (standalone form — put the comment directly
+//! above the flagged line, or above the flagged continuation line inside a
+//! method chain; rustfmt preserves both placements).
+
+use crate::lexer::Token;
+use crate::report::{Diagnostic, Severity};
+
+/// One parsed waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rules the waiver suppresses.
+    pub rules: Vec<String>,
+    /// The mandatory justification (`None` is a W000 diagnostic).
+    pub reason: Option<String>,
+    /// 1-indexed line of the comment.
+    pub line: usize,
+    /// 1-indexed column of the comment.
+    pub col: usize,
+}
+
+impl Waiver {
+    /// True when this waiver suppresses `rule` at `line`.
+    pub fn covers(&self, rule: &str, line: usize) -> bool {
+        (line == self.line || line == self.line + 1) && self.rules.iter().any(|r| r == rule)
+    }
+}
+
+/// Extracts every waiver from a file's comment tokens.
+pub fn scan(tokens: &[Token]) -> Vec<Waiver> {
+    tokens
+        .iter()
+        .filter(|t| t.is_plain_line_comment())
+        .filter_map(parse)
+        .collect()
+}
+
+/// Parses one comment token; `None` when it is not a waiver at all.
+fn parse(tok: &Token) -> Option<Waiver> {
+    let body = tok.text.trim_start_matches('/').trim_start();
+    let rest = body.strip_prefix("pamr-lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let inner = rest.strip_prefix('(')?;
+    let inner = match inner.rfind(')') {
+        Some(p) => &inner[..p],
+        None => inner, // unterminated: parse what is there, W001 will flag junk
+    };
+    let mut rules = Vec::new();
+    let mut reason = None;
+    for part in split_args(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some(r) = part.strip_prefix("reason") {
+            let r = r.trim_start();
+            if let Some(r) = r.strip_prefix('=') {
+                let r = r.trim();
+                let r = r.strip_prefix('"').unwrap_or(r);
+                let r = r.strip_suffix('"').unwrap_or(r);
+                reason = Some(r.to_string());
+            }
+        } else {
+            rules.push(part.to_string());
+        }
+    }
+    Some(Waiver {
+        rules,
+        reason,
+        line: tok.line,
+        col: tok.col,
+    })
+}
+
+/// Splits waiver arguments on commas outside the `reason = "…"` string.
+fn split_args(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+/// Diagnostics about the waivers themselves: W000 for a missing reason,
+/// W001 for rule ids not in the registry.
+pub fn check(waivers: &[Waiver], file: &str, known: &[&'static str]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for w in waivers {
+        if w.reason.as_deref().is_none_or(|r| r.trim().is_empty()) {
+            out.push(Diagnostic {
+                rule: "W000",
+                severity: Severity::Error,
+                file: file.to_string(),
+                line: w.line,
+                col: w.col,
+                message: format!(
+                    "waiver for {} lacks a reason; write `// pamr-lint: allow({}, reason = \"…\")`",
+                    w.rules.join(", "),
+                    w.rules.join(", ")
+                ),
+            });
+        }
+        for r in &w.rules {
+            if !known.contains(&r.as_str()) {
+                out.push(Diagnostic {
+                    rule: "W001",
+                    severity: Severity::Error,
+                    file: file.to_string(),
+                    line: w.line,
+                    col: w.col,
+                    message: format!("waiver names unknown rule {r:?} (see `pamr-lint rules`)"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Drops every diagnostic covered by a waiver (W-diagnostics are never
+/// waivable — a waiver cannot excuse its own missing reason).
+pub fn apply(diags: Vec<Diagnostic>, waivers: &[Waiver]) -> Vec<Diagnostic> {
+    diags
+        .into_iter()
+        .filter(|d| d.rule.starts_with('W') || !waivers.iter().any(|w| w.covers(d.rule, d.line)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn waiver(src: &str) -> Vec<Waiver> {
+        scan(&lex(src))
+    }
+
+    #[test]
+    fn trailing_and_standalone_forms_parse() {
+        let ws = waiver(
+            "x.unwrap(); // pamr-lint: allow(P001, reason = \"bounded by construction\")\n\
+             // pamr-lint: allow(D001, D002, reason = \"lookup only\")\n\
+             next_line();",
+        );
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].rules, vec!["P001"]);
+        assert_eq!(ws[0].reason.as_deref(), Some("bounded by construction"));
+        assert!(ws[0].covers("P001", 1));
+        assert!(!ws[0].covers("P001", 3));
+        assert_eq!(ws[1].rules, vec!["D001", "D002"]);
+        assert!(ws[1].covers("D002", 3));
+    }
+
+    #[test]
+    fn reason_with_commas_stays_whole() {
+        let ws = waiver("// pamr-lint: allow(P001, reason = \"a, b, and c\")");
+        assert_eq!(ws[0].rules, vec!["P001"]);
+        assert_eq!(ws[0].reason.as_deref(), Some("a, b, and c"));
+    }
+
+    #[test]
+    fn doc_comments_are_not_waivers() {
+        assert!(waiver("/// pamr-lint: allow(P001)").is_empty());
+        assert!(waiver("//! `// pamr-lint: allow(P001)`").is_empty());
+    }
+
+    #[test]
+    fn missing_reason_and_unknown_rule_are_diagnosed() {
+        let ws = waiver("// pamr-lint: allow(P001)\n// pamr-lint: allow(Z123, reason = \"x\")");
+        let ds = check(&ws, "f.rs", &["P001"]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0].rule, "W000");
+        assert_eq!(ds[1].rule, "W001");
+    }
+
+    #[test]
+    fn apply_suppresses_only_covered_lines() {
+        use crate::report::Severity;
+        let ws = waiver("ok();\n// pamr-lint: allow(P001, reason = \"r\")\nflagged();");
+        let mk = |line| Diagnostic {
+            rule: "P001",
+            severity: Severity::Error,
+            file: "f.rs".to_string(),
+            line,
+            col: 1,
+            message: String::new(),
+        };
+        let kept = apply(vec![mk(1), mk(3)], &ws);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].line, 1);
+    }
+}

@@ -1,0 +1,6 @@
+//! Seeded U001 violation: unsafe code in a first-party crate.
+
+/// An unsafe block — must fire.
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { p.read() }
+}

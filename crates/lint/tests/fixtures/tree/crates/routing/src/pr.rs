@@ -1,0 +1,12 @@
+//! Seeded P001 violation: an unchecked unwrap on a routing hot path
+//! (this file's name puts it in P001 scope, like the real pr.rs).
+
+/// Panics on an empty slice — must fire.
+pub fn head(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}
+
+/// The non-panicking twin must NOT fire.
+pub fn head_or_zero(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,22 @@
+//! Seeded D001 violation: an unordered map in report-producing scope.
+//! The first `HashMap` mention must fire; the second is reason-waived and
+//! must not (the golden fixture pins both behaviours).
+
+use std::collections::HashMap;
+
+// pamr-lint: allow(D001, reason = "lookup-only map in this seed, never iterated")
+pub type Lookup = HashMap<&'static str, u32>;
+
+/// A string that must NOT fire: HashMap here is prose, not code.
+pub const DOCS: &str = "prefer BTreeMap over HashMap in reports";
+
+#[cfg(test)]
+mod tests {
+    // Test modules may use unordered containers freely.
+    use std::collections::HashSet;
+
+    #[test]
+    fn sets_are_fine_here() {
+        assert!(HashSet::<u32>::new().is_empty());
+    }
+}

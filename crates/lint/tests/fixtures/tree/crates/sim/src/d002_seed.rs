@@ -1,0 +1,6 @@
+//! Seeded D002 violation: a wall-clock read outside the bench allowlist.
+
+/// Reads the wall clock on what could be a report path — must fire.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

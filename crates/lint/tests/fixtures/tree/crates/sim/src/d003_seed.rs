@@ -1,0 +1,12 @@
+//! Seeded D003 violation: float accumulation inside a parallel chain.
+
+/// Sums floats across a parallel iterator — must fire (and would need a
+/// waiver citing the vendored rayon's fixed-chunk in-order combine).
+pub fn total(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).sum::<f64>()
+}
+
+/// The sequential twin must NOT fire: no parallel chain here.
+pub fn total_seq(xs: &[f64]) -> f64 {
+    xs.iter().map(|x| x * 2.0).sum::<f64>()
+}

@@ -1,0 +1,9 @@
+//! Seeded waiver-hygiene violations: a waiver without a reason (W000) and
+//! a waiver naming an unknown rule (W001). The reasonless waiver still
+//! suppresses its D001 — W000 is the enforcement, not non-suppression.
+
+// pamr-lint: allow(D001)
+use std::collections::HashMap;
+
+// pamr-lint: allow(Z999, reason = "seeds the unknown-rule diagnostic")
+pub type Seed = HashMap<u8, u8>;

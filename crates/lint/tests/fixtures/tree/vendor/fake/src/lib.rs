@@ -1,0 +1,6 @@
+//! Seeded V001 violation: a vendored stand-in reaching std::process.
+
+/// Kills the process from vendor code — must fire.
+pub fn bail() -> ! {
+    std::process::exit(1)
+}

@@ -1,0 +1,111 @@
+//! Property test for the lexer's one correctness-critical job: tokens are
+//! never reported from inside strings, raw strings, byte strings, chars,
+//! line comments or block comments. A failure here would mean a lint rule
+//! can fire on prose — the vendored proptest shrinks the segment list to a
+//! minimal counterexample and prints a `PAMR_PROPTEST_SEED` replay line.
+
+use pamr_lint::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// Words the lint rules match on — the worst possible text to leak out of
+/// a literal or comment.
+const TRAPS: &[&str] = &["unwrap", "HashMap", "unsafe", "Instant"];
+
+/// Innocent identifiers for code segments (disjoint from TRAPS).
+const IDENTS: &[&str] = &["alpha", "beta", "gamma", "delta"];
+
+/// One rendered segment: its source text and whether identifier tokens are
+/// allowed to originate inside it.
+struct Segment {
+    text: String,
+    is_code: bool,
+}
+
+/// Renders segment `kind` around trap word `w` (non-code kinds embed the
+/// trap; the code kind emits an innocent identifier instead).
+fn render(kind: usize, w: usize) -> Segment {
+    let trap = TRAPS[w];
+    let (text, is_code) = match kind {
+        0 => (IDENTS[w].to_string(), true),
+        1 => (format!("\"xx {trap} yy\""), false),
+        2 => (format!("\"esc \\\" {trap} \\\\\""), false),
+        3 => (format!("// prose {trap} prose"), false),
+        4 => (format!("/* {trap} /* nested {trap} */ tail */"), false),
+        5 => (format!("r#\"{trap} \"quoted\" {trap}\"#"), false),
+        6 => (format!("b\"{trap}\""), false),
+        _ => (format!("'{}'", trap.chars().next().unwrap()), false),
+    };
+    Segment { text, is_code }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn idents_never_leak_out_of_literals_or_comments(
+        segs in prop::collection::vec((0usize..8, 0usize..4), 0..24)
+    ) {
+        // Assemble the source with byte-span tracking, one segment per
+        // line (line comments need the newline terminator anyway).
+        let mut src = String::new();
+        let mut spans: Vec<(usize, usize, bool)> = Vec::new();
+        let mut expected_idents = 0usize;
+        for &(kind, w) in &segs {
+            let seg = render(kind, w);
+            let start = src.len();
+            src.push_str(&seg.text);
+            spans.push((start, src.len(), seg.is_code));
+            src.push('\n');
+            if seg.is_code {
+                expected_idents += 1;
+            }
+        }
+
+        let toks = lex(&src);
+        let mut seen_idents = 0usize;
+        for t in &toks {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            seen_idents += 1;
+            // Every identifier must originate in a code segment…
+            let home = spans.iter().find(|&&(s, e, _)| t.start >= s && t.start < e);
+            prop_assert!(
+                matches!(home, Some(&(_, _, true))),
+                "ident {:?} at byte {} leaked from a non-code segment",
+                t.text,
+                t.start
+            );
+            // …and must be one of the innocent words, never a trap.
+            prop_assert!(
+                IDENTS.contains(&t.text.as_str()),
+                "unexpected ident {:?} (trap words must stay hidden)",
+                t.text
+            );
+        }
+        // No code identifier may be swallowed either: one per code segment.
+        prop_assert_eq!(seen_idents, expected_idents);
+    }
+
+    #[test]
+    fn waiver_comments_survive_any_neighbourhood(
+        segs in prop::collection::vec((0usize..8, 0usize..4), 0..12)
+    ) {
+        // A waiver comment placed after arbitrary literal/comment noise is
+        // still scanned: the comment token stream is position-faithful.
+        let mut src = String::new();
+        for &(kind, w) in &segs {
+            src.push_str(&render(kind, w).text);
+            src.push('\n');
+        }
+        let waiver_line = src.lines().count() + 1;
+        src.push_str("// pamr-lint: allow(D001, reason = \"prop\")\n");
+        let toks = lex(&src);
+        let found = toks.iter().any(|t| {
+            t.kind == TokKind::LineComment
+                && t.line == waiver_line
+                && t.text.contains("pamr-lint: allow(D001")
+        });
+        prop_assert!(found, "waiver comment lost at line {}", waiver_line);
+    }
+}

@@ -162,10 +162,13 @@ impl CommSet {
             }
         };
         let mut idx: Vec<usize> = (0..self.comms.len()).collect();
+        // total_cmp, not partial_cmp().unwrap(): identical order for the
+        // finite positive keys `Comm::new` admits, but a `CommSet` built
+        // from untrusted JSON (serde derives bypass the constructor's
+        // weight assertions) must sort, not panic, on a NaN weight.
         idx.sort_by(|&a, &b| {
             key(&self.comms[b])
-                .partial_cmp(&key(&self.comms[a]))
-                .unwrap()
+                .total_cmp(&key(&self.comms[a]))
                 .then(a.cmp(&b))
         });
         idx
@@ -233,6 +236,43 @@ mod tests {
         assert_eq!(cs.total_weight(), 26.0);
         assert_eq!(cs.len(), 4);
         assert!((cs.mean_length() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_weight_sorts_instead_of_panicking() {
+        // Regression: `Comm`'s fields are public and its `Deserialize` is
+        // derived, so a NaN weight can reach `by_order` without ever
+        // passing `Comm::new`'s assertion. The sort used to be
+        // `partial_cmp().unwrap()`, which panicked on exactly this input;
+        // `total_cmp` must produce a permutation instead.
+        let mesh = Mesh::new(2, 2);
+        let rogue = Comm {
+            src: Coord::new(0, 0),
+            snk: Coord::new(1, 1),
+            weight: f64::NAN,
+        };
+        let cs = CommSet::new(
+            mesh,
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(1, 0), 2.0),
+                rogue,
+                Comm::new(Coord::new(0, 1), Coord::new(1, 1), 5.0),
+            ],
+        );
+        for order in [
+            SortOrder::DecreasingWeight,
+            SortOrder::DecreasingLength,
+            SortOrder::DecreasingDensity,
+        ] {
+            let mut idx = cs.by_order(order);
+            idx.sort_unstable();
+            assert_eq!(idx, vec![0, 1, 2], "{order:?} must yield a permutation");
+        }
+        // And the well-formed communications still sort heaviest-first
+        // relative to each other (NaN sorts above +inf under total_cmp).
+        let idx = cs.by_decreasing_weight();
+        let pos = |i: usize| idx.iter().position(|&x| x == i).unwrap();
+        assert!(pos(2) < pos(0), "5.0 must precede 2.0");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::comm::CommSet;
 use crate::routing::Routing;
 use pamr_mesh::{Band, Coord, LoadMap, Mesh, Path, Step};
 use pamr_power::PowerModel;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of a Frank–Wolfe run.
 #[derive(Debug, Clone)]
@@ -56,8 +56,8 @@ fn cheapest_path(mesh: &Mesh, costs: &LoadMap, model: &PowerModel, src: Coord, s
     }
     let band = Band::new(mesh, src, snk);
     // dist[core] = cheapest marginal cost from src; pred[core] = best step.
-    let mut dist: HashMap<usize, f64> = HashMap::new();
-    let mut pred: HashMap<usize, (usize, Step)> = HashMap::new();
+    let mut dist: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut pred: BTreeMap<usize, (usize, Step)> = BTreeMap::new();
     dist.insert(mesh.core_index(src), 0.0);
     for g in band.groups() {
         for &l in g {
@@ -93,8 +93,9 @@ fn cheapest_path(mesh: &Mesh, costs: &LoadMap, model: &PowerModel, src: Coord, s
 /// bound/ablation tool, not one of the paper's heuristics).
 pub fn frank_wolfe(cs: &CommSet, model: &PowerModel, iterations: usize) -> FrankWolfeResult {
     let mesh = cs.mesh();
-    // flows[i]: move-sequence → rate.
-    let mut flows: Vec<HashMap<Vec<Step>, f64>> = vec![HashMap::new(); cs.len()];
+    // flows[i]: move-sequence → rate. Ordered so that rate sums, support
+    // pruning and the final flow listing are independent of hasher state.
+    let mut flows: Vec<BTreeMap<Vec<Step>, f64>> = vec![BTreeMap::new(); cs.len()];
     let mut loads = LoadMap::new(mesh);
     // Initial all-or-nothing assignment on XY paths.
     for (i, c) in cs.comms().iter().enumerate() {
@@ -161,7 +162,10 @@ pub fn frank_wolfe(cs: &CommSet, model: &PowerModel, iterations: usize) -> Frank
                     .iter()
                     .map(|(m, &r)| (Path::from_moves(c.src, m.clone()), r))
                     .collect();
-                v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                // total_cmp: bit-identical to partial_cmp on these finite
+                // rates, with no NaN panic path; ties keep move-order (the
+                // BTreeMap iteration order), so the listing is reproducible.
+                v.sort_by(|a, b| b.1.total_cmp(&a.1));
                 v
             })
             .collect(),

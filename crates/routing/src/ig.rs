@@ -262,7 +262,9 @@ fn ig_route_one_indexed(
             (true, true) => {
                 let mut best = (f64::INFINITY, sv);
                 for s in [sv, sh] {
+                    // pamr-lint: allow(P001, reason = "cur stays inside the src–snk bounding box and both axes still differ, so stepping towards the sink cannot leave the mesh")
                     let link = mesh.link_id(cur, s).unwrap();
+                    // pamr-lint: allow(P001, reason = "same bounding-box invariant as the link lookup above")
                     let next = mesh.step(cur, s).unwrap();
                     let tail = if next == c.snk {
                         0.0
@@ -280,6 +282,7 @@ fn ig_route_one_indexed(
             (false, false) => unreachable!(),
         };
         moves.push(step);
+        // pamr-lint: allow(P001, reason = "step was chosen towards the sink from inside the bounding box, so it stays on the mesh")
         cur = mesh.step(cur, step).unwrap();
     }
     debug_assert!(moves.iter().all(|&s: &Step| c.quadrant().allows(s)));
@@ -333,10 +336,14 @@ impl ImprovedGreedy {
         // (bit-identical: it is CommSet::by_order's own result).
         let order_buf;
         let order: &[usize] = match &bands {
-            Bands::Cached(cu) if cu.order(self.order).is_some() => {
-                cu.order(self.order).expect("checked above")
-            }
-            _ => {
+            Bands::Cached(cu) => match cu.order(self.order) {
+                Some(o) => o,
+                None => {
+                    order_buf = cs.by_order(self.order);
+                    &order_buf
+                }
+            },
+            Bands::Owned(_) => {
                 order_buf = cs.by_order(self.order);
                 &order_buf
             }
@@ -383,6 +390,7 @@ impl ImprovedGreedy {
             loads.add_path(mesh, &path, c.weight);
             paths[i] = Some(path);
         }
+        // pamr-lint: allow(P001, reason = "order is a permutation of 0..len (CommSet::by_order or its cached copy), so every slot was filled by the loop above")
         Routing::single(cs, paths.into_iter().map(Option::unwrap).collect())
     }
 }

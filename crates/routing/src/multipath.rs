@@ -15,7 +15,7 @@ use crate::routing::Routing;
 use crate::scratch::RouteScratch;
 use pamr_mesh::{Path, Step};
 use pamr_power::PowerModel;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Lifts a single-path heuristic into an s-MP heuristic by communication
 /// splitting.
@@ -64,8 +64,10 @@ impl<H: Heuristic> Heuristic for SplitMp<H> {
         }
         let sub = CommSet::new(*cs.mesh(), expanded);
         let routed = self.inner.route_with(&sub, model, scratch);
-        // Fold back, merging identical paths.
-        let mut merged: Vec<HashMap<Vec<Step>, f64>> = vec![HashMap::new(); cs.len()];
+        // Fold back, merging identical paths. Ordered so the per-comm flow
+        // listing (and its equal-rate tie-break below) never depends on
+        // hasher state.
+        let mut merged: Vec<BTreeMap<Vec<Step>, f64>> = vec![BTreeMap::new(); cs.len()];
         for (j, &i) in origin.iter().enumerate() {
             for (path, rate) in routed.flows(j) {
                 *merged[i].entry(path.moves().to_vec()).or_insert(0.0) += rate;
@@ -80,7 +82,9 @@ impl<H: Heuristic> Heuristic for SplitMp<H> {
                         .into_iter()
                         .map(|(moves, rate)| (Path::from_moves(c.src, moves), rate))
                         .collect();
-                    v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                    // total_cmp: same order as partial_cmp for these finite
+                    // rates, no NaN panic path; ties keep move-order.
+                    v.sort_by(|a, b| b.1.total_cmp(&a.1));
                     v
                 })
                 .collect(),

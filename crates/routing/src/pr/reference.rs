@@ -260,13 +260,11 @@ impl ReferencePathRemover {
                         .copied()
                         .filter(|&i| !comms[i].resolved),
                 );
-                scratch.cands.sort_by(|&a, &b| {
-                    comms[b]
-                        .weight
-                        .partial_cmp(&comms[a].weight)
-                        .unwrap()
-                        .then(a.cmp(&b))
-                });
+                // total_cmp: same order as partial_cmp for these finite
+                // positive weights, without the NaN panic path.
+                scratch
+                    .cands
+                    .sort_by(|&a, &b| comms[b].weight.total_cmp(&comms[a].weight).then(a.cmp(&b)));
                 for &i in &scratch.cands {
                     // Removable iff the link is alive for the communication
                     // and its group keeps another alive link (every alive
@@ -314,6 +312,7 @@ impl Heuristic for ReferencePathRemover {
 
     fn route_with(&self, cs: &CommSet, model: &PowerModel, scratch: &mut RouteScratch) -> Routing {
         self.try_route_with(cs, model, scratch)
+            // pamr-lint: allow(P001, reason = "documented escalation policy: a PrError here is an engine bug, and the infallible Heuristic interface has no error channel — callers wanting Result use try_route_with")
             .unwrap_or_else(|e| panic!("PR invariant violated: {e}"))
     }
 }

@@ -64,9 +64,9 @@ use crate::heuristic::SURROGATE_PENALTY;
 use pamr_mesh::{Band, Coord, LinkId, Mesh, Path, Step};
 use pamr_power::model::CAPACITY_EPS;
 use pamr_power::{FrequencyScale, PowerModel};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// Which table-sourcing strategy backs the routing engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -248,8 +248,10 @@ pub struct MeshPrecompute {
     /// Flat outgoing-link array, cores in [`Mesh::core_index`] order,
     /// links in [`Step::ALL`] order.
     out_links: Vec<LinkId>,
-    /// The `(src, snk) → tables` interner.
-    tables: RwLock<HashMap<(Coord, Coord), Arc<EndpointTables>>>,
+    /// The `(src, snk) → tables` interner. Ordered map: never iterated on
+    /// a report path today, but the interner is shared across sessions and
+    /// an ordered debug dump costs nothing here (lookups dominate).
+    tables: RwLock<BTreeMap<(Coord, Coord), Arc<EndpointTables>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -287,7 +289,7 @@ impl MeshPrecompute {
             mesh,
             first_out,
             out_links,
-            tables: RwLock::new(HashMap::new()),
+            tables: RwLock::new(BTreeMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -313,13 +315,19 @@ impl MeshPrecompute {
     /// Concurrent callers of a fresh pair may race to build it; the first
     /// insert wins and the content is deterministic either way.
     pub fn endpoint_tables(&self, src: Coord, snk: Coord) -> Arc<EndpointTables> {
-        if let Some(t) = self.tables.read().expect("interner lock").get(&(src, snk)) {
+        // A poisoned interner lock is recoverable: the map only ever holds
+        // fully-built immutable tables (the insert below is the sole write,
+        // and it cannot leave a partial entry), so a panic elsewhere does
+        // not invalidate the cache.
+        let tables = self.tables.read().unwrap_or_else(PoisonError::into_inner);
+        if let Some(t) = tables.get(&(src, snk)) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(t);
         }
+        drop(tables);
         self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(EndpointTables::build(&self.mesh, src, snk));
-        let mut map = self.tables.write().expect("interner lock");
+        let mut map = self.tables.write().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(map.entry((src, snk)).or_insert(built))
     }
 
@@ -338,7 +346,7 @@ impl MeshPrecompute {
         // only absent pairs fall back to the per-pair build path.
         let mut tables: Vec<Option<Arc<EndpointTables>>> = Vec::with_capacity(cs.len());
         {
-            let map = self.tables.read().expect("interner lock");
+            let map = self.tables.read().unwrap_or_else(PoisonError::into_inner);
             tables.extend(cs.comms().iter().map(|c| map.get(&(c.src, c.snk)).cloned()));
         }
         let hits = tables.iter().filter(|t| t.is_some()).count() as u64;

@@ -328,6 +328,7 @@ impl RoutingSession {
         let (cs, slots) = self.live_comm_set_with_slots();
         let paths = slots
             .iter()
+            // pamr-lint: allow(P001, reason = "slots came from live_comm_set_with_slots, which only lists occupied entries")
             .map(|&s| self.slots[s].as_ref().expect("slot is live").path.clone())
             .collect();
         let routing = Routing::single(&cs, paths);
@@ -435,6 +436,7 @@ impl RoutingSession {
                         let u = self.band_users[l.index()][i];
                         let path = self.slots[u]
                             .as_ref()
+                            // pamr-lint: allow(P001, reason = "remove_comm prunes the band index before repair, so every u it yields is an occupied slot")
                             .expect("band index only holds live slots")
                             .path
                             .clone();
@@ -468,6 +470,7 @@ impl RoutingSession {
         let mesh = self.mesh;
         let path = self.slots[slot]
             .as_ref()
+            // pamr-lint: allow(P001, reason = "attach_path is only called for a slot the caller just filled")
             .expect("slot is live")
             .path
             .clone();
@@ -483,6 +486,7 @@ impl RoutingSession {
         let mesh = self.mesh;
         let path = self.slots[slot]
             .as_ref()
+            // pamr-lint: allow(P001, reason = "detach_path is only called while the slot is still occupied (removal empties it afterwards)")
             .expect("slot is live")
             .path
             .clone();
@@ -500,6 +504,7 @@ impl RoutingSession {
         for &s in &self.users[link.index()] {
             sum += self.slots[s]
                 .as_ref()
+                // pamr-lint: allow(P001, reason = "detach_path removes a dying slot from every user list before the slot empties")
                 .expect("users index only holds live slots")
                 .comm
                 .weight;
@@ -525,6 +530,7 @@ impl RoutingSession {
                 for &i in &self.users[link.index()] {
                     let lc = self.slots[i]
                         .as_ref()
+                        // pamr-lint: allow(P001, reason = "detach_path removes a dying slot from every user list before the slot empties")
                         .expect("users index only holds live slots");
                     if let Some((swap_at, rem, add)) =
                         xyi::flip_candidate(&self.mesh, &lc.path, link)
@@ -570,6 +576,7 @@ impl RoutingSession {
     /// index on the two removed/two added links, and re-keys their loads in
     /// the resident *and* scope queues (the scope grows with touched links).
     fn apply_flip(&mut self, slot: usize, swap_at: usize, rem: [LinkId; 2], add: [LinkId; 2]) {
+        // pamr-lint: allow(P001, reason = "slot came from the users index of a scoped link, which only holds live slots")
         let lc = self.slots[slot].as_mut().expect("slot is live");
         let mut new_moves = lc.path.moves().to_vec();
         new_moves.swap(swap_at, swap_at + 1);
@@ -596,6 +603,7 @@ impl RoutingSession {
             .heuristic
             .route_with(&cs, &self.model, &mut self.scratch);
         for (pos, &s) in slots.iter().enumerate() {
+            // pamr-lint: allow(P001, reason = "slots came from live_comm_set_with_slots, which only lists occupied entries")
             self.slots[s].as_mut().expect("slot is live").path = routing.path(pos).clone();
         }
         // Rebuild users and loads in ascending slot order: per link this
@@ -606,6 +614,7 @@ impl RoutingSession {
         }
         self.loads.clear();
         for &s in &slots {
+            // pamr-lint: allow(P001, reason = "slots came from live_comm_set_with_slots, which only lists occupied entries")
             let lc = self.slots[s].as_ref().expect("slot is live");
             for l in lc.path.links(&self.mesh) {
                 self.users[l.index()].push(s);
@@ -621,12 +630,14 @@ impl RoutingSession {
 fn insert_slot(v: &mut Vec<usize>, slot: usize) {
     let pos = v
         .binary_search(&slot)
+        // pamr-lint: allow(P001, reason = "callers insert a slot into a list it cannot be in yet: a fresh slot, or a link its old path did not cross")
         .expect_err("slot cannot already be indexed here");
     v.insert(pos, slot);
 }
 
 /// Removes `slot` from a sorted slot list (must be present).
 fn remove_slot(v: &mut Vec<usize>, slot: usize) {
+    // pamr-lint: allow(P001, reason = "callers remove a slot from the lists of exactly the links its current path crosses")
     let pos = v.binary_search(&slot).expect("slot is indexed here");
     v.remove(pos);
 }

@@ -167,16 +167,20 @@ pub(crate) fn flip_candidate(
     let (a, b) = (moves[swap_at], moves[swap_at + 1]);
     // Swapping orthogonal moves a,b around `corner` stays in the path's
     // bounding box, so every link id below exists.
+    // pamr-lint: allow(P001, reason = "corner lies on a Manhattan path whose moves a and b both start there, so both steps stay inside the path's bounding box")
     let via_a = mesh.step(corner, a).expect("path stays on the mesh");
-    let via_b = mesh
-        .step(corner, b)
-        .expect("swapped corner stays on the mesh");
+    // pamr-lint: allow(P001, reason = "same bounding-box invariant: the swapped corner is a lattice point of the a×b rectangle")
+    let via_b = mesh.step(corner, b).expect("swapped corner on mesh");
     let removed = [
+        // pamr-lint: allow(P001, reason = "links of the current path: both endpoints were just shown to be on the mesh")
         mesh.link_id(corner, a).expect("removed links exist"),
+        // pamr-lint: allow(P001, reason = "links of the current path: both endpoints were just shown to be on the mesh")
         mesh.link_id(via_a, b).expect("removed links exist"),
     ];
     let added = [
+        // pamr-lint: allow(P001, reason = "the swapped rectangle sides: endpoints are the same four lattice points")
         mesh.link_id(corner, b).expect("added links exist"),
+        // pamr-lint: allow(P001, reason = "the swapped rectangle sides: endpoints are the same four lattice points")
         mesh.link_id(via_b, a).expect("added links exist"),
     ];
     debug_assert!(removed.contains(&link));
@@ -210,11 +214,9 @@ impl XyImprover {
         // Seed paths: the interned XY paths when the precompute cache is
         // active ([`Path::xy`] is deterministic, so the clone is the value
         // the rebuild computes), fresh XY construction otherwise.
-        let mut paths: Vec<Path> = if use_cache {
-            let cust = scratch.cust.as_ref().expect("customized above");
-            (0..cs.len()).map(|i| cust.table(i).xy().clone()).collect()
-        } else {
-            cs.comms().iter().map(|c| Path::xy(c.src, c.snk)).collect()
+        let mut paths: Vec<Path> = match scratch.cust.as_ref().filter(|_| use_cache) {
+            Some(cust) => (0..cs.len()).map(|i| cust.table(i).xy().clone()).collect(),
+            None => cs.comms().iter().map(|c| Path::xy(c.src, c.snk)).collect(),
         };
         scratch.loads.fit(mesh);
         for (c, p) in cs.comms().iter().zip(&paths) {
@@ -295,6 +297,7 @@ impl XyImprover {
                     // differs from the old one in exactly `rem` → `add`.
                     for l in rem {
                         let u = &mut scratch.users[l.index()];
+                        // pamr-lint: allow(P001, reason = "flip_candidate derived rem from comm i's current path, so the crossing index holds i for each removed link")
                         let pos = u.binary_search(&i).expect("comm crossed a removed link");
                         u.remove(pos);
                     }
@@ -302,6 +305,7 @@ impl XyImprover {
                         let u = &mut scratch.users[l.index()];
                         let pos = u
                             .binary_search(&i)
+                            // pamr-lint: allow(P001, reason = "a Manhattan path crosses each link at most once and the added links were not on the old path, so i is absent from their user lists")
                             .expect_err("comm cannot already cross an added link");
                         u.insert(pos, i);
                     }

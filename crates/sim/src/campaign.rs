@@ -175,6 +175,7 @@ impl Campaign<'_> {
         };
         (0..self.trials)
             .into_par_iter()
+            // pamr-lint: allow(D003, reason = "the vendored rayon splits into fixed chunk boundaries and combines in order, so this float accumulation is byte-identical for every thread count")
             .fold(
                 || {
                     let mut acc = ChunkAcc::default();
@@ -190,6 +191,7 @@ impl Campaign<'_> {
                 },
             )
             .map(|acc| acc.stats)
+            // pamr-lint: allow(D003, reason = "fixed-chunk in-order combine (vendored rayon): merge order is the chunk order, independent of thread count")
             .reduce(PointStats::default, PointStats::merge)
     }
 

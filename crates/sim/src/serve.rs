@@ -26,7 +26,7 @@ use pamr_mesh::Coord;
 use pamr_power::PowerModel;
 use pamr_routing::{Comm, MeshPrecompute, RoutingSession, SessionConfig, SlotId};
 use serde::Value;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
@@ -36,7 +36,7 @@ use std::sync::Arc;
 pub struct Server {
     session: RoutingSession,
     /// Live wire ids → session handles.
-    ids: HashMap<String, SlotId>,
+    ids: BTreeMap<String, SlotId>,
     /// Slot-indexed wire ids of the live communications (for snapshots).
     names: Vec<Option<String>>,
 }
@@ -50,7 +50,7 @@ impl Server {
         let pre = Arc::new(MeshPrecompute::new(mesh));
         Server {
             session: RoutingSession::with_precompute(pre, model, config),
-            ids: HashMap::new(),
+            ids: BTreeMap::new(),
             names: Vec::new(),
         }
     }

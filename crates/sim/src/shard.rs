@@ -258,9 +258,10 @@ fn validate_and_order(
         return Err(MergeError::MissingShards(missing));
     }
 
-    // Index every delivered point by its canonical coordinates.
-    let mut by_coord: std::collections::HashMap<(usize, usize, usize), &PartialPoint> =
-        std::collections::HashMap::new();
+    // Index every delivered point by its canonical coordinates. Ordered so
+    // the stray-point error below always names the smallest coordinate.
+    let mut by_coord: std::collections::BTreeMap<(usize, usize, usize), &PartialPoint> =
+        std::collections::BTreeMap::new();
     for p in partials {
         let shard = ShardSpec::new(p.shard_index, count);
         for pt in &p.points {

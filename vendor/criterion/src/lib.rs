@@ -127,9 +127,11 @@ where
     b.samples.clear();
     b.warmup = false;
     b.budget = config.measurement_time;
+    // pamr-lint: allow(V001, reason = "benchmark harness: measuring wall-clock time is the crate's whole purpose, and its output is ratio-gated, never byte-compared")
     let deadline = Instant::now() + config.measurement_time;
     for _ in 0..config.sample_size {
         f(&mut b);
+        // pamr-lint: allow(V001, reason = "benchmark harness deadline check (wall-clock by design)")
         if Instant::now() >= deadline {
             break;
         }
@@ -152,6 +154,7 @@ impl Bencher {
     where
         F: FnMut() -> O,
     {
+        // pamr-lint: allow(V001, reason = "benchmark harness sample timer (wall-clock by design)")
         let start = Instant::now();
         std::hint::black_box(f());
         self.samples.push(start.elapsed());

@@ -14,6 +14,7 @@
 //! pamr-bench ig  [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]
 //! pamr-bench serve [--comms N] [--repeats R] [--seed S] [--out FILE]
 //! pamr-bench precompute [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]
+//! pamr-bench scaling [--profile smoke|full|serve] [--seed S] [--out FILE] [--check-only]
 //! ```
 //!
 //! `run` executes the campaigns and writes the report; `check` compares a
@@ -38,6 +39,20 @@
 //! two-phase lane: the campaign trial loop with the shared
 //! precompute/customize split (interned per-endpoint tables) versus the
 //! literal rebuild-per-trial path, cross-checked bit-identical first.
+//! `scaling` is the large-mesh lane: each optimized engine timed over a
+//! mesh-size × comm-count grid (8×8/80 up to 256×256/10⁵ under `--profile
+//! full`) of *length-targeted* local traffic, cross-checked bit-identical
+//! against the full-scan oracles on the small points first, with a log–log
+//! least-squares exponent fit per engine and a large-mesh `pamr serve`
+//! incremental-mutation latency probe recorded alongside. The strongly
+//! superlinear engines are capped (logged, recorded as `null`) above
+//! [`SCALING_PR_MAX_COMMS`] / [`SCALING_XYI_MAX_COMMS`]; the near-linear
+//! IG and the serve probe cover the top of the grid; `--profile serve`
+//! skips the grid entirely and records only the 256×256/10⁴ serve probe
+//! (the sub-100 ms incremental re-route figure). (The Criterion
+//! target `crates/bench/benches/scaling.rs` is a different, smaller
+//! ablation — heuristic cost vs mesh side at constant density — kept under
+//! the same name for history; this lane is the grid with fits.)
 
 use pamr_routing::{
     precompute, Heuristic as _, HeuristicKind, ImprovedGreedy, MeshPrecompute, PathRemover,
@@ -394,6 +409,97 @@ fn measure_serve(requests: usize, repeats: usize, seed: u64) -> ServeBench {
     }
 }
 
+/// One grid point of the `scaling` lane: every optimized engine timed on
+/// one mesh-size × comm-count instance of length-targeted local traffic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ScalingPoint {
+    /// Mesh rows.
+    rows: usize,
+    /// Mesh columns.
+    cols: usize,
+    /// Communications in the instance.
+    comms: usize,
+    /// The optimized engines were cross-checked bit-identical against the
+    /// full-scan oracles at this point (skipped above the oracle cutoff,
+    /// where the references' `O(p·q)` scans are prohibitively slow).
+    crosschecked: bool,
+    /// Timing repetitions (more on the small points to damp noise).
+    repeats: usize,
+    /// Mean banded-PR runtime, milliseconds. `None` above
+    /// [`SCALING_PR_MAX_COMMS`] — PR is the most superlinear engine, and
+    /// timing it at the top of the full grid costs hours, not minutes.
+    pr_ms: Option<f64>,
+    /// Mean queued-XYI runtime, milliseconds. `None` above
+    /// [`SCALING_XYI_MAX_COMMS`], same reason at a milder exponent.
+    xyi_ms: Option<f64>,
+    /// Mean indexed-IG runtime, milliseconds (near-linear; timed at every
+    /// grid point).
+    ig_ms: f64,
+}
+
+/// Least-squares log–log fit of one engine's runtime over the grid: the
+/// measured asymptotic exponent of runtime vs communication count (mesh
+/// area scales proportionally along the grid, so one scale parameter
+/// suffices).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ScalingFit {
+    /// Engine name (`pr` / `xyi` / `ig`).
+    engine: String,
+    /// Slope of `ln(runtime)` vs `ln(comms)` — 1.0 is linear scaling, 2.0
+    /// quadratic.
+    exponent: f64,
+    /// Coefficient of determination of the fit.
+    r2: f64,
+}
+
+/// The large-mesh `pamr serve` probe of the `scaling` lane: per-mutation
+/// latency of incremental re-routing against a resident session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ScalingServe {
+    /// Mesh rows.
+    rows: usize,
+    /// Mesh columns.
+    cols: usize,
+    /// Live communications in the resident session.
+    comms: usize,
+    /// Target Manhattan length of the local traffic.
+    path_len: usize,
+    /// Timed mutations (each a `remove_comm` + `add_comm` pair; both ops
+    /// are measured individually).
+    mutations: usize,
+    /// Mean per-operation latency, milliseconds.
+    mean_mutation_ms: f64,
+    /// Worst per-operation latency, milliseconds — the interactive-budget
+    /// figure (target: < 100 ms on a 256×256 mesh with 10⁴ communications).
+    max_mutation_ms: f64,
+    /// Bounded repairs that escalated to a full re-route during the timed
+    /// window (escalations measure the batch path, not incremental repair).
+    escalations: u64,
+}
+
+/// The whole `scaling` lane (`run` does not record it; the focused
+/// `pamr-bench scaling` subcommand merges it into `BENCH_summary.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ScalingBench {
+    /// Grid profile (`smoke` / `full` / `serve` — the last has no grid
+    /// points and no fits, only the 256×256 serve probe).
+    profile: String,
+    /// Master seed of the instance draws.
+    seed: u64,
+    /// Target Manhattan length of the grid's local traffic. Uniform
+    /// endpoint draws would make every band's link count — and the crossing
+    /// indices — grow quadratically with the mesh side; fixed-radius
+    /// traffic is the regime where `O(band)` per-operation costs are
+    /// independent of mesh size, which is exactly what the lane measures.
+    path_len: usize,
+    /// The grid, smallest point first.
+    points: Vec<ScalingPoint>,
+    /// Per-engine asymptotic fits over the grid.
+    fits: Vec<ScalingFit>,
+    /// The large-mesh incremental-serve probe.
+    serve: ScalingServe,
+}
+
 /// The whole report (`BENCH_summary.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchReport {
@@ -434,6 +540,8 @@ struct BenchReport {
     serve: Option<ServeBench>,
     /// The shared-precompute-vs-rebuild lane (`run` / `precompute`).
     precompute: Option<PrecomputeBench>,
+    /// The large-mesh grid lane (`scaling` subcommand only).
+    scaling: Option<ScalingBench>,
 }
 
 /// Hardware threads of this machine, as recorded in the report.
@@ -450,7 +558,8 @@ fn usage() -> ! {
          pamr-bench shard [--shards N] [--trials T] [--seed S] [--pamr PATH] [--out FILE]\n  \
          pamr-bench pr|xyi|ig [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]\n  \
          pamr-bench serve [--comms N] [--repeats R] [--seed S] [--out FILE]\n  \
-         pamr-bench precompute [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]"
+         pamr-bench precompute [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]\n  \
+         pamr-bench scaling [--profile smoke|full|serve] [--seed S] [--out FILE] [--check-only]"
     );
     std::process::exit(2);
 }
@@ -473,6 +582,7 @@ fn main() {
         Some("ig") => cmd_engine(EngineLane::Ig, &args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("precompute") => cmd_precompute(&args[1..]),
+        Some("scaling") => cmd_scaling(&args[1..]),
         _ => usage(),
     }
 }
@@ -583,7 +693,7 @@ fn cmd_run(args: &[String]) {
     let total_wall_ms_seq: f64 = figures.iter().map(|f| f.wall_ms_seq).sum();
     let total_wall_ms_par: f64 = figures.iter().map(|f| f.wall_ms_par).sum();
     let report = BenchReport {
-        schema: 5,
+        schema: 6,
         profile,
         threads,
         nproc: nproc(),
@@ -598,6 +708,7 @@ fn cmd_run(args: &[String]) {
         ig: Some(ig),
         serve: Some(serve),
         precompute: Some(pre),
+        scaling: None,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
@@ -677,6 +788,18 @@ fn cmd_check(args: &[String]) {
             b.speedup, c.speedup
         );
     }
+    if let (Some(b), Some(c)) = (&baseline.scaling, &current.scaling) {
+        for (bf, cf) in b.fits.iter().zip(&c.fits) {
+            println!(
+                "  scaling {}: exponent {:.2} → {:.2}",
+                cf.engine, bf.exponent, cf.exponent
+            );
+        }
+        println!(
+            "  scaling serve: max mutation {:.2} ms → {:.2} ms",
+            b.serve.max_mutation_ms, c.serve.max_mutation_ms
+        );
+    }
     if ratio > max_ratio {
         eprintln!(
             "REGRESSION: parallel campaign wall time grew {ratio:.2}x over the committed \
@@ -752,7 +875,7 @@ fn cmd_engine(lane: EngineLane, args: &[String]) {
 /// `BENCH_summary.json` when no prior `run` recorded the figures.
 fn empty_report(profile: &str, seed: u64) -> BenchReport {
     BenchReport {
-        schema: 5,
+        schema: 6,
         profile: profile.into(),
         threads: rayon::current_num_threads(),
         nproc: nproc(),
@@ -767,6 +890,7 @@ fn empty_report(profile: &str, seed: u64) -> BenchReport {
         ig: None,
         serve: None,
         precompute: None,
+        scaling: None,
     }
 }
 
@@ -863,6 +987,317 @@ fn cmd_precompute(args: &[String]) {
         })
         .unwrap_or_else(|| empty_report("precompute", seed));
     report.precompute = Some(bench);
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("{json}");
+}
+
+/// Target Manhattan length of the scaling lane's local traffic (see
+/// [`ScalingBench::path_len`]).
+const SCALING_PATH_LEN: usize = 8;
+
+/// Oracle cutoff of the scaling lane: grid points with at most this many
+/// cores are cross-checked against the full-scan references before timing.
+/// Above it the references' `O(p·q)`-per-step scans dominate the whole run
+/// (they are the very cost the optimized engines shed), so the big points
+/// ride on the equivalence the small points — and the differential test
+/// suite — establish.
+const SCALING_ORACLE_CUTOFF: usize = 32 * 32;
+
+/// Largest communication count at which the scaling lane times the banded
+/// PR. Its measured exponent is ≈1.9 in the grid's joint comms×area scale,
+/// so the 256×256/10⁵ point would take hours per pass; the cap keeps the
+/// full profile interactive and is *logged*, never silent — capped points
+/// record `None` and the fit uses the sub-grid the engine actually ran.
+const SCALING_PR_MAX_COMMS: usize = 20_480;
+
+/// Largest communication count at which the scaling lane times the queued
+/// XYI (exponent ≈2.0 in the joint scale; same reasoning as
+/// [`SCALING_PR_MAX_COMMS`] one notch later).
+const SCALING_XYI_MAX_COMMS: usize = 20_480;
+
+/// Measures one grid point: builds the length-targeted instance,
+/// cross-checks the optimized engines against their oracles below the
+/// cutoff, then times each optimized engine.
+fn measure_scaling_point(
+    rows: usize,
+    cols: usize,
+    comms: usize,
+    seed: u64,
+    check_only: bool,
+) -> ScalingPoint {
+    let mesh = pamr_mesh::Mesh::new(rows, cols);
+    let model = pamr_bench::model();
+    let cs = pamr_bench::length_instance(&mesh, comms, 100.0, 800.0, SCALING_PATH_LEN, seed);
+    let mut scratch = RouteScratch::new();
+    let crosschecked = rows * cols <= SCALING_ORACLE_CUTOFF;
+    if crosschecked {
+        assert!(
+            PathRemover.try_route_banded_with(&cs, &model, &mut scratch)
+                == ReferencePathRemover.try_route_with(&cs, &model, &mut scratch),
+            "{rows}×{cols}/{comms}: banded PR diverged from its full-scan oracle"
+        );
+        assert!(
+            XyImprover::default().route_queued_with(&cs, &model, &mut scratch)
+                == ReferenceXyImprover::default().route_with(&cs, &model, &mut scratch),
+            "{rows}×{cols}/{comms}: queued XYI diverged from its full-scan oracle"
+        );
+        assert!(
+            ImprovedGreedy::default().route_indexed_with(&cs, &model, &mut scratch)
+                == ReferenceImprovedGreedy::default().route_with(&cs, &model, &mut scratch),
+            "{rows}×{cols}/{comms}: indexed IG diverged from its full-scan oracle"
+        );
+    }
+    if check_only {
+        return ScalingPoint {
+            rows,
+            cols,
+            comms,
+            crosschecked,
+            repeats: 0,
+            pr_ms: None,
+            xyi_ms: None,
+            ig_ms: 0.0,
+        };
+    }
+    // More repetitions on the small points, where a single route is noise.
+    let repeats = (2560 / comms).max(1);
+    let mut timed = |f: &dyn Fn(&pamr_routing::CommSet, &mut RouteScratch)| -> f64 {
+        f(&cs, &mut scratch); // warm-up (grows scratch buffers untimed)
+        let start = Instant::now();
+        for _ in 0..repeats {
+            f(&cs, &mut scratch);
+        }
+        start.elapsed().as_secs_f64() * 1e3 / repeats as f64
+    };
+    let pr_ms = (comms <= SCALING_PR_MAX_COMMS).then(|| {
+        timed(&|cs, scratch| {
+            let _ = PathRemover.route_with(cs, &model, scratch);
+        })
+    });
+    let xyi_ms = (comms <= SCALING_XYI_MAX_COMMS).then(|| {
+        timed(&|cs, scratch| {
+            let _ = XyImprover::default().route_queued_with(cs, &model, scratch);
+        })
+    });
+    let ig_ms = timed(&|cs, scratch| {
+        let _ = ImprovedGreedy::default().route_indexed_with(cs, &model, scratch);
+    });
+    ScalingPoint {
+        rows,
+        cols,
+        comms,
+        crosschecked,
+        repeats,
+        pr_ms,
+        xyi_ms,
+        ig_ms,
+    }
+}
+
+/// Least-squares slope (and r²) of `ln(ms)` vs `ln(comms)` over the grid.
+fn scaling_fit(
+    engine: &str,
+    points: &[ScalingPoint],
+    ms_of: fn(&ScalingPoint) -> Option<f64>,
+) -> ScalingFit {
+    let xy: Vec<(f64, f64)> = points
+        .iter()
+        .filter_map(|p| ms_of(p).map(|ms| ((p.comms as f64).ln(), ms.ln())))
+        .collect();
+    let n = xy.len() as f64;
+    let (mx, my) = (
+        xy.iter().map(|(x, _)| x).sum::<f64>() / n,
+        xy.iter().map(|(_, y)| y).sum::<f64>() / n,
+    );
+    let sxy: f64 = xy.iter().map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xy.iter().map(|(x, _)| (x - mx) * (x - mx)).sum();
+    let syy: f64 = xy.iter().map(|(_, y)| (y - my) * (y - my)).sum();
+    ScalingFit {
+        engine: engine.into(),
+        exponent: sxy / sxx,
+        r2: if syy == 0.0 {
+            1.0
+        } else {
+            sxy * sxy / (sxx * syy)
+        },
+    }
+}
+
+/// Times the large-mesh incremental-serve probe: a resident session loaded
+/// with `comms` local communications, then `mutations` remove/re-add pairs
+/// timed per operation.
+fn measure_scaling_serve(
+    rows: usize,
+    cols: usize,
+    comms: usize,
+    mutations: usize,
+    seed: u64,
+) -> ScalingServe {
+    let mesh = pamr_mesh::Mesh::new(rows, cols);
+    let model = pamr_bench::model();
+    let cs = pamr_bench::length_instance(&mesh, comms, 100.0, 800.0, SCALING_PATH_LEN, seed);
+    let mut session = RoutingSession::new(mesh, model, SessionConfig::default());
+    let mut handles: Vec<_> = cs.comms().iter().map(|c| session.add_comm(*c)).collect();
+    let escalations_before = session.stats().escalations;
+    let (mut total_ms, mut max_ms, mut ops) = (0.0f64, 0.0f64, 0u32);
+    let mut timed_op = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        f();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        total_ms += ms;
+        max_ms = max_ms.max(ms);
+        ops += 1;
+    };
+    for k in 0..mutations {
+        // Deterministic rotation through the live set (coprime stride).
+        let idx = (k * 7919) % handles.len();
+        let h = handles[idx];
+        let mut removed = None;
+        timed_op(&mut || removed = session.remove_comm(h));
+        let c = removed.expect("handle is live");
+        let mut re_added = None;
+        timed_op(&mut || re_added = Some(session.add_comm(c)));
+        handles[idx] = re_added.expect("just set");
+    }
+    ScalingServe {
+        rows,
+        cols,
+        comms,
+        path_len: SCALING_PATH_LEN,
+        mutations,
+        mean_mutation_ms: total_ms / ops as f64,
+        max_mutation_ms: max_ms,
+        escalations: session.stats().escalations - escalations_before,
+    }
+}
+
+/// The `scaling` lane (`pamr-bench scaling`): the mesh-size × comm-count
+/// grid, per-engine asymptotic fits and the large-mesh serve probe, merged
+/// into `BENCH_summary.json`. `--check-only` runs only the oracle
+/// cross-checks on the sub-cutoff points and writes nothing — the CI
+/// determinism job's scaling-smoke gate.
+fn cmd_scaling(args: &[String]) {
+    let profile = opt(args, "--profile").unwrap_or_else(|| "smoke".into());
+    let seed: u64 = opt(args, "--seed")
+        .map(|s| s.parse().expect("--seed needs an integer"))
+        .unwrap_or(0xC0FFEE);
+    let out = opt(args, "--out").unwrap_or_else(|| "BENCH_summary.json".into());
+    let check_only = args.iter().any(|a| a == "--check-only");
+    // Mesh area and comm count scale together (×4 per step): one scale
+    // parameter for the log–log fits.
+    let grid: Vec<(usize, usize, usize)> = match profile.as_str() {
+        "smoke" => vec![(8, 8, 80), (16, 16, 320), (32, 32, 1280)],
+        "full" => vec![
+            (8, 8, 80),
+            (16, 16, 320),
+            (32, 32, 1280),
+            (64, 64, 5120),
+            (128, 128, 20480),
+            (256, 256, 100_000),
+        ],
+        // Serve probe only — the 256×256/10⁴ incremental re-route figure
+        // without the multi-minute engine grid in front of it.
+        "serve" => Vec::new(),
+        other => {
+            eprintln!("unknown profile {other:?} (smoke|full|serve)");
+            std::process::exit(2);
+        }
+    };
+    let (srv_rows, srv_cols, srv_comms) = match profile.as_str() {
+        "smoke" => (64, 64, 1_000),
+        _ => (256, 256, 10_000),
+    };
+
+    eprintln!(
+        "pamr-bench scaling: profile {profile}, {} grid points, len-{SCALING_PATH_LEN} local \
+         traffic{}",
+        grid.len(),
+        if check_only { ", cross-check only" } else { "" }
+    );
+    let mut points = Vec::new();
+    for &(rows, cols, comms) in &grid {
+        let p = measure_scaling_point(rows, cols, comms, seed, check_only);
+        if check_only {
+            eprintln!(
+                "  {rows}×{cols}/{comms}: {}",
+                if p.crosschecked {
+                    "bit-identical to the reference engines"
+                } else {
+                    "above the oracle cutoff (not checked)"
+                }
+            );
+        } else {
+            let capped = |ms: Option<f64>| match ms {
+                Some(ms) => format!("{ms:.2} ms"),
+                None => "capped".into(),
+            };
+            eprintln!(
+                "  {rows}×{cols}/{comms}: {}PR {}, XYI {}, IG {:.2} ms",
+                if p.crosschecked { "[checked] " } else { "" },
+                capped(p.pr_ms),
+                capped(p.xyi_ms),
+                p.ig_ms
+            );
+        }
+        points.push(p);
+    }
+    if check_only {
+        println!(
+            "scaling check: OK ({} points bit-identical to the reference engines)",
+            points.iter().filter(|p| p.crosschecked).count()
+        );
+        return;
+    }
+    // A slope needs at least two grid points; the serve profile has none.
+    let fits = if points.len() >= 2 {
+        vec![
+            scaling_fit("pr", &points, |p| p.pr_ms),
+            scaling_fit("xyi", &points, |p| p.xyi_ms),
+            scaling_fit("ig", &points, |p| Some(p.ig_ms)),
+        ]
+    } else {
+        Vec::new()
+    };
+    for f in &fits {
+        eprintln!(
+            "  fit {}: exponent {:.2} (r² {:.3})",
+            f.engine, f.exponent, f.r2
+        );
+    }
+    let serve = measure_scaling_serve(srv_rows, srv_cols, srv_comms, 200, seed);
+    eprintln!(
+        "  serve {}×{}/{}: mean {:.3} ms, max {:.3} ms per mutation, {} escalations",
+        serve.rows,
+        serve.cols,
+        serve.comms,
+        serve.mean_mutation_ms,
+        serve.max_mutation_ms,
+        serve.escalations
+    );
+    let bench = ScalingBench {
+        profile,
+        seed,
+        path_len: SCALING_PATH_LEN,
+        points,
+        fits,
+        serve,
+    };
+
+    let mut report = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|text| match serde_json::from_str::<BenchReport>(&text) {
+            Ok(report) => Some(report),
+            Err(e) => {
+                eprintln!(
+                    "pamr-bench scaling: existing {out} does not parse as a bench report \
+                     ({e}); replacing it with a scaling-only report"
+                );
+                None
+            }
+        })
+        .unwrap_or_else(|| empty_report("scaling", seed));
+    report.scaling = Some(bench);
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("{json}");

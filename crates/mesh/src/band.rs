@@ -20,6 +20,16 @@ use crate::Mesh;
 /// bounding box. Every link of a group lies on at least one Manhattan path
 /// (monotone staircase connectivity inside a rectangle), and every Manhattan
 /// path crosses exactly one link of each group.
+///
+/// ## Storage
+///
+/// Groups live in a flat CSR layout (`group_off` + `links`, the
+/// `first_out`/`head` idiom of `rust_road_router`'s `FirstOutGraph`): one
+/// allocation per band instead of one `Vec` per diagonal, and group access
+/// is a slice into the shared array. The per-diagonal useful-row intervals
+/// ([`Band::diag_rows`]) are tabulated at construction, so the hot PR
+/// reachability paths read them in `O(1)` instead of re-scanning the
+/// bounding box's rows per query.
 #[derive(Debug, Clone)]
 pub struct Band {
     src: Coord,
@@ -27,7 +37,16 @@ pub struct Band {
     quadrant: Quadrant,
     rect: Rect,
     k_src: usize,
-    groups: Vec<Vec<LinkId>>,
+    /// CSR offsets: group `t`'s links are
+    /// `links[group_off[t] .. group_off[t + 1]]` (`len + 1` entries).
+    group_off: Vec<u32>,
+    /// Flat group-major link array. Within a group, links keep the
+    /// historical per-core construction order (bounding-box cores row-major,
+    /// vertical move before horizontal per core).
+    links: Vec<LinkId>,
+    /// Inclusive useful-row interval `(u_lo, u_hi)` of relative diagonal
+    /// `t ∈ 0..=len` — the [`Band::diag_rows`] values, tabulated once.
+    rows: Vec<(u32, u32)>,
 }
 
 impl Band {
@@ -38,10 +57,17 @@ impl Band {
         let rect = Rect::spanning(src, snk);
         let k_src = mesh.diag_index(src, quadrant);
         let len = mesh.manhattan(src, snk);
-        let mut groups = vec![Vec::new(); len];
         let (sv, sh) = quadrant.steps();
+        // Counting pass: group sizes and per-diagonal row extents in one
+        // sweep over the bounding box (rows on a diagonal are contiguous,
+        // so min/max is the whole interval).
+        let mut group_off = vec![0u32; len + 1];
+        let mut rows = vec![(u32::MAX, 0u32); len + 1];
         for c in rect.cores() {
             let t = mesh.diag_index(c, quadrant) - k_src;
+            let r = &mut rows[t];
+            r.0 = r.0.min(c.u as u32);
+            r.1 = r.1.max(c.u as u32);
             // `t` can equal `len` (the sink's diagonal); no group for it.
             if t >= len {
                 continue;
@@ -49,19 +75,43 @@ impl Band {
             for s in [sv, sh] {
                 if let Some(n) = mesh.step(c, s) {
                     if rect.contains(n) {
-                        groups[t].push(mesh.link_id(c, s).unwrap());
+                        group_off[t + 1] += 1;
                     }
                 }
             }
         }
-        debug_assert!(groups.iter().all(|g| !g.is_empty()));
+        debug_assert!(group_off[1..].iter().all(|&n| n > 0));
+        debug_assert!(rows.iter().all(|r| r.0 != u32::MAX));
+        for t in 0..len {
+            group_off[t + 1] += group_off[t];
+        }
+        // Fill pass: identical iteration, so the flat array holds exactly
+        // the link sequence the historical Vec-of-Vec build pushed.
+        let mut links = vec![LinkId(0); group_off[len] as usize];
+        let mut cursor: Vec<u32> = group_off[..len].to_vec();
+        for c in rect.cores() {
+            let t = mesh.diag_index(c, quadrant) - k_src;
+            if t >= len {
+                continue;
+            }
+            for s in [sv, sh] {
+                if let Some(n) = mesh.step(c, s) {
+                    if rect.contains(n) {
+                        links[cursor[t] as usize] = mesh.link_id(c, s).unwrap();
+                        cursor[t] += 1;
+                    }
+                }
+            }
+        }
         Band {
             src,
             snk,
             quadrant,
             rect,
             k_src,
-            groups,
+            group_off,
+            links,
+            rows,
         }
     }
 
@@ -98,30 +148,40 @@ impl Band {
     /// Path length `ℓ` = number of diagonal crossings = number of groups.
     #[inline]
     pub fn len(&self) -> usize {
-        self.groups.len()
+        self.group_off.len() - 1
     }
 
     /// True for a zero-length communication (source == sink).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.groups.is_empty()
+        self.group_off.len() == 1
     }
 
-    /// The links crossing from relative diagonal `t` to `t + 1`.
+    /// The links crossing from relative diagonal `t` to `t + 1` (a slice
+    /// into the band's flat CSR link array).
     #[inline]
     pub fn group(&self, t: usize) -> &[LinkId] {
-        &self.groups[t]
+        &self.links[self.group_off[t] as usize..self.group_off[t + 1] as usize]
     }
 
-    /// All groups, in diagonal order.
+    /// All groups, in diagonal order, as slices into the flat link array.
     #[inline]
-    pub fn groups(&self) -> &[Vec<LinkId>] {
-        &self.groups
+    pub fn groups(&self) -> impl DoubleEndedIterator<Item = &[LinkId]> + ExactSizeIterator + '_ {
+        self.group_off
+            .windows(2)
+            .map(move |w| &self.links[w[0] as usize..w[1] as usize])
     }
 
-    /// Iterates over every link of the band.
+    /// Iterates over every link of the band (the flat CSR array, group-major
+    /// — identical order to flattening [`Band::groups`]).
     pub fn links(&self) -> impl Iterator<Item = LinkId> + '_ {
-        self.groups.iter().flatten().copied()
+        self.links.iter().copied()
+    }
+
+    /// Total number of band links across all groups, in `O(1)`.
+    #[inline]
+    pub fn num_links(&self) -> usize {
+        self.links.len()
     }
 
     /// Relative diagonal (group index) a band link belongs to.
@@ -149,32 +209,23 @@ impl Band {
     /// relative diagonal `t` (0 ..= `len`). Every row in between holds
     /// exactly one band core of that diagonal.
     ///
+    /// `O(1)`: the intervals are tabulated by [`Band::new`]'s single sweep
+    /// over the bounding box (this runs once per diagonal of every
+    /// communication on every PR route, and used to re-scan the box's rows
+    /// per query). The `mesh` argument is kept for API stability; the
+    /// interval is a pure function of the band.
+    ///
     /// # Panics
     /// Panics if `t` exceeds the number of diagonals (`len`).
     pub fn diag_rows(&self, mesh: &Mesh, t: usize) -> (usize, usize) {
+        let _ = mesh;
         assert!(
             t <= self.len(),
             "diagonal {t} outside band 0..={}",
             self.len()
         );
-        // Allocation-free: this runs once per diagonal of every
-        // communication on every PR route. The rows are contiguous, so
-        // tracking the first and last hit suffices.
-        let (mut lo, mut hi) = (usize::MAX, 0);
-        for u in self.rect.u_min..=self.rect.u_max {
-            if self.core_on_diag(mesh, t, u).is_some() {
-                if lo == usize::MAX {
-                    lo = u;
-                }
-                debug_assert!(
-                    u == lo || u == hi + 1,
-                    "band diagonal rows must be contiguous"
-                );
-                hi = u;
-            }
-        }
-        debug_assert!(lo != usize::MAX, "every band diagonal holds a core");
-        (lo, hi)
+        let (lo, hi) = self.rows[t];
+        (lo as usize, hi as usize)
     }
 }
 
@@ -299,8 +350,9 @@ mod tests {
     fn group_sizes_sum_to_band_size() {
         let mesh = Mesh::new(6, 6);
         let band = Band::new(&mesh, Coord::new(5, 0), Coord::new(2, 3)); // up-right
-        let total: usize = band.groups().iter().map(|g| g.len()).sum();
+        let total: usize = band.groups().map(|g| g.len()).sum();
         assert_eq!(total, band.links().count());
+        assert_eq!(total, band.num_links());
         // In-box link count: for an a×b box there are a*(b-1) horizontal and
         // (a-1)*b vertical monotone links.
         let (a, b) = (band.rect().height(), band.rect().width());

@@ -48,7 +48,7 @@ pub(super) fn ig_tail_bound(
     weight: f64,
 ) -> f64 {
     let mut total = 0.0;
-    for g in &band.groups()[t_from..] {
+    for g in band.groups().skip(t_from) {
         let mut cheapest = f64::INFINITY;
         for &l in g {
             let (a, b) = mesh.link_endpoints(l);

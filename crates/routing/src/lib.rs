@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod comm;
+pub mod csr;
 pub mod exact;
 pub mod fractional;
 pub mod fw;
@@ -65,6 +66,7 @@ pub mod two_bend;
 pub mod xyi;
 
 pub use comm::{Comm, CommSet, SortOrder};
+pub use csr::CrossingIndex;
 pub use exact::optimal_single_path;
 pub use fractional::{ideal_loads, ideal_power_lower_bound};
 pub use fw::{frank_wolfe, FrankWolfeResult};

@@ -95,6 +95,19 @@ impl LoadQueue {
         self.shadow.resize(n_slots, 0.0);
     }
 
+    /// Empties the index in time proportional to its **occupancy**,
+    /// zeroing only the keyed shadow entries. Same post-state as
+    /// [`LoadQueue::fit`] at the current slot count, without its
+    /// `O(n_slots)` shadow memset — the session's per-mutation repair-scope
+    /// reset touches a band's worth of links on a mesh with hundreds of
+    /// thousands of slots.
+    pub fn drain_keyed(&mut self) {
+        self.dirty.clear();
+        while let Some((_, Reverse(slot))) = self.set.pop_first() {
+            self.shadow[slot] = 0.0;
+        }
+    }
+
     /// Bulk rebuild: [`LoadQueue::fit`] to `n_slots`, then key every
     /// `(link, load)` of `entries` with a strictly positive load.
     pub fn rebuild<I>(&mut self, n_slots: usize, entries: I)
@@ -326,6 +339,21 @@ mod tests {
         assert_eq!(cursor.next(&q), Some((mk(3), 4.0)));
         cursor.reset();
         assert_eq!(cursor.next(&q), Some((mk(0), 100.0)));
+    }
+
+    #[test]
+    fn drain_keyed_matches_fit_at_same_size() {
+        let mut q = LoadQueue::new();
+        q.rebuild(8, vec![(mk(0), 1.0), (mk(5), 4.0)]);
+        q.mark_dirty(mk(5));
+        q.drain_keyed();
+        assert!(q.is_empty());
+        assert_eq!(q.get(mk(0)), 0.0);
+        assert_eq!(q.get(mk(5)), 0.0);
+        q.refresh_with(|_| unreachable!("drain_keyed drops pending dirty marks"));
+        // The queue stays sized: slot 7 is still addressable.
+        q.set(mk(7), 2.0);
+        assert_eq!(q.peek_max(), Some((mk(7), 2.0)));
     }
 
     #[test]

@@ -178,7 +178,7 @@ fn iv_intersect(a: Iv, b: Iv) -> Iv {
 
 /// The reusable per-removal buffers the banded engine borrows from
 /// [`RouteScratch`], split out so the candidate scan can keep reading
-/// `scratch.users` while a removal mutates these.
+/// `scratch.xusers` while a removal mutates these.
 struct BandBufs<'a> {
     loads: &'a mut LoadMap,
     queue: &'a mut LoadQueue,
@@ -263,13 +263,9 @@ impl BandedComm {
                 (Arc::new(band), Arc::new(rows))
             }
         };
-        let alive: Vec<Vec<bool>> = band.groups().iter().map(|g| vec![true; g.len()]).collect();
-        let share: Vec<f64> = band
-            .groups()
-            .iter()
-            .map(|g| weight / g.len() as f64)
-            .collect();
-        let counts: Vec<usize> = band.groups().iter().map(|g| g.len()).collect();
+        let alive: Vec<Vec<bool>> = band.groups().map(|g| vec![true; g.len()]).collect();
+        let share: Vec<f64> = band.groups().map(|g| weight / g.len() as f64).collect();
+        let counts: Vec<usize> = band.groups().map(|g| g.len()).collect();
         let multi = counts.iter().filter(|&&c| c > 1).count();
         let reach: Vec<Iv> = base_rows.as_ref().clone();
         BandedComm {
@@ -293,7 +289,7 @@ impl BandedComm {
 
     /// Applies this communication's fractional load with sign `sign`.
     fn apply_loads(&self, loads: &mut LoadMap, sign: f64) {
-        for (t, g) in self.band.groups().iter().enumerate() {
+        for (t, g) in self.band.groups().enumerate() {
             let s = self.share[t] * sign;
             for (j, &l) in g.iter().enumerate() {
                 if self.alive[t][j] {
@@ -501,7 +497,7 @@ impl BandedComm {
         let n = mesh.num_cores();
         reset_flags(bufs.fwd, n);
         bufs.fwd[mesh.core_index(self.band.src())] = true;
-        for (t, g) in self.band.groups().iter().enumerate() {
+        for (t, g) in self.band.groups().enumerate() {
             for (j, &l) in g.iter().enumerate() {
                 if self.alive[t][j] {
                     let (from, to) = mesh.link_endpoints(l);
@@ -513,7 +509,7 @@ impl BandedComm {
         }
         reset_flags(bufs.bwd, n);
         bufs.bwd[mesh.core_index(self.band.snk())] = true;
-        for (t, g) in self.band.groups().iter().enumerate().rev() {
+        for (t, g) in self.band.groups().enumerate().rev() {
             for (j, &l) in g.iter().enumerate() {
                 if self.alive[t][j] {
                     let (from, to) = mesh.link_endpoints(l);
@@ -524,7 +520,7 @@ impl BandedComm {
             }
         }
         self.multi = 0;
-        for (t, g) in self.band.groups().iter().enumerate() {
+        for (t, g) in self.band.groups().enumerate() {
             let old_share = self.share[t];
             let mut count = 0usize;
             for (j, &l) in g.iter().enumerate() {
@@ -628,7 +624,7 @@ impl BandedComm {
         }
         let mut cur = self.band.src();
         let mut moves: Vec<Step> = Vec::with_capacity(self.band.len());
-        for (t, g) in self.band.groups().iter().enumerate() {
+        for (t, g) in self.band.groups().enumerate() {
             let Some(j) = self.alive[t].iter().position(|&a| a) else {
                 return Err(PrError::EmptiedGroup { comm: ci, group: t });
             };
@@ -697,23 +693,26 @@ impl PathRemover {
             c.apply_loads(&mut scratch.loads, 1.0);
         }
         // Which communications' bands contain each link (static superset,
-        // built in reused buffers).
+        // built flat-CSR in two counting passes over the bands).
         let nslots = mesh.num_link_slots();
-        scratch.users_fit(nslots);
-        for (i, c) in comms.iter().enumerate() {
-            for l in c.band.links() {
-                scratch.users[l.index()].push(i);
+        scratch.xusers.rebuild(nslots, |push| {
+            for (i, c) in comms.iter().enumerate() {
+                for l in c.band.links() {
+                    push(l.index(), i as u32);
+                }
             }
-        }
-        // Presort every link's users by decreasing weight (ties towards
-        // the smaller index) once: the weights are static, so this yields
-        // exactly the candidate order the full-sweep oracle re-sorts per
-        // examined link.
+        });
+        // Presort each occupied link's users by decreasing weight (ties
+        // towards the smaller index) once: the weights are static, so this
+        // yields exactly the candidate order the full-sweep oracle re-sorts
+        // per examined link. `sort_rows_by` visits only the rows the
+        // rebuild populated — sorting the empty slots was a no-op anyway.
         // total_cmp orders these finite positive weights identically to
         // partial_cmp and removes the NaN panic path.
-        for v in scratch.users.iter_mut() {
-            v.sort_by(|&a, &b| comms[b].weight.total_cmp(&comms[a].weight).then(a.cmp(&b)));
-        }
+        scratch.xusers.sort_rows_by(|a, b| {
+            let (a, b) = (a as usize, b as usize);
+            comms[b].weight.total_cmp(&comms[a].weight).then(a.cmp(&b))
+        });
         // Per-link unresolved-user counts: a link none of whose users is
         // unresolved is rejected by the candidate scan without effect, so
         // skipping it up front cannot change which link hosts the next
@@ -757,7 +756,8 @@ impl PathRemover {
             let mut cursor = scratch.queue.cursor();
             'links: while let Some((link, _)) = cursor.next(&scratch.queue) {
                 // Candidates in presorted decreasing-weight order.
-                for &i in &scratch.users[link.index()] {
+                for &i in scratch.xusers.row(link.index()) {
+                    let i = i as usize;
                     if comms[i].resolved() {
                         continue;
                     }

@@ -43,13 +43,9 @@ pub(super) struct RefComm {
 impl RefComm {
     pub(super) fn new(mesh: &Mesh, src: Coord, snk: Coord, weight: f64) -> Self {
         let band = Band::new(mesh, src, snk);
-        let alive: Vec<Vec<bool>> = band.groups().iter().map(|g| vec![true; g.len()]).collect();
-        let share: Vec<f64> = band
-            .groups()
-            .iter()
-            .map(|g| weight / g.len() as f64)
-            .collect();
-        let resolved = band.groups().iter().all(|g| g.len() == 1);
+        let alive: Vec<Vec<bool>> = band.groups().map(|g| vec![true; g.len()]).collect();
+        let share: Vec<f64> = band.groups().map(|g| weight / g.len() as f64).collect();
+        let resolved = band.groups().all(|g| g.len() == 1);
         RefComm {
             band,
             weight,
@@ -61,7 +57,7 @@ impl RefComm {
 
     /// Applies this communication's fractional load with sign `sign`.
     pub(super) fn apply_loads(&self, loads: &mut LoadMap, sign: f64) {
-        for (t, g) in self.band.groups().iter().enumerate() {
+        for (t, g) in self.band.groups().enumerate() {
             let s = self.share[t] * sign;
             for (j, &l) in g.iter().enumerate() {
                 if self.alive[t][j] {
@@ -97,7 +93,7 @@ impl RefComm {
         let n = mesh.num_cores();
         reset_flags(fwd, n);
         fwd[mesh.core_index(self.band.src())] = true;
-        for (t, g) in self.band.groups().iter().enumerate() {
+        for (t, g) in self.band.groups().enumerate() {
             for (j, &l) in g.iter().enumerate() {
                 if self.alive[t][j] {
                     let (from, to) = mesh.link_endpoints(l);
@@ -110,7 +106,7 @@ impl RefComm {
         // Backward reachability from the sink.
         reset_flags(bwd, n);
         bwd[mesh.core_index(self.band.snk())] = true;
-        for (t, g) in self.band.groups().iter().enumerate().rev() {
+        for (t, g) in self.band.groups().enumerate().rev() {
             for (j, &l) in g.iter().enumerate() {
                 if self.alive[t][j] {
                     let (from, to) = mesh.link_endpoints(l);
@@ -123,7 +119,7 @@ impl RefComm {
         // A link is useful iff it is alive and joins a forward-reachable
         // core to a backward-reachable one. Re-share each changed group.
         self.resolved = true;
-        for (t, g) in self.band.groups().iter().enumerate() {
+        for (t, g) in self.band.groups().enumerate() {
             let old_share = self.share[t];
             let mut count = 0usize;
             for (j, &l) in g.iter().enumerate() {
@@ -190,7 +186,7 @@ impl RefComm {
         }
         let mut cur = self.band.src();
         let mut moves: Vec<Step> = Vec::with_capacity(self.band.len());
-        for (t, g) in self.band.groups().iter().enumerate() {
+        for (t, g) in self.band.groups().enumerate() {
             let Some(j) = self.alive[t].iter().position(|&a| a) else {
                 return Err(PrError::EmptiedGroup { comm: ci, group: t });
             };

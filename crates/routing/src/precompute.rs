@@ -248,6 +248,11 @@ pub struct MeshPrecompute {
     /// Flat outgoing-link array, cores in [`Mesh::core_index`] order,
     /// links in [`Step::ALL`] order.
     out_links: Vec<LinkId>,
+    /// Aligned with `out_links`: the head core (destination index) of each
+    /// outgoing link — the `first_out`/`head` pair of a classic CSR graph,
+    /// so neighbourhood walks read the next core straight from the arrays
+    /// instead of re-deriving it from coordinates per step.
+    heads: Vec<u32>,
     /// The `(src, snk) → tables` interner. Ordered map: never iterated on
     /// a report path today, but the interner is shared across sessions and
     /// an ordered debug dump costs nothing here (lookups dominate).
@@ -276,11 +281,13 @@ impl MeshPrecompute {
     pub fn new(mesh: Mesh) -> MeshPrecompute {
         let mut first_out = Vec::with_capacity(mesh.num_cores() + 1);
         let mut out_links = Vec::with_capacity(mesh.num_links());
+        let mut heads = Vec::with_capacity(mesh.num_links());
         first_out.push(0u32);
         for c in mesh.cores() {
             for s in Step::ALL {
                 if let Some(l) = mesh.link_id(c, s) {
                     out_links.push(l);
+                    heads.push(mesh.core_index(mesh.link_endpoints(l).1) as u32);
                 }
             }
             first_out.push(out_links.len() as u32);
@@ -289,6 +296,7 @@ impl MeshPrecompute {
             mesh,
             first_out,
             out_links,
+            heads,
             tables: RwLock::new(BTreeMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -307,6 +315,27 @@ impl MeshPrecompute {
         let i = self.mesh.core_index(core);
         let (lo, hi) = (self.first_out[i] as usize, self.first_out[i + 1] as usize);
         &self.out_links[lo..hi]
+    }
+
+    /// The head cores (as [`Mesh::core_index`] indices) of `core`'s
+    /// outgoing links, aligned entry-for-entry with
+    /// [`out_links`](Self::out_links) — `(link, head)` pairs come from
+    /// zipping the two slices.
+    ///
+    /// ```
+    /// use pamr_mesh::{Coord, Mesh};
+    /// use pamr_routing::MeshPrecompute;
+    ///
+    /// let mesh = Mesh::new(3, 3);
+    /// let pre = MeshPrecompute::new(mesh);
+    /// for (l, &h) in pre.out_links(Coord::new(1, 1)).iter().zip(pre.out_heads(Coord::new(1, 1))) {
+    ///     assert_eq!(mesh.core_index(mesh.link_endpoints(*l).1), h as usize);
+    /// }
+    /// ```
+    pub fn out_heads(&self, core: Coord) -> &[u32] {
+        let i = self.mesh.core_index(core);
+        let (lo, hi) = (self.first_out[i] as usize, self.first_out[i + 1] as usize);
+        &self.heads[lo..hi]
     }
 
     /// The interned tables of one endpoint pair: returns the shared

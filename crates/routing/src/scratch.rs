@@ -10,6 +10,7 @@
 //! [`Heuristic::route_with`]: crate::heuristic::Heuristic::route_with
 
 use crate::comm::CommSet;
+use crate::csr::CrossingIndex;
 use crate::loadq::LoadQueue;
 use crate::precompute::{self, CostLadder, CustomizedInstance, MeshPrecompute, PrecomputeImpl};
 use pamr_mesh::{LinkId, LoadMap};
@@ -40,9 +41,17 @@ pub struct RouteScratch {
     pub(crate) fwd: Vec<bool>,
     /// Backward-reachability flags, one per core (PR's path cleaning).
     pub(crate) bwd: Vec<bool>,
-    /// Per-link list of communications using the link — PR keys it by band
-    /// membership, XYI by the current path crossing it.
+    /// Per-link list of communications using the link — the reference
+    /// oracles key it by band membership (PR) or by the current path
+    /// crossing the link (XYI). The optimized engines use the flat
+    /// [`CrossingIndex`] in `xusers` instead; this Vec-of-Vec twin survives
+    /// as the oracle-side representation the differential suite compares
+    /// against.
     pub(crate) users: Vec<Vec<usize>>,
+    /// Flat CSR crossing-comms index — the optimized engines' counterpart
+    /// of `users` (banded PR, queued XYI), rebuilt per route in two
+    /// counting passes with no per-link allocations.
+    pub(crate) xusers: CrossingIndex,
     /// Candidate-communication index buffer (PR's per-link scan).
     pub(crate) cands: Vec<usize>,
     /// Per-link count of *unresolved* communications whose band contains

@@ -45,6 +45,7 @@
 //! `crates/sim/tests/session_prop.rs` drives scripts against.
 
 use crate::comm::{Comm, CommSet};
+use crate::csr::CrossingIndex;
 use crate::heuristic::{surrogate_link_cost, HeuristicKind};
 use crate::loadq::{Cursor, LoadQueue};
 use crate::precompute::{self, MeshPrecompute, PrecomputeImpl};
@@ -159,10 +160,12 @@ pub struct RoutingSession {
     loads: LoadMap,
     /// Resident max-load index, always keyed to `loads`' positive entries.
     queue: LoadQueue,
-    /// Per-link sorted slots whose **current path** crosses the link.
-    users: Vec<Vec<usize>>,
+    /// Per-link sorted slots whose **current path** crosses the link
+    /// (flat-CSR [`CrossingIndex`]; a 256×256 mesh has 262 144 link slots,
+    /// which the former `Vec<Vec<usize>>` paid one heap allocation each).
+    users: CrossingIndex,
     /// Per-link sorted slots whose **band** contains the link.
-    band_users: Vec<Vec<usize>>,
+    band_users: CrossingIndex,
     /// Scope queue of one bounded repair pass (kept for its allocations).
     repair_queue: LoadQueue,
     /// Working memory for full re-routes through the batch heuristics.
@@ -194,6 +197,10 @@ impl RoutingSession {
         repair_queue.fit(n_slots);
         let mut scratch = RouteScratch::new();
         scratch.attach_precompute(Arc::clone(&pre));
+        let mut users = CrossingIndex::new();
+        users.clear(n_slots);
+        let mut band_users = CrossingIndex::new();
+        band_users.clear(n_slots);
         RoutingSession {
             mesh,
             model,
@@ -204,8 +211,8 @@ impl RoutingSession {
             n_live: 0,
             loads: LoadMap::new(&mesh),
             queue,
-            users: vec![Vec::new(); n_slots],
-            band_users: vec![Vec::new(); n_slots],
+            users,
+            band_users,
             repair_queue,
             scratch,
             stats: SessionStats::default(),
@@ -386,7 +393,7 @@ impl RoutingSession {
         let path = Path::xy(comm.src, comm.snk);
         let band = self.comm_band(&comm);
         for l in band.links() {
-            insert_slot(&mut self.band_users[l.index()], slot);
+            self.band_users.insert_sorted(l.index(), slot as u32);
         }
         self.slots[slot] = Some(LiveComm { comm, path });
         self.n_live += 1;
@@ -397,8 +404,11 @@ impl RoutingSession {
             RepairMode::Bounded { max_moves } => {
                 // Scope: the new communication's band — every link its own
                 // flips can reach, and where it just raised the pressure on
-                // whatever was already routed there.
-                self.repair_queue.fit(self.mesh.num_link_slots());
+                // whatever was already routed there. `drain_keyed` resets
+                // the scope in time proportional to the *previous* scope,
+                // not the mesh's link-slot count (sized once at
+                // construction).
+                self.repair_queue.drain_keyed();
                 for l in band.links() {
                     self.scope_link(l);
                 }
@@ -417,7 +427,7 @@ impl RoutingSession {
         self.detach_path(s);
         let band = self.comm_band(&live.comm);
         for l in band.links() {
-            remove_slot(&mut self.band_users[l.index()], s);
+            self.band_users.remove_sorted(l.index(), s as u32);
         }
         self.slots[s] = None;
         self.free.push(s);
@@ -430,10 +440,10 @@ impl RoutingSession {
                 // overlaps the freed links — the ones that could flip into
                 // the capacity the removal just released.
                 let mesh = self.mesh;
-                self.repair_queue.fit(mesh.num_link_slots());
+                self.repair_queue.drain_keyed();
                 for l in live.path.links(&mesh) {
-                    for i in 0..self.band_users[l.index()].len() {
-                        let u = self.band_users[l.index()][i];
+                    for i in 0..self.band_users.len_of(l.index()) {
+                        let u = self.band_users.get(l.index(), i) as usize;
                         let path = self.slots[u]
                             .as_ref()
                             // pamr-lint: allow(P001, reason = "remove_comm prunes the band index before repair, so every u it yields is an occupied slot")
@@ -475,7 +485,7 @@ impl RoutingSession {
             .path
             .clone();
         for l in path.links(&mesh) {
-            insert_slot(&mut self.users[l.index()], slot);
+            self.users.insert_sorted(l.index(), slot as u32);
             self.recompute_link(l);
         }
     }
@@ -491,7 +501,7 @@ impl RoutingSession {
             .path
             .clone();
         for l in path.links(&mesh) {
-            remove_slot(&mut self.users[l.index()], slot);
+            self.users.remove_sorted(l.index(), slot as u32);
             self.recompute_link(l);
         }
     }
@@ -501,8 +511,8 @@ impl RoutingSession {
     /// Exact by construction: no incremental accumulation residue.
     fn recompute_link(&mut self, link: LinkId) {
         let mut sum = 0.0;
-        for &s in &self.users[link.index()] {
-            sum += self.slots[s]
+        for &s in self.users.row(link.index()) {
+            sum += self.slots[s as usize]
                 .as_ref()
                 // pamr-lint: allow(P001, reason = "detach_path removes a dying slot from every user list before the slot empties")
                 .expect("users index only holds live slots")
@@ -527,13 +537,14 @@ impl RoutingSession {
                 // (delta, slot, swap position, removed, added links).
                 type Candidate = (f64, usize, usize, [LinkId; 2], [LinkId; 2]);
                 let mut best: Option<Candidate> = None;
-                for &i in &self.users[link.index()] {
+                for &i in self.users.row(link.index()) {
+                    let i = i as usize;
                     let lc = self.slots[i]
                         .as_ref()
                         // pamr-lint: allow(P001, reason = "detach_path removes a dying slot from every user list before the slot empties")
                         .expect("users index only holds live slots");
                     if let Some((swap_at, rem, add)) =
-                        xyi::flip_candidate(&self.mesh, &lc.path, link)
+                        xyi::flip_candidate_at(&self.mesh, &lc.path, link)
                     {
                         let w = lc.comm.weight;
                         let mut delta = 0.0;
@@ -582,10 +593,10 @@ impl RoutingSession {
         new_moves.swap(swap_at, swap_at + 1);
         lc.path = Path::from_moves(lc.path.src(), new_moves);
         for l in rem {
-            remove_slot(&mut self.users[l.index()], slot);
+            self.users.remove_sorted(l.index(), slot as u32);
         }
         for l in add {
-            insert_slot(&mut self.users[l.index()], slot);
+            self.users.insert_sorted(l.index(), slot as u32);
         }
         for l in rem.into_iter().chain(add) {
             self.recompute_link(l);
@@ -608,38 +619,29 @@ impl RoutingSession {
         }
         // Rebuild users and loads in ascending slot order: per link this
         // accumulates weights in exactly the order `recompute_link` sums
-        // them, so incremental and rebuilt states are bit-identical.
-        for v in self.users.iter_mut() {
-            v.clear();
-        }
+        // them, so incremental and rebuilt states are bit-identical. The
+        // CSR rebuild also compacts away any arena slack the incremental
+        // inserts accumulated — a bulk two-pass layout instead of the old
+        // `O(link slots)` per-Vec clear.
+        let (users, live_slots, mesh) = (&mut self.users, &self.slots, &self.mesh);
+        users.rebuild(mesh.num_link_slots(), |push| {
+            for &s in &slots {
+                // pamr-lint: allow(P001, reason = "slots came from live_comm_set_with_slots, which only lists occupied entries")
+                let lc = live_slots[s].as_ref().expect("slot is live");
+                for l in lc.path.links(mesh) {
+                    push(l.index(), s as u32);
+                }
+            }
+        });
         self.loads.clear();
         for &s in &slots {
             // pamr-lint: allow(P001, reason = "slots came from live_comm_set_with_slots, which only lists occupied entries")
             let lc = self.slots[s].as_ref().expect("slot is live");
-            for l in lc.path.links(&self.mesh) {
-                self.users[l.index()].push(s);
-            }
             self.loads.add_path(&self.mesh, &lc.path, lc.comm.weight);
         }
         self.queue
             .rebuild(self.mesh.num_link_slots(), self.loads.iter_active());
     }
-}
-
-/// Inserts `slot` into a sorted slot list (must be absent).
-fn insert_slot(v: &mut Vec<usize>, slot: usize) {
-    let pos = v
-        .binary_search(&slot)
-        // pamr-lint: allow(P001, reason = "callers insert a slot into a list it cannot be in yet: a fresh slot, or a link its old path did not cross")
-        .expect_err("slot cannot already be indexed here");
-    v.insert(pos, slot);
-}
-
-/// Removes `slot` from a sorted slot list (must be present).
-fn remove_slot(v: &mut Vec<usize>, slot: usize) {
-    // pamr-lint: allow(P001, reason = "callers remove a slot from the lists of exactly the links its current path crosses")
-    let pos = v.binary_search(&slot).expect("slot is indexed here");
-    v.remove(pos);
 }
 
 #[cfg(test)]

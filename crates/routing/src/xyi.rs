@@ -188,6 +188,73 @@ pub(crate) fn flip_candidate(
     Some((swap_at, removed, added))
 }
 
+/// [`flip_candidate`] for a path **known to cross** `link`, in `O(1)`.
+///
+/// The walking locator above scans the path from its source to find the
+/// link's position — an `O(ℓ)` cost per probed candidate that the crossing
+/// index makes redundant: every Manhattan move advances the communication's
+/// diagonal index by exactly one, so a crossed link's position *is* the
+/// diagonal distance from the source to the link's tail, and the preceding
+/// corner core is one reverse step away. Same return value as
+/// [`flip_candidate`] whenever the path crosses the link (debug-asserted);
+/// the reference oracle keeps the walking version because it probes
+/// non-crossing communications too (their walk returns `None`).
+pub(crate) fn flip_candidate_at(
+    mesh: &Mesh,
+    path: &Path,
+    link: LinkId,
+) -> Option<(usize, [LinkId; 2], [LinkId; 2])> {
+    let moves = path.moves();
+    let (tail, _) = mesh.link_endpoints(link);
+    let quadrant = pamr_mesh::Quadrant::of(path.src(), path.snk());
+    let j = mesh.diag_index(tail, quadrant) - mesh.diag_index(path.src(), quadrant);
+    debug_assert!(
+        j < moves.len() && mesh.link_id(tail, moves[j]) == Some(link),
+        "flip_candidate_at requires a path crossing the link"
+    );
+    let vertical = mesh.link_step(link).is_vertical();
+    let (swap_at, corner) = if vertical {
+        // Need the preceding move to be horizontal: swap (j-1, j). The
+        // corner is the core the path occupied before `tail`.
+        if j == 0 || !moves[j - 1].is_horizontal() {
+            return None;
+        }
+        (j - 1, mesh.step(tail, moves[j - 1].opposite())?)
+    } else {
+        // Need the following move to be vertical: swap (j, j+1).
+        if j + 1 >= moves.len() || !moves[j + 1].is_vertical() {
+            return None;
+        }
+        (j, tail)
+    };
+    let (a, b) = (moves[swap_at], moves[swap_at + 1]);
+    // Swapping orthogonal moves a,b around `corner` stays in the path's
+    // bounding box, so every link id below exists.
+    // pamr-lint: allow(P001, reason = "corner lies on a Manhattan path whose moves a and b both start there, so both steps stay inside the path's bounding box")
+    let via_a = mesh.step(corner, a).expect("path stays on the mesh");
+    // pamr-lint: allow(P001, reason = "same bounding-box invariant: the swapped corner is a lattice point of the a×b rectangle")
+    let via_b = mesh.step(corner, b).expect("swapped corner on mesh");
+    let removed = [
+        // pamr-lint: allow(P001, reason = "links of the current path: both endpoints were just shown to be on the mesh")
+        mesh.link_id(corner, a).expect("removed links exist"),
+        // pamr-lint: allow(P001, reason = "links of the current path: both endpoints were just shown to be on the mesh")
+        mesh.link_id(via_a, b).expect("removed links exist"),
+    ];
+    let added = [
+        // pamr-lint: allow(P001, reason = "the swapped rectangle sides: endpoints are the same four lattice points")
+        mesh.link_id(corner, b).expect("added links exist"),
+        // pamr-lint: allow(P001, reason = "the swapped rectangle sides: endpoints are the same four lattice points")
+        mesh.link_id(via_b, a).expect("added links exist"),
+    ];
+    debug_assert!(removed.contains(&link));
+    debug_assert!(!added.contains(&link));
+    debug_assert_eq!(
+        flip_candidate(mesh, path, link),
+        Some((swap_at, removed, added))
+    );
+    Some((swap_at, removed, added))
+}
+
 /// [`flip_candidate`] plus the rebuilt path (test-only convenience; the
 /// improvement loop builds the path lazily on acceptance).
 #[cfg(test)]
@@ -226,13 +293,16 @@ impl XyImprover {
         // link, kept sorted ascending so the candidate scan visits them in
         // the same order as the oracle's all-comms sweep (non-crossing
         // communications flip to `None` there and contribute nothing).
+        // Flat CSR ([`crate::csr::CrossingIndex`]): the two-pass rebuild
+        // replaces the historical per-slot `Vec<Vec<usize>>` clear + push.
         let nslots = mesh.num_link_slots();
-        scratch.users_fit(nslots);
-        for (i, p) in paths.iter().enumerate() {
-            for l in p.links(mesh) {
-                scratch.users[l.index()].push(i);
+        scratch.xusers.rebuild(nslots, |push| {
+            for (i, p) in paths.iter().enumerate() {
+                for l in p.links(mesh) {
+                    push(l.index(), i as u32);
+                }
             }
-        }
+        });
         // Max-load index over every loaded link; an accepted move re-keys
         // only the four links it touched.
         scratch.queue.rebuild(nslots, scratch.loads.iter_active());
@@ -252,9 +322,10 @@ impl XyImprover {
                 // (delta, comm index, swap position, removed, added links).
                 type Candidate = (f64, usize, usize, [LinkId; 2], [LinkId; 2]);
                 let mut best: Option<Candidate> = None;
-                for &i in &scratch.users[link.index()] {
+                for &i in scratch.xusers.row(link.index()) {
+                    let i = i as usize;
                     let c = &cs.comms()[i];
-                    if let Some((swap_at, rem, add)) = flip_candidate(mesh, &paths[i], link) {
+                    if let Some((swap_at, rem, add)) = flip_candidate_at(mesh, &paths[i], link) {
                         let mut delta = 0.0;
                         // Cost after removing the comm from `rem` and adding
                         // it to `add`, minus current cost, over the affected
@@ -294,20 +365,15 @@ impl XyImprover {
                     new_moves.swap(swap_at, swap_at + 1);
                     paths[i] = Path::from_moves(paths[i].src(), new_moves);
                     // Re-home the comm in the crossing index: its new path
-                    // differs from the old one in exactly `rem` → `add`.
+                    // differs from the old one in exactly `rem` → `add`
+                    // (sorted insert/remove panics inside `CrossingIndex`
+                    // document the same crossing invariants the old
+                    // binary-search expects asserted here).
                     for l in rem {
-                        let u = &mut scratch.users[l.index()];
-                        // pamr-lint: allow(P001, reason = "flip_candidate derived rem from comm i's current path, so the crossing index holds i for each removed link")
-                        let pos = u.binary_search(&i).expect("comm crossed a removed link");
-                        u.remove(pos);
+                        scratch.xusers.remove_sorted(l.index(), i as u32);
                     }
                     for l in add {
-                        let u = &mut scratch.users[l.index()];
-                        let pos = u
-                            .binary_search(&i)
-                            // pamr-lint: allow(P001, reason = "a Manhattan path crosses each link at most once and the added links were not on the old path, so i is absent from their user lists")
-                            .expect_err("comm cannot already cross an added link");
-                        u.insert(pos, i);
+                        scratch.xusers.insert_sorted(l.index(), i as u32);
                     }
                     moves_done += 1;
                     continue 'outer; // restart from the most loaded link

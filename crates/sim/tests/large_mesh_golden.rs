@@ -1,0 +1,151 @@
+//! Large-mesh golden fixture for the flat-CSR engine family.
+//!
+//! `tests/fixtures/large_mesh_golden.json` pins a seeded 64×64 instance
+//! (10³ length-targeted communications, the `pamr-bench scaling` lane's
+//! traffic shape) routed through the three CSR-backed heuristics. The
+//! committed fingerprint covers, per engine, the full power breakdown
+//! and a bit-exact checksum of every per-link load — a band-arithmetic
+//! or crossing-index regression that only surfaces past the 8×8 paper
+//! mesh (long diagonals, thousands of index rows) changes these bits and
+//! fails here, while `tests/scaling_differential.rs` localises it
+//! against the reference engines.
+//!
+//! When a change *intentionally* alters routing decisions, regenerate
+//! and review the diff:
+//!
+//! ```text
+//! PAMR_BLESS=1 cargo test -p pamr-sim --test large_mesh_golden --release
+//! ```
+
+use pamr_mesh::Mesh;
+use pamr_routing::{CommSet, HeuristicKind};
+use pamr_workload::LengthTargetedWorkload;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The pinned instance: the scaling lane's traffic shape (length-8 local
+/// draws keep band memory linear in the count) at the lane's golden size.
+const ROWS: usize = 64;
+const COLS: usize = 64;
+const COMMS: usize = 1000;
+const PATH_LEN: usize = 8;
+const SEED: u64 = 0x60_1D64;
+
+/// The engines the fixture pins — the three with rewritten CSR hot paths.
+const ENGINES: [HeuristicKind; 3] = [HeuristicKind::Ig, HeuristicKind::Xyi, HeuristicKind::Pr];
+
+/// Schema of `fixtures/large_mesh_golden.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct Golden {
+    schema: u32,
+    rows: usize,
+    cols: usize,
+    comms: usize,
+    path_len: usize,
+    seed: u64,
+    /// One fingerprint per entry of [`ENGINES`], in order.
+    engines: Vec<EngineGolden>,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct EngineGolden {
+    name: String,
+    /// Power breakdown, bit for bit.
+    power_total: u64,
+    leakage: u64,
+    dynamic: u64,
+    active_links: usize,
+    /// Order-sensitive FNV-1a over `(link index, load bits)` of every
+    /// link — any single-link divergence flips this.
+    load_digest: u64,
+    max_load: u64,
+}
+
+fn instance() -> CommSet {
+    let mesh = Mesh::new(ROWS, COLS);
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    LengthTargetedWorkload::new(COMMS, 100.0, 800.0, PATH_LEN).generate(&mesh, &mut rng)
+}
+
+fn fingerprint(kind: HeuristicKind, cs: &CommSet) -> EngineGolden {
+    let model = pamr_sim::paper_model();
+    let routing = kind.route(cs, &model);
+    let power = routing
+        .power(cs, &model)
+        .expect("the pinned instance is feasible under every engine");
+    let loads = routing.loads(cs);
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut max_load: f64 = 0.0;
+    for l in cs.mesh().links() {
+        let v = loads.get(l);
+        for word in [l.index() as u64, v.to_bits()] {
+            digest = (digest ^ word).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        max_load = max_load.max(v);
+    }
+    EngineGolden {
+        name: format!("{kind:?}"),
+        power_total: power.total().to_bits(),
+        leakage: power.leakage.to_bits(),
+        dynamic: power.dynamic.to_bits(),
+        active_links: power.active_links,
+        load_digest: digest,
+        max_load: max_load.to_bits(),
+    }
+}
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/large_mesh_golden.json")
+}
+
+#[test]
+fn csr_engines_reproduce_the_committed_large_mesh_fixture() {
+    let cs = instance();
+    let current = Golden {
+        schema: 1,
+        rows: ROWS,
+        cols: COLS,
+        comms: COMMS,
+        path_len: PATH_LEN,
+        seed: SEED,
+        engines: ENGINES.iter().map(|&k| fingerprint(k, &cs)).collect(),
+    };
+
+    let path = fixture_path();
+    if std::env::var_os("PAMR_BLESS").is_some() {
+        let json = serde_json::to_string_pretty(&current).expect("fixture serialises");
+        std::fs::write(&path, json + "\n").expect("write fixture");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run with PAMR_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    let golden: Golden = serde_json::from_str(&text).expect("fixture parses");
+    assert_eq!(golden.schema, 1, "unknown fixture schema");
+    assert_eq!(
+        (
+            golden.rows,
+            golden.cols,
+            golden.comms,
+            golden.path_len,
+            golden.seed
+        ),
+        (ROWS, COLS, COMMS, PATH_LEN, SEED),
+        "fixture from a different instance"
+    );
+    for (want, got) in golden.engines.iter().zip(&current.engines) {
+        assert_eq!(
+            want, got,
+            "{} diverged on the 64x64 golden instance (if intentional: \
+             PAMR_BLESS=1 cargo test -p pamr-sim --test large_mesh_golden --release)",
+            got.name
+        );
+    }
+    assert_eq!(golden.engines.len(), current.engines.len());
+}

@@ -39,18 +39,26 @@ impl LengthTargetedWorkload {
     }
 
     /// Draws one instance on `mesh`.
+    ///
+    /// Meshes up to [`PAIR_ENUM_MAX_CORES`] cores sample from the full
+    /// [`PairBuckets`] enumeration — that path fixes the RNG draw
+    /// sequence every committed fixture was blessed under. Larger meshes
+    /// switch to [`sample_pair_at`], which draws from the *same* uniform
+    /// distribution over ordered pairs without materialising the
+    /// O(cores²) pair list (137 GB on a 256×256 mesh), at the cost of a
+    /// different draw sequence per communication.
     pub fn generate<R: Rng + ?Sized>(&self, mesh: &Mesh, rng: &mut R) -> CommSet {
-        let buckets = PairBuckets::new(mesh);
-        let lo = self
-            .target_len
-            .saturating_sub(1)
-            .max(1)
-            .min(buckets.max_len());
-        let hi = (self.target_len + 1).min(buckets.max_len());
+        let max_len = mesh.rows() + mesh.cols() - 2;
+        let lo = self.target_len.saturating_sub(1).max(1).min(max_len);
+        let hi = (self.target_len + 1).min(max_len);
+        let buckets = (mesh.num_cores() <= PAIR_ENUM_MAX_CORES).then(|| PairBuckets::new(mesh));
         let comms = (0..self.n)
             .map(|_| {
                 let len = rng.gen_range(lo..=hi);
-                let (src, snk) = buckets.sample(len, rng);
+                let (src, snk) = match &buckets {
+                    Some(b) => b.sample(len, rng),
+                    None => sample_pair_at(mesh, len, rng),
+                };
                 let weight = if self.w_min == self.w_max {
                     self.w_min
                 } else {
@@ -61,6 +69,77 @@ impl LengthTargetedWorkload {
             .collect();
         CommSet::new(*mesh, comms)
     }
+}
+
+/// Largest core count still sampled through the [`PairBuckets`]
+/// enumeration (64×64). Above this the O(cores²) pair list is replaced
+/// by the displacement-weighted [`sample_pair_at`].
+pub const PAIR_ENUM_MAX_CORES: usize = 4096;
+
+/// Uniformly samples an ordered core pair at exactly Manhattan distance
+/// `len` without enumerating pairs.
+///
+/// A pair is one signed displacement `(dx, dy)` with `|dx| + |dy| = len`
+/// plus a source admitting it; there are `(p − |dx|)·(q − |dy|)` sources
+/// per signed displacement, so drawing the displacement with that weight
+/// and then the source uniformly is exactly the uniform distribution
+/// [`PairBuckets::sample`] draws from (the per-call RNG consumption
+/// differs). Runs in O(len) time and O(1) space.
+///
+/// # Panics
+/// Panics if no core pair exists at distance `len` on `mesh`.
+pub fn sample_pair_at<R: Rng + ?Sized>(mesh: &Mesh, len: usize, rng: &mut R) -> (Coord, Coord) {
+    let (p, q) = (mesh.rows(), mesh.cols());
+    let total = pairs_at_distance(mesh, len);
+    assert!(total > 0, "no core pair at distance {len}");
+    let mut r = rng.gen_range(0..total);
+    for (dx, dy) in signed_displacements(p, q, len) {
+        let w = ((p - dx.unsigned_abs()) * (q - dy.unsigned_abs())) as u64;
+        if r < w {
+            // Source uniform among the admitting rectangle: a negative
+            // component shifts the base so src + (dx, dy) stays in-mesh.
+            let u = rng.gen_range(0..p - dx.unsigned_abs())
+                + if dx < 0 { dx.unsigned_abs() } else { 0 };
+            let v = rng.gen_range(0..q - dy.unsigned_abs())
+                + if dy < 0 { dy.unsigned_abs() } else { 0 };
+            let src = Coord::new(u, v);
+            let snk = Coord::new(u.wrapping_add_signed(dx), v.wrapping_add_signed(dy));
+            return (src, snk);
+        }
+        r -= w;
+    }
+    unreachable!("displacement weights sum to the pair count");
+}
+
+/// Number of ordered core pairs at exactly distance `len` — the closed
+/// form `Σ (p − |dx|)·(q − |dy|)` over signed displacements, equal to
+/// [`PairBuckets::count`] without building the buckets.
+pub fn pairs_at_distance(mesh: &Mesh, len: usize) -> u64 {
+    let (p, q) = (mesh.rows(), mesh.cols());
+    if len == 0 {
+        // Distance 0 is the core itself; the bucket enumeration skips
+        // `a == b`, so the closed form must too.
+        return 0;
+    }
+    signed_displacements(p, q, len)
+        .map(|(dx, dy)| ((p - dx.unsigned_abs()) * (q - dy.unsigned_abs())) as u64)
+        .sum()
+}
+
+/// All signed displacements `(dx, dy)` with `|dx| + |dy| = len` that fit
+/// a `p`×`q` mesh, in a fixed deterministic order.
+fn signed_displacements(p: usize, q: usize, len: usize) -> impl Iterator<Item = (isize, isize)> {
+    let adx_min = len.saturating_sub(q.saturating_sub(1));
+    let adx_max = len.min(p.saturating_sub(1));
+    (adx_min..=adx_max).flat_map(move |adx| {
+        let ady = len - adx;
+        let dxs: &[isize] = if adx == 0 { &[0] } else { &[1, -1] };
+        let dys: &[isize] = if ady == 0 { &[0] } else { &[1, -1] };
+        dxs.iter().flat_map(move |&sx| {
+            dys.iter()
+                .map(move |&sy| (sx * adx as isize, sy * ady as isize))
+        })
+    })
 }
 
 /// All ordered core pairs of a mesh, bucketed by Manhattan distance.
@@ -163,5 +242,69 @@ mod tests {
         let a = gen.generate(&mesh, &mut SmallRng::seed_from_u64(11));
         let b = gen.generate(&mesh, &mut SmallRng::seed_from_u64(11));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn closed_form_count_matches_bucket_enumeration() {
+        for (p, q) in [(4, 4), (1, 8), (8, 1), (3, 5), (2, 2), (1, 1)] {
+            let mesh = Mesh::new(p, q);
+            let b = PairBuckets::new(&mesh);
+            for len in 0..=(p + q) {
+                assert_eq!(
+                    pairs_at_distance(&mesh, len),
+                    b.count(len) as u64,
+                    "count at distance {len} diverged on {p}x{q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn direct_sampler_draws_valid_pairs() {
+        let mesh = Mesh::new(5, 7);
+        let mut rng = SmallRng::seed_from_u64(42);
+        for len in 1..=(mesh.rows() + mesh.cols() - 2) {
+            for _ in 0..64 {
+                let (src, snk) = sample_pair_at(&mesh, len, &mut rng);
+                assert_eq!(src.manhattan(snk), len, "{src}->{snk}");
+                assert_ne!(src, snk);
+                assert!(src.u < 5 && src.v < 7, "source {src} off-mesh");
+                assert!(snk.u < 5 && snk.v < 7, "sink {snk} off-mesh");
+            }
+        }
+    }
+
+    #[test]
+    fn direct_sampler_covers_every_bucket_pair() {
+        // On a mesh small enough to enumerate, enough draws must hit every
+        // ordered pair the buckets hold — uniform support, no gaps from a
+        // mis-shifted source rectangle.
+        let mesh = Mesh::new(2, 3);
+        let b = PairBuckets::new(&mesh);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for len in 1..=b.max_len() {
+            let mut seen: Vec<(Coord, Coord)> = Vec::new();
+            for _ in 0..64 * b.count(len) {
+                let pair = sample_pair_at(&mesh, len, &mut rng);
+                if !seen.contains(&pair) {
+                    seen.push(pair);
+                }
+            }
+            assert_eq!(seen.len(), b.count(len), "missing pairs at distance {len}");
+        }
+    }
+
+    #[test]
+    fn generate_switches_sampler_above_the_enumeration_threshold() {
+        // 65×65 = 4225 cores, just past PAIR_ENUM_MAX_CORES: generate must
+        // take the direct-sampler path and still honour the length band.
+        let mesh = Mesh::new(65, 65);
+        assert!(mesh.num_cores() > PAIR_ENUM_MAX_CORES);
+        let gen = LengthTargetedWorkload::new(100, 100.0, 800.0, 8);
+        let cs = gen.generate(&mesh, &mut SmallRng::seed_from_u64(13));
+        assert_eq!(cs.comms().len(), 100);
+        for c in cs.comms() {
+            assert!((7..=9).contains(&c.len()), "length {} off-target", c.len());
+        }
     }
 }

@@ -15,6 +15,7 @@
 //! pamr-bench serve [--comms N] [--repeats R] [--seed S] [--out FILE]
 //! pamr-bench precompute [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]
 //! pamr-bench scaling [--profile smoke|full|serve] [--seed S] [--out FILE] [--check-only]
+//! pamr-bench frontier [--comms N] [--segments N] [--split S] [--repeats R] [--seed S] [--out FILE]
 //! ```
 //!
 //! `run` executes the campaigns and writes the report; `check` compares a
@@ -52,15 +53,19 @@
 //! (the sub-100 ms incremental re-route figure). (The Criterion
 //! target `crates/bench/benches/scaling.rs` is a different, smaller
 //! ablation — heuristic cost vs mesh side at constant density — kept under
-//! the same name for history; this lane is the grid with fits.)
+//! the same name for history; this lane is the grid with fits.) `frontier`
+//! is the bi-objective lane: the pooled ε-constraint power × latency sweep
+//! behind `pamr frontier` (per-segment fan-out + dominance-filtering
+//! merge) versus the sequential reference solver, cross-checked to the
+//! exact same Pareto set before timing.
 
 use pamr_routing::{
-    precompute, Heuristic as _, HeuristicKind, ImprovedGreedy, MeshPrecompute, PathRemover,
-    PrecomputeImpl, ReferenceImprovedGreedy, ReferencePathRemover, ReferenceXyImprover,
-    RouteScratch, RoutingSession, SessionConfig, SimpleGreedy, XyImprover,
+    frontier_points, EngineConfig, FrontierProblem, Heuristic as _, HeuristicKind, ImprovedGreedy,
+    MeshPrecompute, PathRemover, ReferenceImprovedGreedy, ReferencePathRemover,
+    ReferenceXyImprover, RouteScratch, RoutingSession, SessionConfig, SimpleGreedy, XyImprover,
 };
 use pamr_sim::experiments::{fig7, fig8, fig9, Experiment};
-use pamr_sim::{Campaign, ShardSpec};
+use pamr_sim::{Campaign, FrontierReport, ShardSpec};
 use serde::{Deserialize, Serialize};
 use std::process::Command;
 use std::time::Instant;
@@ -231,11 +236,11 @@ struct PrecomputeBench {
     repeats: usize,
     /// Master seed of the instance draws.
     seed: u64,
-    /// Mean per-trial runtime with the shared precompute
-    /// ([`PrecomputeImpl::Cached`], the production default), milliseconds.
+    /// Mean per-trial runtime with the shared precompute (the all-`Live`
+    /// [`EngineConfig`], the production default), milliseconds.
     cached_ms: f64,
     /// Mean per-trial runtime rebuilding bands, row intervals and seed
-    /// paths from scratch every call ([`PrecomputeImpl::Rebuild`]), ms.
+    /// paths from scratch every call (`Reference` precompute engine), ms.
     rebuild_ms: f64,
     /// `rebuild_ms / cached_ms`.
     speedup: f64,
@@ -280,23 +285,21 @@ fn measure_precompute(
         let _ = ImprovedGreedy::default().route_indexed_with(cs, &model, scratch);
     };
     // Differential cross-check before timing: identical routings under
-    // both implementations, per instance.
-    let outcomes = |imp: PrecomputeImpl| {
-        precompute::set_implementation(imp);
-        let mut scratch = RouteScratch::new();
-        let out: Vec<_> = sets
-            .iter()
+    // both engine selections, per instance.
+    let cached = EngineConfig::LIVE;
+    let rebuild = EngineConfig::LIVE.with_precompute(pamr_routing::EngineSel::Reference);
+    let outcomes = |engine: EngineConfig| {
+        let mut scratch = RouteScratch::with_engine(engine);
+        sets.iter()
             .map(|cs| {
                 (
                     SimpleGreedy::default().route_with(cs, &model, &mut scratch),
                     ImprovedGreedy::default().route_indexed_with(cs, &model, &mut scratch),
                 )
             })
-            .collect();
-        precompute::set_implementation(PrecomputeImpl::Cached);
-        out
+            .collect::<Vec<_>>()
     };
-    let identical = outcomes(PrecomputeImpl::Cached) == outcomes(PrecomputeImpl::Rebuild);
+    let identical = outcomes(cached) == outcomes(rebuild);
     assert!(
         identical,
         "cached tables changed a routing — the precompute lane refuses to time"
@@ -306,13 +309,12 @@ fn measure_precompute(
     // distinct pairs) and then serves the sweep's remaining ~10⁵ trials, so
     // the steady state is what "campaign-level" means here.
     let shared = std::sync::Arc::new(MeshPrecompute::new(mesh));
-    let timed = |imp: PrecomputeImpl| -> f64 {
-        precompute::set_implementation(imp);
-        let mut scratch = RouteScratch::new();
-        if imp == PrecomputeImpl::Cached {
+    let timed = |engine: EngineConfig| -> f64 {
+        let mut scratch = RouteScratch::with_engine(engine);
+        if !engine.precompute.is_reference() {
             scratch.attach_precompute(std::sync::Arc::clone(&shared));
         }
-        // Untimed warm pass for *both* implementations: it saturates the
+        // Untimed warm pass for *both* engine selections: it saturates the
         // cached pass's interner (the campaign steady state) and warms
         // caches and branch predictors equally for the rebuild pass.
         for cs in &sets {
@@ -324,12 +326,10 @@ fn measure_precompute(
                 trial(cs, &mut scratch);
             }
         }
-        let ms = start.elapsed().as_secs_f64() * 1e3 / (repeats * sets.len()) as f64;
-        precompute::set_implementation(PrecomputeImpl::Cached);
-        ms
+        start.elapsed().as_secs_f64() * 1e3 / (repeats * sets.len()) as f64
     };
-    let cached_ms = timed(PrecomputeImpl::Cached);
-    let rebuild_ms = timed(PrecomputeImpl::Rebuild);
+    let cached_ms = timed(cached);
+    let rebuild_ms = timed(rebuild);
     PrecomputeBench {
         instances,
         comms,
@@ -338,6 +338,101 @@ fn measure_precompute(
         cached_ms,
         rebuild_ms,
         speedup: rebuild_ms / cached_ms,
+        identical,
+    }
+}
+
+/// The `frontier` lane of `BENCH_summary.json`: the pooled bi-objective
+/// power × latency sweep versus the sequential reference solver.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FrontierBench {
+    /// Communications in the swept instance.
+    comms: usize,
+    /// ε-constraint segments (latency budgets) swept.
+    segments: usize,
+    /// Path bound of the FW-MP candidate (0 sweeps the 1-MP portfolio
+    /// only).
+    split: usize,
+    /// Timing repetitions over the sweep.
+    repeats: usize,
+    /// Master seed of the instance draw.
+    seed: u64,
+    /// Mean sweep runtime of the sequential reference solver
+    /// (`frontier_points`), milliseconds.
+    sequential_ms: f64,
+    /// Mean sweep runtime of the pooled per-segment fan-out + merge
+    /// pipeline (the `pamr frontier` implementation), milliseconds.
+    pooled_ms: f64,
+    /// `sequential_ms / pooled_ms`.
+    speedup: f64,
+    /// Pareto points on the computed frontier.
+    pareto_points: usize,
+    /// The pooled pipeline produced the sequential solver's exact Pareto
+    /// set.
+    identical: bool,
+}
+
+/// Times the frontier lane: the ε-constraint sweep over an 8×8
+/// campaign-feasible instance, once through the sequential reference
+/// solver and once through the pooled partial/merge pipeline behind
+/// `pamr frontier`, cross-checked to the exact same Pareto set first.
+///
+/// The 100–800 weight regime keeps the instance feasible at 80
+/// communications (see [`measure_serve`]) — an infeasible instance has an
+/// empty frontier and the lane would time nothing.
+fn measure_frontier(
+    comms: usize,
+    segments: usize,
+    split: usize,
+    repeats: usize,
+    seed: u64,
+) -> FrontierBench {
+    let mesh = pamr_bench::mesh8();
+    let model = pamr_bench::model();
+    let cs = pamr_bench::uniform_instance(&mesh, comms, 100.0, 800.0, seed);
+    let problem = FrontierProblem {
+        cs: &cs,
+        model: &model,
+        segments,
+        split,
+    };
+    // Differential cross-check before timing: the pooled pipeline must
+    // reproduce the sequential solver's Pareto set exactly.
+    let reference = frontier_points(&problem);
+    let report = FrontierReport::compute(&cs, &model, segments, split);
+    let identical = report.pareto == reference;
+    assert!(
+        identical,
+        "pooled frontier diverged from the sequential solver"
+    );
+    assert!(
+        !reference.is_empty(),
+        "frontier lane instance is infeasible — nothing to time"
+    );
+    let timed = |f: &dyn Fn()| -> f64 {
+        f(); // warm-up
+        let start = Instant::now();
+        for _ in 0..repeats {
+            f();
+        }
+        start.elapsed().as_secs_f64() * 1e3 / repeats as f64
+    };
+    let sequential_ms = timed(&|| {
+        let _ = frontier_points(&problem);
+    });
+    let pooled_ms = timed(&|| {
+        let _ = FrontierReport::compute(&cs, &model, segments, split);
+    });
+    FrontierBench {
+        comms,
+        segments,
+        split,
+        repeats,
+        seed,
+        sequential_ms,
+        pooled_ms,
+        speedup: sequential_ms / pooled_ms,
+        pareto_points: reference.len(),
         identical,
     }
 }
@@ -542,6 +637,9 @@ struct BenchReport {
     precompute: Option<PrecomputeBench>,
     /// The large-mesh grid lane (`scaling` subcommand only).
     scaling: Option<ScalingBench>,
+    /// The pooled-vs-sequential bi-objective sweep lane (`run` /
+    /// `frontier`).
+    frontier: Option<FrontierBench>,
 }
 
 /// Hardware threads of this machine, as recorded in the report.
@@ -559,7 +657,8 @@ fn usage() -> ! {
          pamr-bench pr|xyi|ig [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]\n  \
          pamr-bench serve [--comms N] [--repeats R] [--seed S] [--out FILE]\n  \
          pamr-bench precompute [--instances N] [--comms N] [--repeats R] [--seed S] [--out FILE]\n  \
-         pamr-bench scaling [--profile smoke|full|serve] [--seed S] [--out FILE] [--check-only]"
+         pamr-bench scaling [--profile smoke|full|serve] [--seed S] [--out FILE] [--check-only]\n  \
+         pamr-bench frontier [--comms N] [--segments N] [--split S] [--repeats R] [--seed S] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -583,6 +682,7 @@ fn main() {
         Some("serve") => cmd_serve(&args[1..]),
         Some("precompute") => cmd_precompute(&args[1..]),
         Some("scaling") => cmd_scaling(&args[1..]),
+        Some("frontier") => cmd_frontier(&args[1..]),
         _ => usage(),
     }
 }
@@ -599,6 +699,7 @@ fn time_group(exps: &[Experiment], trials: usize, seed: u64, threads: usize) -> 
         seed,
         shard: ShardSpec::FULL,
         pre: None,
+        engine: EngineConfig::LIVE,
     };
     let start = Instant::now();
     for exp in exps {
@@ -689,11 +790,17 @@ fn cmd_run(args: &[String]) {
         "  precompute: cached {:.2} ms/trial, rebuild {:.2} ms/trial, speedup {:.2}x",
         pre.cached_ms, pre.rebuild_ms, pre.speedup
     );
+    let fr = measure_frontier(80, 16, 2, 2, seed);
+    eprintln!(
+        "  frontier: sequential {:.2} ms/sweep, pooled {:.2} ms/sweep, speedup {:.2}x, \
+         {} Pareto point(s)",
+        fr.sequential_ms, fr.pooled_ms, fr.speedup, fr.pareto_points
+    );
 
     let total_wall_ms_seq: f64 = figures.iter().map(|f| f.wall_ms_seq).sum();
     let total_wall_ms_par: f64 = figures.iter().map(|f| f.wall_ms_par).sum();
     let report = BenchReport {
-        schema: 6,
+        schema: 7,
         profile,
         threads,
         nproc: nproc(),
@@ -709,6 +816,7 @@ fn cmd_run(args: &[String]) {
         serve: Some(serve),
         precompute: Some(pre),
         scaling: None,
+        frontier: Some(fr),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
@@ -786,6 +894,13 @@ fn cmd_check(args: &[String]) {
         println!(
             "  precompute lane: {:.2}x → {:.2}x cached-vs-rebuild speedup",
             b.speedup, c.speedup
+        );
+    }
+    if let (Some(b), Some(c)) = (&baseline.frontier, &current.frontier) {
+        println!(
+            "  frontier lane: {:.2}x → {:.2}x pooled-vs-sequential speedup \
+             ({} → {} Pareto point(s))",
+            b.speedup, c.speedup, b.pareto_points, c.pareto_points
         );
     }
     if let (Some(b), Some(c)) = (&baseline.scaling, &current.scaling) {
@@ -875,7 +990,7 @@ fn cmd_engine(lane: EngineLane, args: &[String]) {
 /// `BENCH_summary.json` when no prior `run` recorded the figures.
 fn empty_report(profile: &str, seed: u64) -> BenchReport {
     BenchReport {
-        schema: 6,
+        schema: 7,
         profile: profile.into(),
         threads: rayon::current_num_threads(),
         nproc: nproc(),
@@ -891,6 +1006,7 @@ fn empty_report(profile: &str, seed: u64) -> BenchReport {
         serve: None,
         precompute: None,
         scaling: None,
+        frontier: None,
     }
 }
 
@@ -1298,6 +1414,60 @@ fn cmd_scaling(args: &[String]) {
         })
         .unwrap_or_else(|| empty_report("scaling", seed));
     report.scaling = Some(bench);
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("{json}");
+}
+
+/// The focused bi-objective lane (`pamr-bench frontier`): a bigger sample
+/// of the pooled-vs-sequential sweep measurement `run` records, merged
+/// into `BENCH_summary.json` like the engine lanes.
+fn cmd_frontier(args: &[String]) {
+    let comms: usize = opt(args, "--comms")
+        .map(|s| s.parse().expect("--comms needs a positive integer"))
+        .unwrap_or(80);
+    assert!(comms > 0, "--comms must be positive");
+    let segments: usize = opt(args, "--segments")
+        .map(|s| s.parse().expect("--segments needs a positive integer"))
+        .unwrap_or(32);
+    assert!(segments > 0, "--segments must be positive");
+    let split: usize = opt(args, "--split")
+        .map(|s| s.parse().expect("--split needs an integer"))
+        .unwrap_or(2);
+    let repeats: usize = opt(args, "--repeats")
+        .map(|s| s.parse().expect("--repeats needs a positive integer"))
+        .unwrap_or(5);
+    assert!(repeats > 0, "--repeats must be positive");
+    let seed: u64 = opt(args, "--seed")
+        .map(|s| s.parse().expect("--seed needs an integer"))
+        .unwrap_or(0xC0FFEE);
+    let out = opt(args, "--out").unwrap_or_else(|| "BENCH_summary.json".into());
+
+    eprintln!(
+        "pamr-bench frontier: {comms} comms × {segments} segments (split {split}) × \
+         {repeats} repeat(s), pooled sweep vs sequential solver"
+    );
+    let bench = measure_frontier(comms, segments, split, repeats, seed);
+    eprintln!(
+        "pamr-bench frontier: sequential {:.3} ms/sweep, pooled {:.3} ms/sweep, \
+         speedup {:.2}x, {} Pareto point(s), sets identical → {out}",
+        bench.sequential_ms, bench.pooled_ms, bench.speedup, bench.pareto_points
+    );
+
+    let mut report = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|text| match serde_json::from_str::<BenchReport>(&text) {
+            Ok(report) => Some(report),
+            Err(e) => {
+                eprintln!(
+                    "pamr-bench frontier: existing {out} does not parse as a bench report \
+                     ({e}); replacing it with a frontier-only report"
+                );
+                None
+            }
+        })
+        .unwrap_or_else(|| empty_report("frontier", seed));
+    report.frontier = Some(bench);
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("{json}");

@@ -1,0 +1,6 @@
+//! G001 seed: production code flipping a deprecated engine global instead
+//! of threading an explicit `EngineConfig`.
+
+fn pin_reference_engine() {
+    pr::set_implementation(PrImpl::Reference);
+}

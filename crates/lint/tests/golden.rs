@@ -55,7 +55,7 @@ fn every_rule_fires_on_its_seed() {
     let result = driver::check_workspace(&fixture_dir().join("tree"), &Config::default())
         .expect("fixture tree walks");
     for rule in [
-        "D001", "D002", "D003", "P001", "U001", "V001", "W000", "W001",
+        "D001", "D002", "D003", "P001", "U001", "V001", "G001", "W000", "W001",
     ] {
         assert!(
             result.diagnostics.iter().any(|d| d.rule == rule),

@@ -1,0 +1,441 @@
+//! Bi-objective power × max-hop-latency frontier (ε-constraint
+//! scalarization).
+//!
+//! The paper optimises power alone; every routing also has a **latency**:
+//! a link running at effective bandwidth `b` forwards one unit in `1/b`
+//! time, a communication's latency is the (worst-path) sum of its links'
+//! latencies, and a routing's latency is the maximum over communications.
+//! Under discrete frequency scaling the two objectives genuinely trade
+//! off — running a link *above* its load-minimal level burns more power
+//! but lowers its hop latency — so the interesting object is the Pareto
+//! frontier.
+//!
+//! The frontier is computed by ε-constraint scalarization: a range of
+//! latency budgets (the **segments**) is fixed, and each segment is solved
+//! independently — for every candidate routing (the six §6 policies plus
+//! the [`FwMp`] rounder), links on the critical path are greedily uplifted
+//! to the next frequency level, best latency-gain-per-power-cost first,
+//! until the budget is met. Segments are embarrassingly parallel (each
+//! touches only its own budget), which is exactly the shape the `pamr-sim`
+//! work pool fans out; the per-segment point lists are then merged and
+//! [dominance-filtered](pareto_filter) into a deterministic Pareto set.
+//! Everything here is pure and single-threaded so that a sharded run can
+//! be byte-identical to a 1-process run.
+//!
+//! Under continuous scaling the load-minimal level is also the
+//! latency-minimal one for a fixed routing (uplift has no discrete step to
+//! buy), so the frontier degenerates to the portfolio's non-dominated
+//! base points.
+
+use crate::comm::CommSet;
+use crate::heuristic::{Heuristic, HeuristicKind};
+use crate::multipath::FwMp;
+use crate::routing::Routing;
+use crate::scratch::RouteScratch;
+use pamr_mesh::LinkId;
+use pamr_power::{FrequencyScale, PowerModel};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Relative slack on latency-budget comparisons, mirroring the capacity
+/// slack of the power model.
+const LATENCY_EPS: f64 = 1e-9;
+
+/// One latency budget of the ε-constraint sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Position in the sweep (`0..segments`), tightest budget first.
+    pub index: usize,
+    /// Maximum admissible routing latency (see the [module docs](self)).
+    pub budget: f64,
+}
+
+/// One point of the power × latency plane: a routing (identified by its
+/// label) with a frequency-level assignment meeting a latency budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierPoint {
+    /// Total power at the chosen levels (leakage + dynamic).
+    pub power: f64,
+    /// Routing latency at the chosen levels.
+    pub latency: f64,
+    /// Candidate routing that produced the point ("XY", "PR",
+    /// "FW-MP(s=2)", …).
+    pub label: String,
+}
+
+/// A candidate routing competing on the frontier.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Display label ("XY" … "PR", "FW-MP(s=…)").
+    pub label: String,
+    /// The routing (fixed across the sweep; only link levels vary).
+    pub routing: Routing,
+}
+
+/// One frontier instance: the communications, the model, and the sweep
+/// shape.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontierProblem<'a> {
+    /// The instance.
+    pub cs: &'a CommSet,
+    /// The power model (its scale decides whether uplift exists).
+    pub model: &'a PowerModel,
+    /// Number of ε-constraint budgets.
+    pub segments: usize,
+    /// Path bound of the [`FwMp`] candidate; `< 2` drops the multi-path
+    /// candidate and sweeps the 1-MP portfolio only.
+    pub split: usize,
+}
+
+impl FrontierProblem<'_> {
+    /// The candidate routings, in deterministic order: the six §6 policies,
+    /// then (for `split ≥ 2`) the Frank–Wolfe s-MP rounder.
+    pub fn candidates(&self, scratch: &mut RouteScratch) -> Vec<Candidate> {
+        let mut out: Vec<Candidate> = HeuristicKind::ALL
+            .iter()
+            .map(|kind| Candidate {
+                label: kind.name().to_string(),
+                routing: kind.route_with(self.cs, self.model, scratch),
+            })
+            .collect();
+        if self.split >= 2 {
+            out.push(Candidate {
+                label: format!("FW-MP(s={})", self.split),
+                routing: FwMp::new(self.split).route_with(self.cs, self.model, scratch),
+            });
+        }
+        out
+    }
+
+    /// The sweep's budgets: `segments` values linearly spaced from the
+    /// tightest achievable latency (every active link at the top level,
+    /// minimized over feasible candidates) to the loosest needed one (the
+    /// largest load-minimal latency). Empty when no candidate is feasible.
+    pub fn segment_budgets(&self, candidates: &[Candidate]) -> Vec<Segment> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for cand in candidates {
+            let Some((_, base_lat)) = base_point(self.cs, self.model, &cand.routing) else {
+                continue;
+            };
+            hi = hi.max(base_lat);
+            lo = lo.min(min_latency(self.cs, self.model, &cand.routing).unwrap_or(base_lat));
+        }
+        if !hi.is_finite() || self.segments == 0 {
+            return Vec::new();
+        }
+        (0..self.segments)
+            .map(|index| {
+                let t = if self.segments == 1 {
+                    1.0
+                } else {
+                    index as f64 / (self.segments - 1) as f64
+                };
+                Segment {
+                    index,
+                    budget: lo + (hi - lo) * t,
+                }
+            })
+            .collect()
+    }
+
+    /// Solves one segment: for every candidate, the cheapest level
+    /// assignment meeting the budget (greedy uplift; see the
+    /// [module docs](self)). Candidates that cannot meet the budget (or
+    /// are infeasible outright) contribute no point. Pure and
+    /// deterministic — the fan-out unit of the `pamr frontier` pool.
+    pub fn solve_segment(&self, candidates: &[Candidate], segment: Segment) -> Vec<FrontierPoint> {
+        candidates
+            .iter()
+            .filter_map(|cand| self.point_under_budget(cand, segment.budget))
+            .collect()
+    }
+
+    fn point_under_budget(&self, cand: &Candidate, budget: f64) -> Option<FrontierPoint> {
+        match &self.model.scale {
+            FrequencyScale::Continuous => {
+                let (power, latency) = base_point(self.cs, self.model, &cand.routing)?;
+                (latency <= budget * (1.0 + LATENCY_EPS) + f64::MIN_POSITIVE).then(|| {
+                    FrontierPoint {
+                        power,
+                        latency,
+                        label: cand.label.clone(),
+                    }
+                })
+            }
+            FrequencyScale::Discrete(levels) => {
+                greedy_uplift(self.cs, self.model, levels, cand, budget)
+            }
+        }
+    }
+}
+
+/// Power and latency of a routing at its load-minimal levels; `None` when
+/// some link is overloaded.
+fn base_point(cs: &CommSet, model: &PowerModel, routing: &Routing) -> Option<(f64, f64)> {
+    let power = routing.power(cs, model).ok()?.total();
+    let loads = routing.loads(cs);
+    let mut latency: BTreeMap<LinkId, f64> = BTreeMap::new();
+    for (l, load) in loads.iter_active() {
+        latency.insert(l, 1.0 / model.effective_bandwidth(load)?);
+    }
+    Some((power, routing_latency(cs, routing, &latency).0))
+}
+
+/// Tightest latency reachable for a fixed routing: every active link at
+/// the top discrete level (`None` under continuous scaling: the base point
+/// is already tight).
+fn min_latency(cs: &CommSet, model: &PowerModel, routing: &Routing) -> Option<f64> {
+    let FrequencyScale::Discrete(levels) = &model.scale else {
+        return None;
+    };
+    let top = *levels.last()?;
+    let loads = routing.loads(cs);
+    let mut latency: BTreeMap<LinkId, f64> = BTreeMap::new();
+    for (l, _) in loads.iter_active() {
+        latency.insert(l, 1.0 / top);
+    }
+    Some(routing_latency(cs, routing, &latency).0)
+}
+
+/// The routing latency under per-link latencies, plus the critical
+/// `(comm, path)` pair achieving it (first in comm order, then flow
+/// order — deterministic). Idle comms contribute zero.
+fn routing_latency(
+    cs: &CommSet,
+    routing: &Routing,
+    latency: &BTreeMap<LinkId, f64>,
+) -> (f64, (usize, usize)) {
+    let mesh = cs.mesh();
+    let mut worst = 0.0f64;
+    let mut critical = (0usize, 0usize);
+    for i in 0..cs.len() {
+        for (j, (path, _)) in routing.flows(i).iter().enumerate() {
+            let lat: f64 = path
+                .links(mesh)
+                .map(|l| latency.get(&l).copied().unwrap_or(0.0))
+                .sum();
+            if lat > worst {
+                worst = lat;
+                critical = (i, j);
+            }
+        }
+    }
+    (worst, critical)
+}
+
+/// Greedy ε-constraint solve for one candidate under a discrete scale:
+/// start from the load-minimal level of every active link and repeatedly
+/// uplift one link on the critical path — the one buying the most latency
+/// per unit of extra power (ties to the smaller [`LinkId`]) — until the
+/// budget is met or the critical path has nothing left to uplift.
+fn greedy_uplift(
+    cs: &CommSet,
+    model: &PowerModel,
+    levels: &[f64],
+    cand: &Candidate,
+    budget: f64,
+) -> Option<FrontierPoint> {
+    let mesh = cs.mesh();
+    let loads = cand.routing.loads(cs);
+    // Load-minimal level index per active link; an unservable load makes
+    // the whole candidate infeasible.
+    let mut level: BTreeMap<LinkId, usize> = BTreeMap::new();
+    let slack = model.capacity * pamr_power::model::CAPACITY_EPS;
+    for (l, load) in loads.iter_active() {
+        let idx = levels.iter().position(|&lv| load <= lv + slack)?;
+        level.insert(l, idx);
+    }
+    let link_latency = |level: &BTreeMap<LinkId, usize>| -> BTreeMap<LinkId, f64> {
+        level.iter().map(|(&l, &i)| (l, 1.0 / levels[i])).collect()
+    };
+    let allowed = budget * (1.0 + LATENCY_EPS) + f64::MIN_POSITIVE;
+    loop {
+        let lat_map = link_latency(&level);
+        let (lat, (ci, pj)) = routing_latency(cs, &cand.routing, &lat_map);
+        if lat <= allowed {
+            let power: f64 = level
+                .values()
+                .map(|&i| model.p_leak + model.p0 * (levels[i] * model.load_unit).powf(model.alpha))
+                .sum();
+            return Some(FrontierPoint {
+                power,
+                latency: lat,
+                label: cand.label.clone(),
+            });
+        }
+        // Best uplift on the critical path: max Δlatency/Δpower, ties to
+        // the smaller link id (BTreeMap order scans ids ascending and we
+        // replace only on a strict improvement).
+        let (crit_path, _) = &cand.routing.flows(ci)[pj];
+        let mut best: Option<(f64, LinkId)> = None;
+        for l in crit_path.links(mesh) {
+            let Some(&i) = level.get(&l) else { continue };
+            if i + 1 >= levels.len() {
+                continue;
+            }
+            let d_lat = 1.0 / levels[i] - 1.0 / levels[i + 1];
+            let d_pow = model.p0
+                * ((levels[i + 1] * model.load_unit).powf(model.alpha)
+                    - (levels[i] * model.load_unit).powf(model.alpha));
+            let score = d_lat / d_pow.max(f64::MIN_POSITIVE);
+            if best.is_none_or(|(s, _)| score > s) {
+                best = Some((score, l));
+            }
+        }
+        let (_, uplift) = best?; // critical path saturated: budget unreachable
+        *level.get_mut(&uplift).expect("came from the map") += 1;
+    }
+}
+
+/// Keeps the non-dominated points, in deterministic order: ascending
+/// latency ([`f64::total_cmp`]), then ascending power, then label. A point
+/// is dropped iff some other point has `latency ≤` **and** `power ≤` with
+/// at least one strict (exact duplicates keep the lexicographically
+/// smallest label).
+pub fn pareto_filter(mut points: Vec<FrontierPoint>) -> Vec<FrontierPoint> {
+    points.sort_by(|a, b| {
+        a.latency
+            .total_cmp(&b.latency)
+            .then(a.power.total_cmp(&b.power))
+            .then(a.label.cmp(&b.label))
+    });
+    let mut out: Vec<FrontierPoint> = Vec::new();
+    let mut best_power = f64::INFINITY;
+    for p in points {
+        // Sorted by latency: every earlier point has latency ≤ p's, so p
+        // survives iff it strictly beats the best power seen so far.
+        if p.power < best_power {
+            best_power = p.power;
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// The full frontier of a problem, single-threaded: route the candidates,
+/// sweep every segment, merge and dominance-filter. The parallel
+/// `pamr frontier` pipeline must produce byte-identical output.
+pub fn frontier_points(problem: &FrontierProblem) -> Vec<FrontierPoint> {
+    let mut scratch = RouteScratch::new();
+    let candidates = problem.candidates(&mut scratch);
+    let segments = problem.segment_budgets(&candidates);
+    let mut all = Vec::new();
+    for seg in segments {
+        all.extend(problem.solve_segment(&candidates, seg));
+    }
+    pareto_filter(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Comm;
+    use pamr_mesh::{Coord, Mesh};
+
+    fn kh_instance() -> CommSet {
+        CommSet::new(
+            Mesh::new(4, 4),
+            vec![
+                Comm::new(Coord::new(0, 0), Coord::new(3, 3), 900.0),
+                Comm::new(Coord::new(0, 3), Coord::new(3, 0), 1400.0),
+                Comm::new(Coord::new(1, 0), Coord::new(2, 3), 600.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn frontier_is_dominance_free_and_sorted() {
+        let cs = kh_instance();
+        let model = PowerModel::kim_horowitz();
+        let problem = FrontierProblem {
+            cs: &cs,
+            model: &model,
+            segments: 8,
+            split: 2,
+        };
+        let pts = frontier_points(&problem);
+        assert!(!pts.is_empty(), "feasible instance must yield points");
+        for w in pts.windows(2) {
+            assert!(w[0].latency <= w[1].latency, "latency must ascend");
+            assert!(w[1].power < w[0].power, "power must strictly descend");
+        }
+    }
+
+    #[test]
+    fn tighter_budgets_cost_power() {
+        // The tightest segment runs links above their load-minimal level,
+        // so its cheapest point must cost at least as much as the loosest
+        // segment's (and strictly more when an uplift actually happened).
+        let cs = kh_instance();
+        let model = PowerModel::kim_horowitz();
+        let problem = FrontierProblem {
+            cs: &cs,
+            model: &model,
+            segments: 6,
+            split: 0,
+        };
+        let mut scratch = RouteScratch::new();
+        let cands = problem.candidates(&mut scratch);
+        let segs = problem.segment_budgets(&cands);
+        let tight = problem.solve_segment(&cands, segs[0]);
+        let loose = problem.solve_segment(&cands, *segs.last().unwrap());
+        let min_p =
+            |pts: &[FrontierPoint]| pts.iter().map(|p| p.power).fold(f64::INFINITY, f64::min);
+        assert!(!loose.is_empty());
+        if !tight.is_empty() {
+            assert!(min_p(&tight) >= min_p(&loose));
+        }
+    }
+
+    #[test]
+    fn continuous_scale_yields_portfolio_points_only() {
+        let cs = kh_instance();
+        let model = PowerModel::kim_horowitz_continuous();
+        let problem = FrontierProblem {
+            cs: &cs,
+            model: &model,
+            segments: 5,
+            split: 2,
+        };
+        let pts = frontier_points(&problem);
+        assert!(!pts.is_empty());
+        // No uplift exists, so every point is a candidate base point and
+        // the Pareto set is at most the candidate count.
+        assert!(pts.len() <= 7);
+    }
+
+    #[test]
+    fn pareto_filter_drops_dominated_and_duplicate_points() {
+        let p = |power: f64, latency: f64, label: &str| FrontierPoint {
+            power,
+            latency,
+            label: label.to_string(),
+        };
+        let pts = pareto_filter(vec![
+            p(10.0, 1.0, "a"),
+            p(9.0, 2.0, "b"),
+            p(11.0, 2.0, "dominated"),
+            p(9.0, 2.0, "b-dup"),
+            p(8.0, 3.0, "c"),
+        ]);
+        let labels: Vec<_> = pts.iter().map(|q| q.label.as_str()).collect();
+        assert_eq!(labels, ["a", "b", "c"], "got {labels:?}");
+    }
+
+    #[test]
+    fn infeasible_instance_has_an_empty_frontier() {
+        let cs = CommSet::new(
+            Mesh::new(2, 2),
+            vec![Comm::new(Coord::new(0, 0), Coord::new(1, 1), 9000.0)],
+        );
+        let model = PowerModel::kim_horowitz(); // top level 3500 < 9000
+        let problem = FrontierProblem {
+            cs: &cs,
+            model: &model,
+            segments: 4,
+            split: 2,
+        };
+        assert!(frontier_points(&problem).is_empty());
+    }
+}

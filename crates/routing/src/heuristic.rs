@@ -144,8 +144,53 @@ impl std::fmt::Display for HeuristicKind {
     }
 }
 
+/// Error returned by [`Best::of`] when given an empty portfolio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyPortfolio;
+
+impl std::fmt::Display for EmptyPortfolio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("a BEST portfolio needs at least one heuristic")
+    }
+}
+
+impl std::error::Error for EmptyPortfolio {}
+
+/// The outcome of one [`Best::route`] call: which portfolio member won,
+/// its routing, and its power.
+///
+/// The winner is the feasible member of smallest power. When *no* member
+/// is feasible, `kind`/`routing` are the first portfolio member's attempt
+/// (XY for the default portfolio) and `power` is `None` — so callers
+/// always get a structurally valid routing to display, and feasibility is
+/// one `power.is_some()` check instead of an `unwrap` on the whole result.
+#[derive(Debug, Clone)]
+pub struct BestRoute {
+    /// The winning policy (or the first member when every member failed).
+    pub kind: HeuristicKind,
+    /// The winner's routing (always structurally valid, infeasible iff
+    /// `power` is `None`).
+    pub routing: Routing,
+    /// Total power of the winning routing; `None` when every portfolio
+    /// member produced an infeasible routing.
+    pub power: Option<f64>,
+}
+
+impl BestRoute {
+    /// True iff some portfolio member produced a feasible routing.
+    #[inline]
+    pub fn is_feasible(&self) -> bool {
+        self.power.is_some()
+    }
+}
+
 /// The virtual **BEST** heuristic of §6: run a portfolio and keep the
-/// feasible routing of smallest power (`None` when every member fails).
+/// feasible routing of smallest power.
+///
+/// Non-empty by construction: [`Best::of`] rejects an empty portfolio, so
+/// [`Best::route`] can always return a [`BestRoute`] (falling back to the
+/// first member's attempt when nothing is feasible) instead of an
+/// `Option` every caller must unwrap.
 #[derive(Debug, Clone)]
 pub struct Best {
     portfolio: Vec<HeuristicKind>,
@@ -160,32 +205,68 @@ impl Default for Best {
 }
 
 impl Best {
-    /// BEST over a custom portfolio.
-    pub fn of(portfolio: Vec<HeuristicKind>) -> Self {
-        assert!(!portfolio.is_empty());
-        Best { portfolio }
+    /// BEST over a custom portfolio. Fails on an empty portfolio — the
+    /// only way to build a `Best`, so every constructed value can route.
+    pub fn of(portfolio: Vec<HeuristicKind>) -> Result<Best, EmptyPortfolio> {
+        if portfolio.is_empty() {
+            return Err(EmptyPortfolio);
+        }
+        Ok(Best { portfolio })
     }
 
-    /// The portfolio members.
+    /// The portfolio members (never empty).
     pub fn portfolio(&self) -> &[HeuristicKind] {
         &self.portfolio
     }
 
-    /// Runs every member and returns the best feasible `(kind, routing,
-    /// power)`, or `None` if all members fail.
-    pub fn route(&self, cs: &CommSet, model: &PowerModel) -> Option<(HeuristicKind, Routing, f64)> {
-        let mut scratch = RouteScratch::new();
+    /// Runs every member and returns the winner (see [`BestRoute`]).
+    pub fn route(&self, cs: &CommSet, model: &PowerModel) -> BestRoute {
+        self.route_with(cs, model, &mut RouteScratch::new())
+    }
+
+    /// [`Best::route`] reusing `scratch`'s buffers (and dispatching on its
+    /// [`EngineConfig`](crate::engine::EngineConfig)).
+    pub fn route_with(
+        &self,
+        cs: &CommSet,
+        model: &PowerModel,
+        scratch: &mut RouteScratch,
+    ) -> BestRoute {
         let mut best: Option<(HeuristicKind, Routing, f64)> = None;
+        let mut fallback: Option<(HeuristicKind, Routing)> = None;
         for &kind in &self.portfolio {
-            let routing = kind.route_with(cs, model, &mut scratch);
-            if let Ok(p) = routing.power(cs, model) {
-                let total = p.total();
-                if best.as_ref().is_none_or(|(_, _, bp)| total < *bp) {
-                    best = Some((kind, routing, total));
+            let routing = kind.route_with(cs, model, scratch);
+            match routing.power(cs, model) {
+                Ok(p) => {
+                    let total = p.total();
+                    if best.as_ref().is_none_or(|(_, _, bp)| total < *bp) {
+                        best = Some((kind, routing, total));
+                    }
+                }
+                Err(_) => {
+                    if fallback.is_none() {
+                        fallback = Some((kind, routing));
+                    }
                 }
             }
         }
-        best
+        match best {
+            Some((kind, routing, power)) => BestRoute {
+                kind,
+                routing,
+                power: Some(power),
+            },
+            None => {
+                // Every member failed, so the first member is in `fallback`
+                // (the portfolio is non-empty by construction).
+                let (kind, routing) = fallback.expect("non-empty portfolio");
+                BestRoute {
+                    kind,
+                    routing,
+                    power: None,
+                }
+            }
+        }
     }
 }
 
@@ -232,25 +313,40 @@ mod tests {
             ],
         );
         let model = PowerModel::fig2();
-        let (kind, routing, power) = Best::default().route(&cs, &model).unwrap();
-        assert!(routing.is_structurally_valid(&cs, 1));
+        let best = Best::default().route(&cs, &model);
+        assert!(best.routing.is_structurally_valid(&cs, 1));
         // Best single-path power on this instance is 56 (Fig. 2b).
-        assert!((power - 56.0).abs() < 1e-9, "got {power} from {kind}");
-        assert_ne!(kind, HeuristicKind::Xy);
+        let power = best.power.expect("Fig. 2 instance is feasible");
+        assert!(
+            (power - 56.0).abs() < 1e-9,
+            "got {power} from {}",
+            best.kind
+        );
+        assert_ne!(best.kind, HeuristicKind::Xy);
     }
 
     #[test]
-    fn best_none_when_instance_impossible() {
-        // Two weight-3 communications between the same poles with BW = 4:
-        // any single-path routing overloads... actually 1-MP can separate
-        // them (XY + YX). Force failure with BW = 2 so even one comm alone
-        // overloads every path.
+    fn best_reports_infeasible_with_a_displayable_fallback() {
+        // BW = 2 and one weight-3 communication: every single path (and
+        // hence every portfolio member) overloads some link. The result
+        // still carries the first member's attempt for display.
         let mesh = Mesh::new(2, 2);
         let cs = CommSet::new(
             mesh,
             vec![Comm::new(Coord::new(0, 0), Coord::new(1, 1), 3.0)],
         );
         let model = PowerModel::continuous(0.0, 1.0, 3.0, 2.0);
-        assert!(Best::default().route(&cs, &model).is_none());
+        let best = Best::default().route(&cs, &model);
+        assert!(!best.is_feasible());
+        assert_eq!(best.power, None);
+        assert_eq!(best.kind, HeuristicKind::Xy, "fallback is the first member");
+        assert!(best.routing.is_structurally_valid(&cs, 1));
+    }
+
+    #[test]
+    fn best_of_rejects_an_empty_portfolio() {
+        assert_eq!(Best::of(vec![]).unwrap_err(), EmptyPortfolio);
+        let one = Best::of(vec![HeuristicKind::Pr]).unwrap();
+        assert_eq!(one.portfolio(), [HeuristicKind::Pr]);
     }
 }

@@ -23,19 +23,20 @@
 //!
 //! Both engines produce **bit-identical** routings, and
 //! `tests/xyi_differential.rs` enforces it with a differential oracle over
-//! randomized §6 workloads plus a byte-identical seeded campaign report.
-//! [`set_implementation`] swaps the engine behind
-//! [`HeuristicKind::Ig`](crate::HeuristicKind) at runtime, mirroring
-//! [`pr::set_implementation`](crate::pr::set_implementation).
+//! randomized §6 workloads plus a byte-identical seeded campaign report,
+//! swapping the engine behind [`HeuristicKind::Ig`](crate::HeuristicKind)
+//! via an explicit [`EngineConfig`](crate::EngineConfig) (mirroring the
+//! `pr` oracle). The deprecated [`set_implementation`] shim only moves the
+//! process-wide default that unconfigured scratches fall back to.
 
 use crate::comm::{Comm, CommSet, SortOrder};
+use crate::engine::{self, EngineSel, ProcessBit};
 use crate::heuristic::{link_cost, Heuristic};
 use crate::precompute::CostLadder;
 use crate::routing::Routing;
 use crate::scratch::RouteScratch;
 use pamr_mesh::{Band, LinkId, LoadMap, Mesh, Path, Rect, Step};
 use pamr_power::PowerModel;
-use std::sync::atomic::{AtomicU8, Ordering};
 
 pub mod reference;
 
@@ -70,23 +71,33 @@ pub enum IgImpl {
     Reference,
 }
 
-/// Process-global engine selector, written only by [`set_implementation`].
-static IG_IMPL: AtomicU8 = AtomicU8::new(0);
-
-/// Selects the engine behind [`ImprovedGreedy`]. A process-global test and
-/// benchmark hook: the differential suite uses it to run whole campaigns
-/// against the [`mod@reference`] oracle, and `pamr-bench ig` uses it to
-/// time both engines through the production dispatch path. Defaults to
-/// [`IgImpl::Indexed`]; production code never calls this.
+/// Sets the *process-default* Improved-greedy engine.
+///
+/// Deprecated shim over [`engine::EngineConfig`]: it updates only the
+/// fallback used by scratches built without an explicit config. Pass
+/// `RouteScratch::with_engine(EngineConfig::LIVE.with_ig(…))` instead.
+#[deprecated(
+    since = "0.10.0",
+    note = "pass an explicit engine::EngineConfig via RouteScratch::with_engine"
+)]
 pub fn set_implementation(imp: IgImpl) {
-    IG_IMPL.store(imp as u8, Ordering::Relaxed);
+    let sel = match imp {
+        IgImpl::Indexed => EngineSel::Live,
+        IgImpl::Reference => EngineSel::Reference,
+    };
+    engine::set_process_bit(ProcessBit::Ig, sel);
 }
 
-/// The engine currently behind [`ImprovedGreedy`].
+/// The *process-default* Improved-greedy engine (deprecated shim; a
+/// scratch pinned by [`RouteScratch::with_engine`] ignores it).
+#[deprecated(
+    since = "0.10.0",
+    note = "read the engine::EngineConfig carried by the RouteScratch instead"
+)]
 pub fn implementation() -> IgImpl {
-    match IG_IMPL.load(Ordering::Relaxed) {
-        0 => IgImpl::Indexed,
-        _ => IgImpl::Reference,
+    match engine::process_default().ig {
+        EngineSel::Live => IgImpl::Indexed,
+        EngineSel::Reference => IgImpl::Reference,
     }
 }
 
@@ -401,9 +412,9 @@ impl Heuristic for ImprovedGreedy {
     }
 
     fn route_with(&self, cs: &CommSet, model: &PowerModel, scratch: &mut RouteScratch) -> Routing {
-        match implementation() {
-            IgImpl::Indexed => self.route_indexed_with(cs, model, scratch),
-            IgImpl::Reference => {
+        match scratch.engine().ig {
+            EngineSel::Live => self.route_indexed_with(cs, model, scratch),
+            EngineSel::Reference => {
                 ReferenceImprovedGreedy { order: self.order }.route_with(cs, model, scratch)
             }
         }
@@ -495,10 +506,11 @@ mod tests {
     }
 
     #[test]
-    fn implementation_switch_swaps_the_engine() {
-        // Relaxed global switch: both settings must produce identical
-        // routings through the public dispatch (the differential contract),
-        // and the selector must round-trip.
+    fn engine_config_swaps_the_engine() {
+        // Both engine selections must produce identical routings through
+        // the public dispatch (the differential contract), with no shared
+        // process state: each scratch pins its own config.
+        use crate::engine::EngineConfig;
         let mesh = Mesh::new(4, 4);
         let cs = CommSet::new(
             mesh,
@@ -508,12 +520,10 @@ mod tests {
             ],
         );
         let model = PowerModel::theory(3.0);
-        assert_eq!(implementation(), IgImpl::Indexed);
-        let indexed = ImprovedGreedy::default().route(&cs, &model);
-        set_implementation(IgImpl::Reference);
-        assert_eq!(implementation(), IgImpl::Reference);
-        let reference = ImprovedGreedy::default().route(&cs, &model);
-        set_implementation(IgImpl::Indexed);
+        let mut live = RouteScratch::with_engine(EngineConfig::LIVE);
+        let mut oracle = RouteScratch::with_engine(EngineConfig::REFERENCE);
+        let indexed = ImprovedGreedy::default().route_with(&cs, &model, &mut live);
+        let reference = ImprovedGreedy::default().route_with(&cs, &model, &mut oracle);
         assert_eq!(indexed, reference);
     }
 }

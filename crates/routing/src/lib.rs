@@ -38,8 +38,8 @@
 //! let pr = PathRemover.route(&cs, &model);
 //! assert!(pr.is_feasible(&cs, &model));
 //! // BEST never loses to XY (XY is in its portfolio).
-//! let (_, _, p_best) = Best::default().route(&cs, &model).unwrap();
-//! assert!(p_best <= p_xy);
+//! let best = Best::default().route(&cs, &model);
+//! assert!(best.power.expect("XY is feasible here") <= p_xy);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -47,8 +47,10 @@
 
 pub mod comm;
 pub mod csr;
+pub mod engine;
 pub mod exact;
 pub mod fractional;
+pub mod frontier;
 pub mod fw;
 pub mod greedy;
 pub mod heuristic;
@@ -67,14 +69,19 @@ pub mod xyi;
 
 pub use comm::{Comm, CommSet, SortOrder};
 pub use csr::CrossingIndex;
+pub use engine::{EngineConfig, EngineSel};
 pub use exact::optimal_single_path;
 pub use fractional::{ideal_loads, ideal_power_lower_bound};
+pub use frontier::{frontier_points, FrontierPoint, FrontierProblem, Segment};
 pub use fw::{frank_wolfe, FrankWolfeResult};
 pub use greedy::SimpleGreedy;
-pub use heuristic::{surrogate_link_cost, Best, Heuristic, HeuristicKind, SURROGATE_PENALTY};
+pub use heuristic::{
+    surrogate_link_cost, Best, BestRoute, EmptyPortfolio, Heuristic, HeuristicKind,
+    SURROGATE_PENALTY,
+};
 pub use ig::{IgImpl, ImprovedGreedy, ReferenceImprovedGreedy};
 pub use loadq::LoadQueue;
-pub use multipath::SplitMp;
+pub use multipath::{FwMp, SplitMp};
 pub use pr::{PathRemover, PrError, PrImpl, ReferencePathRemover};
 pub use precompute::{
     CostLadder, CustomizedInstance, EndpointTables, MeshPrecompute, PrecomputeImpl,

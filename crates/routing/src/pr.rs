@@ -24,11 +24,17 @@
 //! Both implementations produce **bit-identical** routings, errors and load
 //! maps: they kill the same links in the same order and perform the same
 //! floating-point operations per link. `tests/pr_differential.rs` enforces
-//! this with a differential oracle over randomized §6 workloads, and
-//! [`set_implementation`] lets tests and benchmarks swap the engine behind
-//! [`HeuristicKind::Pr`](crate::HeuristicKind) at runtime.
+//! this with a differential oracle over randomized §6 workloads. Tests and
+//! benchmarks swap the engine behind
+//! [`HeuristicKind::Pr`](crate::HeuristicKind) by threading an explicit
+//! [`EngineConfig`](crate::EngineConfig) (e.g.
+//! `EngineConfig::LIVE.with_pr(EngineSel::Reference)`) through their
+//! scratch, session or campaign state; the deprecated
+//! [`set_implementation`] shim only moves the process-wide *default* that
+//! unconfigured scratches fall back to.
 
 use crate::comm::CommSet;
+use crate::engine::{self, EngineSel, ProcessBit};
 use crate::heuristic::Heuristic;
 use crate::loadq::LoadQueue;
 use crate::precompute::EndpointTables;
@@ -36,7 +42,6 @@ use crate::routing::Routing;
 use crate::scratch::{reset_flags, RouteScratch};
 use pamr_mesh::{Band, Coord, LinkId, LoadMap, Mesh, Path, Step};
 use pamr_power::PowerModel;
-use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 pub mod reference;
@@ -72,23 +77,33 @@ pub enum PrImpl {
     Reference,
 }
 
-/// Process-global engine selector, written only by [`set_implementation`].
-static PR_IMPL: AtomicU8 = AtomicU8::new(0);
-
-/// Selects the engine behind [`PathRemover`]. A process-global test and
-/// benchmark hook: the differential suite uses it to run whole campaigns
-/// against the [`mod@reference`] oracle, and `pamr-bench pr` uses it to time
-/// both engines through the production dispatch path. Defaults to
-/// [`PrImpl::Banded`]; production code never calls this.
+/// Sets the *process-default* Path-Remover engine.
+///
+/// Deprecated shim over [`engine::EngineConfig`]: it updates only the
+/// fallback used by scratches built without an explicit config. Pass
+/// `RouteScratch::with_engine(EngineConfig::LIVE.with_pr(…))` instead.
+#[deprecated(
+    since = "0.10.0",
+    note = "pass an explicit engine::EngineConfig via RouteScratch::with_engine"
+)]
 pub fn set_implementation(imp: PrImpl) {
-    PR_IMPL.store(imp as u8, Ordering::Relaxed);
+    let sel = match imp {
+        PrImpl::Banded => EngineSel::Live,
+        PrImpl::Reference => EngineSel::Reference,
+    };
+    engine::set_process_bit(ProcessBit::Pr, sel);
 }
 
-/// The engine currently behind [`PathRemover`].
+/// The *process-default* Path-Remover engine (deprecated shim; a scratch
+/// pinned by [`RouteScratch::with_engine`] ignores it).
+#[deprecated(
+    since = "0.10.0",
+    note = "read the engine::EngineConfig carried by the RouteScratch instead"
+)]
 pub fn implementation() -> PrImpl {
-    match PR_IMPL.load(Ordering::Relaxed) {
-        0 => PrImpl::Banded,
-        _ => PrImpl::Reference,
+    match engine::process_default().pr {
+        EngineSel::Live => PrImpl::Banded,
+        EngineSel::Reference => PrImpl::Reference,
     }
 }
 
@@ -646,23 +661,24 @@ impl BandedComm {
 impl PathRemover {
     /// [`Heuristic::route_with`], but surfacing violated invariants as a
     /// structured [`PrError`] instead of panicking. The checks run in
-    /// debug and release builds alike. Dispatches to the engine selected by
-    /// [`set_implementation`] (banded by default).
+    /// debug and release builds alike. Dispatches on the
+    /// [`EngineConfig`](crate::engine::EngineConfig) carried by `scratch`
+    /// (banded by default).
     pub fn try_route_with(
         &self,
         cs: &CommSet,
         model: &PowerModel,
         scratch: &mut RouteScratch,
     ) -> Result<Routing, PrError> {
-        match implementation() {
-            PrImpl::Banded => self.try_route_banded_with(cs, model, scratch),
-            PrImpl::Reference => ReferencePathRemover.try_route_with(cs, model, scratch),
+        match scratch.engine().pr {
+            EngineSel::Live => self.try_route_banded_with(cs, model, scratch),
+            EngineSel::Reference => ReferencePathRemover.try_route_with(cs, model, scratch),
         }
     }
 
     /// The banded engine, unconditionally — what the differential suite
     /// compares against [`ReferencePathRemover::try_route_with`] regardless
-    /// of the process-global [`implementation`] selector.
+    /// of the scratch's engine config.
     pub fn try_route_banded_with(
         &self,
         cs: &CommSet,
@@ -1117,10 +1133,11 @@ mod tests {
     }
 
     #[test]
-    fn implementation_switch_swaps_the_engine() {
-        // Relaxed global switch: both settings must produce identical
-        // routings through the public dispatch (the differential contract),
-        // and the selector must round-trip.
+    fn engine_config_swaps_the_engine() {
+        // Both engine selections must produce identical routings through
+        // the public dispatch (the differential contract), with no shared
+        // process state: each scratch pins its own config.
+        use crate::engine::EngineConfig;
         let mesh = Mesh::new(4, 4);
         let cs = CommSet::new(
             mesh,
@@ -1130,12 +1147,12 @@ mod tests {
             ],
         );
         let model = PowerModel::theory(3.0);
-        assert_eq!(implementation(), PrImpl::Banded);
-        let banded = PathRemover.route(&cs, &model);
-        set_implementation(PrImpl::Reference);
-        assert_eq!(implementation(), PrImpl::Reference);
-        let reference = PathRemover.route(&cs, &model);
-        set_implementation(PrImpl::Banded);
+        let mut live = RouteScratch::with_engine(EngineConfig::LIVE);
+        let mut oracle = RouteScratch::with_engine(EngineConfig::REFERENCE);
+        assert_eq!(live.engine().pr, EngineSel::Live);
+        assert_eq!(oracle.engine().pr, EngineSel::Reference);
+        let banded = PathRemover.route_with(&cs, &model, &mut live);
+        let reference = PathRemover.route_with(&cs, &model, &mut oracle);
         assert_eq!(banded, reference);
     }
 }

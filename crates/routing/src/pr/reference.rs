@@ -10,7 +10,9 @@
 //! [`PrError`]s, byte-identical campaign reports. Both implementations are
 //! compiled unconditionally (no `#[cfg]`), so the oracle is always
 //! available to tests, benchmarks and the
-//! [`set_implementation`](crate::pr::set_implementation) switch.
+//! [`EngineConfig`](crate::EngineConfig) `pr` selection (the deprecated
+//! [`set_implementation`](crate::pr::set_implementation) shim moves the
+//! process default).
 
 use super::PrError;
 use crate::comm::CommSet;

@@ -27,9 +27,11 @@
 //! **Bit-identity.** Cached tables are pure functions of `(mesh, src,
 //! snk)` — the same values the per-trial rebuild computes — so routings
 //! and load maps are bit-identical with the cache on or off. The literal
-//! rebuild-per-trial path survives behind [`set_implementation`]
-//! (mirroring `pr`/`xyi`/`ig`), and `tests/precompute_differential.rs`
-//! pins the equivalence: identical routings, bit-identical loads, and a
+//! rebuild-per-trial path survives behind the `Reference` engine selection
+//! (`EngineConfig::LIVE.with_precompute(EngineSel::Reference)`, mirroring
+//! `pr`/`xyi`/`ig`; the deprecated [`set_implementation`] shim moves the
+//! process default), and `tests/precompute_differential.rs` pins the
+//! equivalence: identical routings, bit-identical loads, and a
 //! byte-identical seeded §6.4 campaign report.
 //!
 //! ```
@@ -60,12 +62,13 @@
 //! ```
 
 use crate::comm::{Comm, CommSet, SortOrder};
+use crate::engine::{self, EngineSel, ProcessBit};
 use crate::heuristic::SURROGATE_PENALTY;
 use pamr_mesh::{Band, Coord, LinkId, Mesh, Path, Step};
 use pamr_power::model::CAPACITY_EPS;
 use pamr_power::{FrequencyScale, PowerModel};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
 /// Which table-sourcing strategy backs the routing engines.
@@ -80,23 +83,35 @@ pub enum PrecomputeImpl {
     Rebuild,
 }
 
-/// Process-global engine switch (discriminant of [`PrecomputeImpl`];
-/// 0 = `Cached`, the default).
-static PRE_IMPL: AtomicU8 = AtomicU8::new(0);
-
-/// Selects the table-sourcing strategy process-wide.
+/// Sets the *process-default* table-sourcing strategy.
 ///
-/// Exists for the differential tests and the `pamr-bench precompute`
-/// lane; production code leaves the default (`Cached`) in place.
+/// Deprecated shim over [`engine::EngineConfig`]: it updates only the
+/// fallback used by scratches built without an explicit config. Pass
+/// `RouteScratch::with_engine(EngineConfig::LIVE.with_precompute(…))`
+/// instead.
+#[deprecated(
+    since = "0.10.0",
+    note = "pass an explicit engine::EngineConfig via RouteScratch::with_engine"
+)]
 pub fn set_implementation(imp: PrecomputeImpl) {
-    PRE_IMPL.store(imp as u8, Ordering::Relaxed);
+    let sel = match imp {
+        PrecomputeImpl::Cached => EngineSel::Live,
+        PrecomputeImpl::Rebuild => EngineSel::Reference,
+    };
+    engine::set_process_bit(ProcessBit::Precompute, sel);
 }
 
-/// The currently selected table-sourcing strategy.
+/// The *process-default* table-sourcing strategy (deprecated shim; a
+/// scratch pinned by [`RouteScratch::with_engine`](crate::RouteScratch::with_engine)
+/// ignores it).
+#[deprecated(
+    since = "0.10.0",
+    note = "read the engine::EngineConfig carried by the RouteScratch instead"
+)]
 pub fn implementation() -> PrecomputeImpl {
-    match PRE_IMPL.load(Ordering::Relaxed) {
-        0 => PrecomputeImpl::Cached,
-        _ => PrecomputeImpl::Rebuild,
+    match engine::process_default().precompute {
+        EngineSel::Live => PrecomputeImpl::Cached,
+        EngineSel::Reference => PrecomputeImpl::Rebuild,
     }
 }
 
@@ -686,11 +701,21 @@ mod tests {
     }
 
     #[test]
-    fn implementation_switch_round_trips() {
-        assert_eq!(implementation(), PrecomputeImpl::Cached);
-        set_implementation(PrecomputeImpl::Rebuild);
-        assert_eq!(implementation(), PrecomputeImpl::Rebuild);
-        set_implementation(PrecomputeImpl::Cached);
-        assert_eq!(implementation(), PrecomputeImpl::Cached);
+    fn engine_config_selects_table_sourcing() {
+        // An explicit Reference precompute selection makes the scratch
+        // decline to cache customizations (the rebuild-per-trial oracle
+        // path); the Live default caches them.
+        use crate::engine::{EngineConfig, EngineSel};
+        use crate::scratch::RouteScratch;
+        let mesh = Mesh::new(3, 3);
+        let cs = CommSet::new(
+            mesh,
+            vec![Comm::new(Coord::new(0, 0), Coord::new(2, 2), 1.0)],
+        );
+        let mut live = RouteScratch::with_engine(EngineConfig::LIVE);
+        assert!(live.ensure_customized(&cs));
+        let mut rebuild =
+            RouteScratch::with_engine(EngineConfig::LIVE.with_precompute(EngineSel::Reference));
+        assert!(!rebuild.ensure_customized(&cs));
     }
 }

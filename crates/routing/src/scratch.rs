@@ -11,8 +11,9 @@
 
 use crate::comm::CommSet;
 use crate::csr::CrossingIndex;
+use crate::engine::{self, EngineConfig};
 use crate::loadq::LoadQueue;
-use crate::precompute::{self, CostLadder, CustomizedInstance, MeshPrecompute, PrecomputeImpl};
+use crate::precompute::{CostLadder, CustomizedInstance, MeshPrecompute};
 use pamr_mesh::{LinkId, LoadMap};
 use pamr_power::PowerModel;
 use std::sync::Arc;
@@ -88,12 +89,40 @@ pub struct RouteScratch {
     /// the most recent (discrete) power model, revalidated by
     /// [`ensure_ladder`](Self::ensure_ladder).
     pub(crate) ladder: Option<CostLadder>,
+    /// The engine selection every `route_with` call through this scratch
+    /// dispatches on. `None` (the [`Default`]) falls back to the process
+    /// default ([`engine::process_default`]), which is how the deprecated
+    /// per-subsystem `set_implementation` shims keep working.
+    pub(crate) engine: Option<EngineConfig>,
 }
 
 impl RouteScratch {
-    /// A new, empty scratch. Buffers are grown on first use.
+    /// A new, empty scratch. Buffers are grown on first use. Engine
+    /// dispatch follows the process default (all-`Live` unless a deprecated
+    /// shim changed it); use [`RouteScratch::with_engine`] to pin an
+    /// explicit [`EngineConfig`] instead.
     pub fn new() -> Self {
         RouteScratch::default()
+    }
+
+    /// A new, empty scratch pinned to an explicit engine selection.
+    pub fn with_engine(engine: EngineConfig) -> Self {
+        RouteScratch {
+            engine: Some(engine),
+            ..RouteScratch::default()
+        }
+    }
+
+    /// Pins this scratch to an explicit engine selection (replacing the
+    /// process-default fallback or a previous pin).
+    pub fn set_engine(&mut self, engine: EngineConfig) {
+        self.engine = Some(engine);
+    }
+
+    /// The engine selection `route_with` calls through this scratch use:
+    /// the pinned config, or the process default when none was pinned.
+    pub fn engine(&self) -> EngineConfig {
+        self.engine.unwrap_or_else(engine::process_default)
     }
 
     /// Attaches a shared phase-one precompute, replacing any previously
@@ -110,11 +139,11 @@ impl RouteScratch {
 
     /// Ensures `self.cust` describes exactly `cs`, building the precompute
     /// and/or customization as needed. Returns `false` (and caches
-    /// nothing) when the process-global switch selects the literal
-    /// rebuild-per-trial path — the engines then reconstruct bands and
-    /// seed paths from scratch, as they did before the split.
+    /// nothing) when this scratch's engine config selects the literal
+    /// rebuild-per-trial reference path — the engines then reconstruct
+    /// bands and seed paths from scratch, as they did before the split.
     pub(crate) fn ensure_customized(&mut self, cs: &CommSet) -> bool {
-        if precompute::implementation() == PrecomputeImpl::Rebuild {
+        if self.engine().precompute.is_reference() {
             return false;
         }
         if self.pre.as_ref().is_none_or(|p| p.mesh() != cs.mesh()) {
@@ -133,10 +162,10 @@ impl RouteScratch {
     /// Ensures `self.ladder` tabulates exactly `model`, rebuilding it when
     /// the model changed. Returns `false` — and the engines fall back to
     /// per-query power-fit evaluation, the literal pre-split path — when
-    /// the model is continuous (nothing to tabulate) or the process-global
-    /// switch selects the rebuild path.
+    /// the model is continuous (nothing to tabulate) or this scratch's
+    /// engine config selects the rebuild reference path.
     pub(crate) fn ensure_ladder(&mut self, model: &PowerModel) -> bool {
-        if precompute::implementation() == PrecomputeImpl::Rebuild {
+        if self.engine().precompute.is_reference() {
             return false;
         }
         if !self.ladder.as_ref().is_some_and(|l| l.matches(model)) {

@@ -46,9 +46,10 @@
 
 use crate::comm::{Comm, CommSet};
 use crate::csr::CrossingIndex;
+use crate::engine::EngineConfig;
 use crate::heuristic::{surrogate_link_cost, HeuristicKind};
 use crate::loadq::{Cursor, LoadQueue};
-use crate::precompute::{self, MeshPrecompute, PrecomputeImpl};
+use crate::precompute::MeshPrecompute;
 use crate::routing::Routing;
 use crate::scratch::RouteScratch;
 use crate::xyi;
@@ -80,8 +81,8 @@ impl Default for RepairMode {
     }
 }
 
-/// Session configuration: which batch heuristic backs full re-routes and
-/// how mutations are repaired.
+/// Session configuration: which batch heuristic backs full re-routes, how
+/// mutations are repaired, and which engines dispatch is pinned to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SessionConfig {
     /// Heuristic used by full re-routes ([`RoutingSession::reroute`],
@@ -89,14 +90,19 @@ pub struct SessionConfig {
     pub heuristic: HeuristicKind,
     /// Repair policy applied after every `add_comm`/`remove_comm`.
     pub repair: RepairMode,
+    /// Engine selection for every route through this session (full
+    /// re-routes and band sourcing). All-`Live` by default.
+    pub engine: EngineConfig,
 }
 
 impl Default for SessionConfig {
-    /// XYI-backed full re-routes with bounded local repair.
+    /// XYI-backed full re-routes with bounded local repair, on the
+    /// production engines.
     fn default() -> Self {
         SessionConfig {
             heuristic: HeuristicKind::Xyi,
             repair: RepairMode::default(),
+            engine: EngineConfig::LIVE,
         }
     }
 }
@@ -195,7 +201,7 @@ impl RoutingSession {
         queue.fit(n_slots);
         let mut repair_queue = LoadQueue::new();
         repair_queue.fit(n_slots);
-        let mut scratch = RouteScratch::new();
+        let mut scratch = RouteScratch::with_engine(config.engine);
         scratch.attach_precompute(Arc::clone(&pre));
         let mut users = CrossingIndex::new();
         users.clear(n_slots);
@@ -226,15 +232,15 @@ impl RoutingSession {
     }
 
     /// The band of `comm`, via the shared precompute's interned endpoint
-    /// tables under the default [`PrecomputeImpl::Cached`] implementation,
-    /// or rebuilt literally under [`PrecomputeImpl::Rebuild`] (the
-    /// differential oracle's path). Bit-identical either way — the cached
-    /// band is a pure function of `(mesh, src, snk)`.
+    /// tables under the default `Live` precompute engine, or rebuilt
+    /// literally when [`SessionConfig::engine`] selects the `Reference`
+    /// precompute (the differential oracle's path). Bit-identical either
+    /// way — the cached band is a pure function of `(mesh, src, snk)`.
     fn comm_band(&self, comm: &Comm) -> Arc<Band> {
-        if precompute::implementation() == PrecomputeImpl::Cached {
-            Arc::clone(self.pre.endpoint_tables(comm.src, comm.snk).band_arc())
-        } else {
+        if self.config.engine.precompute.is_reference() {
             Arc::new(comm.band(&self.mesh))
+        } else {
+            Arc::clone(self.pre.endpoint_tables(comm.src, comm.snk).band_arc())
         }
     }
 
@@ -696,6 +702,7 @@ mod tests {
             let mut s = kh_session(SessionConfig {
                 heuristic: HeuristicKind::Xyi,
                 repair,
+                ..SessionConfig::default()
             });
             let mut handles = Vec::new();
             for step in 0..60 {
@@ -722,6 +729,7 @@ mod tests {
         let mut s = kh_session(SessionConfig {
             heuristic: HeuristicKind::Xyi,
             repair: RepairMode::Full,
+            ..SessionConfig::default()
         });
         let mut rng = SmallRng::seed_from_u64(7);
         let mut handles = Vec::new();
@@ -828,6 +836,7 @@ mod tests {
         let mut s = kh_session(SessionConfig {
             heuristic: HeuristicKind::Pr,
             repair: RepairMode::Bounded { max_moves: 4 },
+            ..SessionConfig::default()
         });
         let mut rng = SmallRng::seed_from_u64(11);
         for _ in 0..12 {

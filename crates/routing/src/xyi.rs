@@ -27,19 +27,20 @@
 //! flips in the same order with the same floating-point operations (the
 //! skipped communications perform none), accept the same moves, and
 //! `tests/xyi_differential.rs` enforces it with a differential oracle over
-//! randomized §6 workloads plus a byte-identical seeded campaign report.
-//! [`set_implementation`] swaps the engine behind
-//! [`HeuristicKind::Xyi`](crate::HeuristicKind) at runtime, mirroring
-//! [`pr::set_implementation`](crate::pr::set_implementation).
+//! randomized §6 workloads plus a byte-identical seeded campaign report,
+//! swapping the engine behind [`HeuristicKind::Xyi`](crate::HeuristicKind)
+//! via an explicit [`EngineConfig`](crate::EngineConfig) (mirroring the
+//! `pr` oracle). The deprecated [`set_implementation`] shim only moves the
+//! process-wide default that unconfigured scratches fall back to.
 
 use crate::comm::CommSet;
+use crate::engine::{self, EngineSel, ProcessBit};
 use crate::heuristic::{link_cost, Heuristic};
 use crate::loadq::Cursor;
 use crate::routing::Routing;
 use crate::scratch::RouteScratch;
 use pamr_mesh::{LinkId, Mesh, Path};
 use pamr_power::PowerModel;
-use std::sync::atomic::{AtomicU8, Ordering};
 
 pub mod reference;
 
@@ -100,23 +101,33 @@ pub enum XyiImpl {
     Reference,
 }
 
-/// Process-global engine selector, written only by [`set_implementation`].
-static XYI_IMPL: AtomicU8 = AtomicU8::new(0);
-
-/// Selects the engine behind [`XyImprover`]. A process-global test and
-/// benchmark hook: the differential suite uses it to run whole campaigns
-/// against the [`mod@reference`] oracle, and `pamr-bench xyi` uses it to
-/// time both engines through the production dispatch path. Defaults to
-/// [`XyiImpl::Queued`]; production code never calls this.
+/// Sets the *process-default* XY-improver engine.
+///
+/// Deprecated shim over [`engine::EngineConfig`]: it updates only the
+/// fallback used by scratches built without an explicit config. Pass
+/// `RouteScratch::with_engine(EngineConfig::LIVE.with_xyi(…))` instead.
+#[deprecated(
+    since = "0.10.0",
+    note = "pass an explicit engine::EngineConfig via RouteScratch::with_engine"
+)]
 pub fn set_implementation(imp: XyiImpl) {
-    XYI_IMPL.store(imp as u8, Ordering::Relaxed);
+    let sel = match imp {
+        XyiImpl::Queued => EngineSel::Live,
+        XyiImpl::Reference => EngineSel::Reference,
+    };
+    engine::set_process_bit(ProcessBit::Xyi, sel);
 }
 
-/// The engine currently behind [`XyImprover`].
+/// The *process-default* XY-improver engine (deprecated shim; a scratch
+/// pinned by [`RouteScratch::with_engine`] ignores it).
+#[deprecated(
+    since = "0.10.0",
+    note = "read the engine::EngineConfig carried by the RouteScratch instead"
+)]
 pub fn implementation() -> XyiImpl {
-    match XYI_IMPL.load(Ordering::Relaxed) {
-        0 => XyiImpl::Queued,
-        _ => XyiImpl::Reference,
+    match engine::process_default().xyi {
+        EngineSel::Live => XyiImpl::Queued,
+        EngineSel::Reference => XyiImpl::Reference,
     }
 }
 
@@ -394,9 +405,9 @@ impl Heuristic for XyImprover {
     }
 
     fn route_with(&self, cs: &CommSet, model: &PowerModel, scratch: &mut RouteScratch) -> Routing {
-        match implementation() {
-            XyiImpl::Queued => self.route_queued_with(cs, model, scratch),
-            XyiImpl::Reference => ReferenceXyImprover {
+        match scratch.engine().xyi {
+            EngineSel::Live => self.route_queued_with(cs, model, scratch),
+            EngineSel::Reference => ReferenceXyImprover {
                 max_moves: self.max_moves,
             }
             .route_with(cs, model, scratch),
@@ -562,10 +573,11 @@ mod tests {
     }
 
     #[test]
-    fn implementation_switch_swaps_the_engine() {
-        // Relaxed global switch: both settings must produce identical
-        // routings through the public dispatch (the differential contract),
-        // and the selector must round-trip.
+    fn engine_config_swaps_the_engine() {
+        // Both engine selections must produce identical routings through
+        // the public dispatch (the differential contract), with no shared
+        // process state: each scratch pins its own config.
+        use crate::engine::EngineConfig;
         let mesh = Mesh::new(4, 4);
         let cs = CommSet::new(
             mesh,
@@ -575,12 +587,10 @@ mod tests {
             ],
         );
         let model = PowerModel::theory(3.0);
-        assert_eq!(implementation(), XyiImpl::Queued);
-        let queued = XyImprover::default().route(&cs, &model);
-        set_implementation(XyiImpl::Reference);
-        assert_eq!(implementation(), XyiImpl::Reference);
-        let reference = XyImprover::default().route(&cs, &model);
-        set_implementation(XyiImpl::Queued);
+        let mut live = RouteScratch::with_engine(EngineConfig::LIVE);
+        let mut oracle = RouteScratch::with_engine(EngineConfig::REFERENCE);
+        let queued = XyImprover::default().route_with(&cs, &model, &mut live);
+        let reference = XyImprover::default().route_with(&cs, &model, &mut oracle);
         assert_eq!(queued, reference);
     }
 }

@@ -11,7 +11,9 @@
 //! other: identical routings, bit-identical load maps, byte-identical
 //! campaign reports. Both implementations are compiled unconditionally (no
 //! `#[cfg]`), so the oracle is always available to tests, benchmarks and
-//! the [`set_implementation`](crate::xyi::set_implementation) switch.
+//! the [`EngineConfig`](crate::EngineConfig) `xyi` selection (the
+//! deprecated [`set_implementation`](crate::xyi::set_implementation) shim
+//! moves the process default).
 
 use super::{flip_candidate, IMPROVE_EPS};
 use crate::comm::CommSet;

@@ -21,7 +21,7 @@ use crate::runner::run_instance_with;
 use crate::stats::PointStats;
 use pamr_mesh::Mesh;
 use pamr_power::PowerModel;
-use pamr_routing::{MeshPrecompute, RouteScratch};
+use pamr_routing::{EngineConfig, MeshPrecompute, RouteScratch};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -113,6 +113,10 @@ pub struct Campaign<'a> {
     /// `(mesh, src, snk)` — so determinism and shard/merge byte-identity
     /// are untouched.
     pub pre: Option<&'a Arc<MeshPrecompute>>,
+    /// Engine selection pinned onto every worker's scratch (all-`Live` in
+    /// production; the differential suites run whole campaigns on
+    /// [`EngineConfig::REFERENCE`]).
+    pub engine: EngineConfig,
 }
 
 /// SplitMix64 finalizer: a full-avalanche bijection on `u64` (every input
@@ -179,6 +183,7 @@ impl Campaign<'_> {
             .fold(
                 || {
                     let mut acc = ChunkAcc::default();
+                    acc.scratch.set_engine(self.engine);
                     acc.scratch.attach_precompute(Arc::clone(&shared));
                     acc
                 },
@@ -291,6 +296,7 @@ mod tests {
             seed: 42,
             shard: ShardSpec::FULL,
             pre: None,
+            engine: EngineConfig::LIVE,
         };
         let run = |threads: usize| {
             rayon::set_num_threads(threads);
@@ -378,6 +384,7 @@ mod tests {
             seed: 11,
             shard: ShardSpec::FULL,
             pre: None,
+            engine: EngineConfig::LIVE,
         };
         let all = full.run_experiment(&exp);
         for count in [2, 3] {
@@ -418,6 +425,7 @@ mod tests {
             seed: 3,
             shard: ShardSpec::FULL,
             pre: None,
+            engine: EngineConfig::LIVE,
         };
         let pooled = campaign.run_pooled();
         // Nine sub-figures, each with its sweep points, one trial each.

@@ -234,6 +234,7 @@ pub fn run_experiment_sharded(
         seed,
         shard,
         pre: Some(&pre),
+        engine: pamr_routing::EngineConfig::LIVE,
     }
     .run_experiment(exp)
 }

@@ -34,6 +34,7 @@ pub mod ablation;
 pub mod campaign;
 pub mod cli;
 pub mod experiments;
+pub mod frontier;
 pub mod runner;
 pub mod serve;
 pub mod shard;
@@ -45,6 +46,7 @@ pub mod viz;
 
 pub use campaign::{experiment_seed, trial_seed, Campaign, ShardSpec};
 pub use experiments::{Experiment, ExperimentResult, SweepPoint, WorkloadSpec};
+pub use frontier::{merge_frontier, FrontierPartial, FrontierReport, FRONTIER_SCHEMA};
 pub use runner::{run_instance, run_instance_with, HeurResult, InstanceOutcome};
 pub use shard::{merge_partials, MergeError, MergedCampaign, PartialPoint, ShardPartial};
 pub use stats::{HeurAgg, PointStats};

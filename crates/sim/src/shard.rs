@@ -94,6 +94,7 @@ impl ShardPartial {
                     seed: experiment_seed(seed, fi, ei),
                     shard,
                     pre: Some(&pre),
+                    engine: pamr_routing::EngineConfig::LIVE,
                 };
                 for (pi, point) in exp.points.iter().enumerate() {
                     if shard.owns(pi) {

@@ -5,7 +5,7 @@ use crate::campaign::{Campaign, ShardSpec};
 use crate::stats::PointStats;
 use pamr_mesh::Mesh;
 use pamr_power::PowerModel;
-use pamr_routing::HeuristicKind;
+use pamr_routing::{EngineConfig, HeuristicKind};
 use std::fmt::Write as _;
 
 /// Aggregate statistics over the union of all §6 experiments.
@@ -19,6 +19,19 @@ impl Summary {
     /// Runs the full campaign (all nine sub-figures) with `trials` per
     /// sweep point and pools every trial.
     pub fn run(mesh: &Mesh, model: &PowerModel, trials: usize, seed: u64) -> Summary {
+        Summary::run_with(mesh, model, trials, seed, EngineConfig::LIVE)
+    }
+
+    /// [`Summary::run`] with an explicit engine selection — the handle the
+    /// differential suites use to replay the whole campaign on the
+    /// reference engines and diff the reports byte-for-byte.
+    pub fn run_with(
+        mesh: &Mesh,
+        model: &PowerModel,
+        trials: usize,
+        seed: u64,
+        engine: EngineConfig,
+    ) -> Summary {
         // One shared precompute for the whole campaign: the endpoint tables
         // built by fig7's trials are cache hits for fig8's and fig9's.
         let pre = std::sync::Arc::new(pamr_routing::MeshPrecompute::new(*mesh));
@@ -29,6 +42,7 @@ impl Summary {
             seed,
             shard: ShardSpec::FULL,
             pre: Some(&pre),
+            engine,
         }
         .run_pooled();
         Summary { pooled }

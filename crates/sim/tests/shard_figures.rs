@@ -33,6 +33,7 @@ fn sharded_figures_render_identically_to_the_unsharded_run() {
                 seed: experiment_seed(seed, fi, ei),
                 shard: ShardSpec::FULL,
                 pre: None,
+                engine: pamr_routing::EngineConfig::LIVE,
             }
             .run_experiment(exp);
             assert_eq!(direct.id, reference[fi][ei].id);

@@ -87,8 +87,9 @@ fn main() {
         }
     }
 
-    if let Some((kind, _, best)) = Best::default().route(&cs, &model) {
-        println!("\nBEST = {kind} at {best:.1} mW");
+    let routed = Best::default().route(&cs, &model);
+    if let Some(best) = routed.power {
+        println!("\nBEST = {} at {best:.1} mW", routed.kind);
         if let Some(xy) = xy_power {
             println!("power saved vs XY: {:.1}%", 100.0 * (1.0 - best / xy));
         } else {

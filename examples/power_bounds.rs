@@ -34,7 +34,10 @@ fn main() {
         let (_, opt) = optimal_single_path(&cs, &model, 1 << 24)
             .expect("node budget is ample for 5 comms on 4×4")
             .expect("unbounded capacity is always feasible");
-        let (_, _, best) = Best::default().route(&cs, &model).unwrap();
+        let best = Best::default()
+            .route(&cs, &model)
+            .power
+            .expect("unbounded capacity is always feasible");
         let xy = xy_routing(&cs).power(&cs, &model).unwrap().total();
         println!(
             "{inst:>4} {diag_lb:>10.2} {:>10.2} {:>10.2} {opt:>10.2} {best:>10.2} {xy:>10.2}",

@@ -53,10 +53,11 @@ fn main() {
         }
     }
 
-    let (kind, _, power) = Best::default()
-        .route(&cs, &model)
+    let best = Best::default().route(&cs, &model);
+    let power = best
+        .power
         .expect("at least one policy must succeed on this instance");
-    println!("\nBEST = {kind} at {power:.1} mW");
+    println!("\nBEST = {} at {power:.1} mW", best.kind);
 
     // How much more could multi-path routing save? (continuous-frequency
     // lower bound via Frank–Wolfe)

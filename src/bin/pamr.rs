@@ -4,6 +4,10 @@
 //! pamr random --mesh 8x8 --n 20 --wmin 100 --wmax 2500 [--seed S] > inst.json
 //! pamr route  --instance inst.json [--heuristic BEST|XY|SG|IG|TB|XYI|PR]
 //!             [--model kim-horowitz|continuous] [--split S] [--json]
+//! pamr frontier [--instance inst.json | --mesh PxQ --n N [--seed S]]
+//!             [--model NAME] [--segments K] [--split S]
+//!             [--shard i/N --out part_i.json] [--merge part_0.json ...]
+//!             [--csv] [--json] [--check-only]
 //! pamr shard  --shard i/N --out part_i.json [--trials T] [--seed S] [--threads K]
 //! pamr merge  [--figures] part_0.json part_1.json ...
 //! pamr serve  [--mesh PxQ] [--model NAME] [--heuristic NAME]
@@ -23,6 +27,12 @@
 //! `--figures` it instead renders the recombined Figure 7–9 tables (the
 //! per-point statistics are bit-equal to the unsharded campaign's, so the
 //! tables are byte-identical too).
+//!
+//! `frontier` sweeps the bi-objective power × max-hop-latency plane of one
+//! instance (ε-constraint over latency budgets) and prints the
+//! dominance-filtered Pareto set. `--shard i/N --out F` solves only the
+//! segments `s` with `s % N == i` and writes a partial; `--merge` recombines
+//! the partials into the byte-identical single-process report.
 //!
 //! `serve` keeps a [`RoutingSession`] resident and answers newline-delimited
 //! JSON requests (`add_comm`, `remove_comm`, `reroute`, `power_report`,
@@ -45,6 +55,9 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  pamr random --mesh PxQ --n N [--wmin W] [--wmax W] [--seed S]\n  \
          pamr route --instance FILE [--heuristic NAME] [--model NAME] [--split S] [--json]\n  \
+         pamr frontier [--instance FILE | --mesh PxQ --n N [--seed S]] [--model NAME] \
+         [--segments K] [--split S] [--shard i/N --out FILE] [--merge FILE...] \
+         [--csv] [--json] [--check-only]\n  \
          pamr shard --shard i/N --out FILE [--trials T] [--seed S] [--threads K]\n  \
          pamr merge [--figures] FILE...\n  \
          pamr serve [--mesh PxQ] [--model NAME] [--heuristic NAME] \
@@ -59,6 +72,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("random") => cmd_random(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
+        Some("frontier") => cmd_frontier(&args[1..]),
         Some("shard") => cmd_shard(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -146,12 +160,12 @@ fn cmd_route(args: &[String]) {
         .unwrap_or(1);
 
     let (label, routing): (String, Routing) = if name.eq_ignore_ascii_case("best") {
-        match Best::default().route(&cs, &model) {
-            Some((kind, routing, _)) => (format!("BEST={kind}"), routing),
-            None => {
-                // Report the XY attempt so the user still sees loads.
-                ("BEST=none(XY shown)".into(), xy_routing(&cs))
-            }
+        let best = Best::default().route(&cs, &model);
+        if best.is_feasible() {
+            (format!("BEST={}", best.kind), best.routing)
+        } else {
+            // Report the fallback attempt so the user still sees loads.
+            (format!("BEST=none({} shown)", best.kind), best.routing)
         }
     } else {
         let kind = HeuristicKind::ALL
@@ -243,6 +257,122 @@ fn cmd_route(args: &[String]) {
     }
     println!("\nutilisation heatmap:");
     print!("{}", render_heatmap(cs.mesh(), &loads, model.capacity));
+}
+
+fn cmd_frontier(args: &[String]) {
+    use pamr::sim::frontier::{merge_frontier, FrontierPartial, FrontierReport};
+
+    // Merge mode: recombine shard partials into the 1-process report.
+    let merge_files: Vec<&String> = args
+        .iter()
+        .position(|a| a == "--merge")
+        .map(|i| {
+            args[i + 1..]
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .collect()
+        })
+        .unwrap_or_default();
+    if args.iter().any(|a| a == "--merge") && merge_files.is_empty() {
+        usage();
+    }
+
+    let segments: usize = opt(args, "--segments")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let split: usize = opt(args, "--split")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+
+    let report = if !merge_files.is_empty() {
+        let partials: Vec<FrontierPartial> = merge_files
+            .iter()
+            .map(|path| {
+                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    exit(1);
+                });
+                FrontierPartial::from_json(&text).unwrap_or_else(|e| {
+                    eprintln!("{path}: {e}");
+                    exit(1);
+                })
+            })
+            .collect();
+        merge_frontier(&partials).unwrap_or_else(|e| {
+            eprintln!("cannot merge: {e}");
+            exit(1);
+        })
+    } else {
+        // The instance: a file, or a seeded uniform draw (as `pamr random`).
+        let cs: CommSet = if let Some(path) = opt(args, "--instance") {
+            let data = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                exit(1);
+            });
+            serde_json::from_str(&data).unwrap_or_else(|e| {
+                eprintln!("cannot parse {path}: {e}");
+                exit(1);
+            })
+        } else {
+            let mesh_spec = opt(args, "--mesh").unwrap_or_else(|| "8x8".into());
+            let (p, q) = mesh_spec
+                .split_once('x')
+                .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+                .unwrap_or_else(|| usage());
+            let n: usize = opt(args, "--n").and_then(|v| v.parse().ok()).unwrap_or(20);
+            let seed: u64 = opt(args, "--seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            UniformWorkload::new(n, 100.0, 2500.0).generate(&Mesh::new(p, q), &mut rng)
+        };
+        let model = build_model(
+            &opt(args, "--model").unwrap_or_else(|| "kim-horowitz".into()),
+            0.0,
+        );
+
+        // Shard mode: solve the owned segments and write the partial.
+        if let Some(spec) = opt(args, "--shard") {
+            let shard = pamr::sim::ShardSpec::parse(&spec).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                exit(2);
+            });
+            let Some(out) = opt(args, "--out") else {
+                usage();
+            };
+            let partial = FrontierPartial::run(&cs, &model, segments, split, shard);
+            std::fs::write(&out, partial.to_json()).unwrap_or_else(|e| {
+                eprintln!("writing {out}: {e}");
+                exit(1);
+            });
+            eprintln!(
+                "wrote {} segment(s) to {out} (recombine with `pamr frontier --merge`)",
+                partial.owned.len()
+            );
+            return;
+        }
+        FrontierReport::compute(&cs, &model, segments, split)
+    };
+
+    if let Err(e) = report.check() {
+        eprintln!("frontier check failed: {e}");
+        exit(1);
+    }
+    if flag(args, "--check-only") {
+        eprintln!(
+            "frontier check ok ({} Pareto point(s), {} segments)",
+            report.pareto.len(),
+            report.segments
+        );
+        return;
+    }
+    if flag(args, "--json") {
+        println!("{}", report.to_json());
+    } else if flag(args, "--csv") {
+        print!("{}", report.to_csv());
+    } else {
+        print!("{}", report.render());
+    }
 }
 
 fn cmd_shard(args: &[String]) {
@@ -349,7 +479,11 @@ fn cmd_serve(args: &[String]) {
             exit(2);
         }
     };
-    let config = pamr::routing::SessionConfig { heuristic, repair };
+    let config = pamr::routing::SessionConfig {
+        heuristic,
+        repair,
+        ..Default::default()
+    };
     let mut server = pamr::sim::serve::Server::new(mesh, model, config);
     let result = match opt(args, "--tcp") {
         Some(addr) if !flag(args, "--stdin") => pamr::sim::serve::serve_tcp(&mut server, &addr),
@@ -378,11 +512,12 @@ fn cmd_demo() {
             Err(_) => println!("  {:<4} {:>10}", kind.name(), "failed"),
         }
     }
-    if let Some((kind, routing, power)) = Best::default().route(&cs, &model) {
-        println!("\nBEST = {kind} at {power:.1} mW");
+    let best = Best::default().route(&cs, &model);
+    if let Some(power) = best.power {
+        println!("\nBEST = {} at {power:.1} mW", best.kind);
         println!(
             "{}",
-            render_heatmap(&mesh, &routing.loads(&cs), model.capacity)
+            render_heatmap(&mesh, &best.routing.loads(&cs), model.capacity)
         );
     }
 }

@@ -36,9 +36,10 @@
 //! // …the paper's discrete link model…
 //! let model = PowerModel::kim_horowitz();
 //! // …and the best heuristic routing.
-//! let (kind, routing, power) = Best::default().route(&cs, &model).unwrap();
-//! println!("{kind} found a {power:.1} mW routing");
-//! assert!(routing.is_feasible(&cs, &model));
+//! let best = Best::default().route(&cs, &model);
+//! let power = best.power.expect("this instance is routable");
+//! println!("{} found a {power:.1} mW routing", best.kind);
+//! assert!(best.routing.is_feasible(&cs, &model));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -64,9 +65,10 @@ pub mod prelude {
     pub use pamr_mesh::{Band, Coord, LinkId, LoadMap, Mesh, Path, Quadrant, Step};
     pub use pamr_power::{FrequencyScale, PowerBreakdown, PowerModel};
     pub use pamr_routing::{
-        frank_wolfe, optimal_single_path, xy_routing, yx_routing, Best, Comm, CommSet, FlowId,
+        frank_wolfe, frontier_points, optimal_single_path, xy_routing, yx_routing, Best, BestRoute,
+        Comm, CommSet, EngineConfig, EngineSel, FlowId, FrontierPoint, FrontierProblem, FwMp,
         Heuristic, HeuristicKind, ImprovedGreedy, PathRemover, RouteScratch, Routing,
-        RoutingTables, SimpleGreedy, SortOrder, SplitMp, TwoBend, XyImprover,
+        RoutingTables, Segment, SimpleGreedy, SortOrder, SplitMp, TwoBend, XyImprover,
     };
     pub use pamr_workload::{LengthTargetedWorkload, Mapping, TaskGraph, UniformWorkload};
 }

@@ -20,8 +20,9 @@ fn feasible_routings_sustain_their_rates() {
     for seed in 0..6u64 {
         let mut rng = SmallRng::seed_from_u64(seed);
         let cs = gen.generate(&mesh, &mut rng);
-        if let Some((_, routing, _)) = Best::default().route(&cs, &model) {
-            let rep = simulate(&cs, &routing, &model, &cfg);
+        let best = Best::default().route(&cs, &model);
+        if best.is_feasible() {
+            let rep = simulate(&cs, &best.routing, &model, &cfg);
             assert!(!rep.clamped, "seed {seed}: feasible routing clamped");
             // Transient queueing at high (but ≤ 100%) utilisation leaves a
             // bounded residual queue — tens of packets at most. Divergence
@@ -78,9 +79,9 @@ fn task_graph_apps_route_and_execute() {
     let mut rng = SmallRng::seed_from_u64(5);
     let m2 = Mapping::random(&mesh, 6, &mut rng);
     let cs = pamr::workload::taskgraph::merge_applications(&mesh, &[(&fft, &m1), (&pipe, &m2)]);
-    let (_, routing, power) = Best::default().route(&cs, &model).unwrap();
-    assert!(power > 0.0);
-    let rep = simulate(&cs, &routing, &model, &SimConfig::default());
+    let best = Best::default().route(&cs, &model);
+    assert!(best.power.unwrap() > 0.0);
+    let rep = simulate(&cs, &best.routing, &model, &SimConfig::default());
     assert!(rep.sustains(3.0));
     assert!(rep.energy_nj > 0.0);
 }

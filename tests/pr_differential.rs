@@ -12,13 +12,14 @@
 //! 2. shrinking property tests over randomized instances (replay any
 //!    failure with `PAMR_PROPTEST_SEED=<seed>`);
 //! 3. a whole-campaign run with the engine switched behind
-//!    [`HeuristicKind::Pr`] via `pr::set_implementation`, asserting the
+//!    [`HeuristicKind::Pr`] via an explicit [`EngineConfig`], asserting the
 //!    rendered summary report byte for byte.
 //!
 //! [`HeuristicKind::Pr`]: pamr_routing::HeuristicKind::Pr
+//! [`EngineConfig`]: pamr_routing::EngineConfig
 
 use pamr::prelude::*;
-use pamr::routing::{pr, PrImpl, ReferencePathRemover};
+use pamr::routing::{EngineConfig, EngineSel, ReferencePathRemover};
 use pamr::sim::testutil;
 use proptest::prelude::*;
 
@@ -117,17 +118,23 @@ proptest! {
 fn campaign_summary_is_byte_identical_across_engines() {
     // The §6.4 acceptance contract: a seeded campaign rendered through the
     // banded engine and through the reference oracle must print the same
-    // bytes. The engine is swapped behind `HeuristicKind::Pr` with the
-    // process-global selector — the other tests in this binary pick their
-    // engine explicitly, so the flip cannot leak into them.
+    // bytes. The engine is swapped behind `HeuristicKind::Pr` with an
+    // explicit `EngineConfig` pinned onto every campaign worker, so nothing
+    // leaks into the other tests in this binary.
     let mesh = pamr::sim::paper_mesh();
     let model = pamr::sim::paper_model();
     let (trials, seed) = (1, 0xD1FF);
-    assert_eq!(pr::implementation(), PrImpl::Banded);
-    let banded = pamr::sim::summary::Summary::run(&mesh, &model, trials, seed).render_report();
-    pr::set_implementation(PrImpl::Reference);
-    let reference = pamr::sim::summary::Summary::run(&mesh, &model, trials, seed).render_report();
-    pr::set_implementation(PrImpl::Banded);
+    let banded =
+        pamr::sim::summary::Summary::run_with(&mesh, &model, trials, seed, EngineConfig::LIVE)
+            .render_report();
+    let reference = pamr::sim::summary::Summary::run_with(
+        &mesh,
+        &model,
+        trials,
+        seed,
+        EngineConfig::LIVE.with_pr(EngineSel::Reference),
+    )
+    .render_report();
     assert!(!banded.is_empty());
     assert_eq!(
         banded, reference,

@@ -1,7 +1,7 @@
 //! Differential oracle for the precompute/customize split.
 //!
-//! The cached engine path (`precompute::PrecomputeImpl::Cached`, the
-//! default) hands SG/IG/XYI/PR interned per-endpoint tables — bands,
+//! The cached engine path (the all-`Live` [`EngineConfig`], the default)
+//! hands SG/IG/XYI/PR interned per-endpoint tables — bands,
 //! diagonal row intervals, XY paths, sorted orders — instead of rebuilding
 //! them per trial. The tables are pure functions of `(mesh, src, snk)`, so
 //! caching may only change *speed*, never results. This suite enforces the
@@ -12,39 +12,33 @@
 //! 2. shrinking property tests over randomized instances (replay any
 //!    failure with `PAMR_PROPTEST_SEED=<seed>`);
 //! 3. a whole-campaign run, asserting the rendered §6.4 summary report
-//!    byte for byte across the two implementations.
+//!    byte for byte across the two engine selections.
 //!
-//! The implementation switch is process-global, so every test flipping it
-//! serializes on one mutex and restores [`PrecomputeImpl::Cached`] (the
-//! default) even on panic.
+//! The engine selection is explicit per [`RouteScratch`] /
+//! [`SessionConfig`] / campaign, so the two passes cannot leak into each
+//! other — no mutex, no restore-on-panic guard.
+//!
+//! [`EngineConfig`]: pamr_routing::EngineConfig
+//! [`RouteScratch`]: pamr_routing::RouteScratch
+//! [`SessionConfig`]: pamr_routing::SessionConfig
 
 use pamr::prelude::*;
-use pamr::routing::{precompute, PrecomputeImpl, ReferencePathRemover};
+use pamr::routing::{EngineConfig, EngineSel, ReferencePathRemover};
 use pamr::sim::testutil;
 use proptest::prelude::*;
-use std::sync::Mutex;
 
-/// Serializes the tests that flip the process-global implementation.
-static SWITCH: Mutex<()> = Mutex::new(());
+/// The two engine selections under test: the production default (shared
+/// precompute) and the literal rebuild-per-trial path.
+const CACHED: EngineConfig = EngineConfig::LIVE;
+const REBUILD: EngineConfig = EngineConfig::LIVE.with_precompute(EngineSel::Reference);
 
-/// Restores the default implementation when dropped, so a failing assert
-/// inside a flipped section cannot leak `Rebuild` into another test.
-struct RestoreCached;
-impl Drop for RestoreCached {
-    fn drop(&mut self) {
-        precompute::set_implementation(PrecomputeImpl::Cached);
-    }
-}
-
-/// Routes `cs` with every precompute-consuming heuristic under `imp` and
+/// Routes `cs` with every precompute-consuming heuristic under `engine` and
 /// returns the exact artifacts the campaign consumes: per-heuristic
 /// routings (PR's structured error included) and the bit patterns of IG's
 /// load map.
-fn route_all(cs: &CommSet, imp: PrecomputeImpl) -> (Vec<Result<Routing, String>>, Vec<u64>) {
-    precompute::set_implementation(imp);
-    let _restore = RestoreCached;
+fn route_all(cs: &CommSet, engine: EngineConfig) -> (Vec<Result<Routing, String>>, Vec<u64>) {
     let model = PowerModel::kim_horowitz();
-    let mut scratch = RouteScratch::new();
+    let mut scratch = RouteScratch::with_engine(engine);
     let mut routings = Vec::new();
     for h in [
         &SimpleGreedy::default() as &dyn Heuristic,
@@ -72,9 +66,8 @@ fn route_all(cs: &CommSet, imp: PrecomputeImpl) -> (Vec<Result<Routing, String>>
 
 /// Routes `cs` cache-on and cache-off and asserts identical outcomes.
 fn assert_cache_is_pure(cs: &CommSet, label: &str) {
-    let _guard = SWITCH.lock().unwrap_or_else(|e| e.into_inner());
-    let cached = route_all(cs, PrecomputeImpl::Cached);
-    let rebuilt = route_all(cs, PrecomputeImpl::Rebuild);
+    let cached = route_all(cs, CACHED);
+    let rebuilt = route_all(cs, REBUILD);
     assert_eq!(
         cached.0, rebuilt.0,
         "{label}: a routing diverged between cached and rebuilt tables"
@@ -126,9 +119,8 @@ proptest! {
 
     #[test]
     fn cached_tables_never_change_results(cs in any_instance()) {
-        let _guard = SWITCH.lock().unwrap_or_else(|e| e.into_inner());
-        let cached = route_all(&cs, PrecomputeImpl::Cached);
-        let rebuilt = route_all(&cs, PrecomputeImpl::Rebuild);
+        let cached = route_all(&cs, CACHED);
+        let rebuilt = route_all(&cs, REBUILD);
         prop_assert_eq!(cached.0, rebuilt.0);
         prop_assert_eq!(cached.1, rebuilt.1);
     }
@@ -139,16 +131,16 @@ fn session_state_is_bit_identical_across_implementations() {
     // The resident session consults the precompute for band links on every
     // add/remove; the cached band is the literal `Comm::band`, so a whole
     // mutation script must leave byte-identical state either way.
-    let _guard = SWITCH.lock().unwrap_or_else(|e| e.into_inner());
-    let run = |imp: PrecomputeImpl| {
-        precompute::set_implementation(imp);
-        let _restore = RestoreCached;
+    let run = |engine: EngineConfig| {
         let mesh = Mesh::new(6, 6);
         let model = PowerModel::kim_horowitz();
         let mut s = pamr::routing::RoutingSession::new(
             mesh,
             model,
-            pamr::routing::SessionConfig::default(),
+            pamr::routing::SessionConfig {
+                engine,
+                ..Default::default()
+            },
         );
         let mut slots = Vec::new();
         for (i, j) in [(0, 35), (3, 17), (35, 0), (17, 3), (5, 30), (30, 5)] {
@@ -165,8 +157,8 @@ fn session_state_is_bit_identical_across_implementations() {
         (routing, loads, s.stats())
     };
     assert_eq!(
-        run(PrecomputeImpl::Cached),
-        run(PrecomputeImpl::Rebuild),
+        run(CACHED),
+        run(REBUILD),
         "session state diverged between cached and rebuilt bands"
     );
 }
@@ -176,15 +168,13 @@ fn campaign_summary_is_byte_identical_across_implementations() {
     // The §6.4 acceptance contract: a seeded campaign rendered with the
     // shared precompute and with literal per-trial rebuilds must print the
     // same bytes.
-    let _guard = SWITCH.lock().unwrap_or_else(|e| e.into_inner());
     let mesh = pamr::sim::paper_mesh();
     let model = pamr::sim::paper_model();
     let (trials, seed) = (1, 0xD1FF);
-    assert_eq!(precompute::implementation(), PrecomputeImpl::Cached);
-    let cached = pamr::sim::summary::Summary::run(&mesh, &model, trials, seed).render_report();
-    precompute::set_implementation(PrecomputeImpl::Rebuild);
-    let _restore = RestoreCached;
-    let rebuilt = pamr::sim::summary::Summary::run(&mesh, &model, trials, seed).render_report();
+    let cached =
+        pamr::sim::summary::Summary::run_with(&mesh, &model, trials, seed, CACHED).render_report();
+    let rebuilt =
+        pamr::sim::summary::Summary::run_with(&mesh, &model, trials, seed, REBUILD).render_report();
     assert!(!cached.is_empty());
     assert_eq!(
         cached, rebuilt,

@@ -16,17 +16,18 @@
 //!    lane's, plus a uniform draw — where a band-vs-scan asymmetry that
 //!    stays hidden at 8×8 (wide bands, long diagonals, thousands of
 //!    crossing rows) would surface;
-//! 3. a whole-campaign run with *every* process-global selector flipped
-//!    to its reference at once (`pr`, `xyi`, `ig`, `precompute`),
-//!    asserting the rendered §6.4 summary report byte for byte.
+//! 3. a whole-campaign run with *every* engine flipped to its reference at
+//!    once ([`EngineConfig::REFERENCE`]), asserting the rendered §6.4
+//!    summary report byte for byte.
 //!
 //! Replay any failure by its printed label; the sweeps are seeded and
 //! deterministic.
+//!
+//! [`EngineConfig::REFERENCE`]: pamr_routing::EngineConfig::REFERENCE
 
 use pamr::prelude::*;
 use pamr::routing::{
-    ig, pr, precompute, xyi, IgImpl, PrImpl, PrecomputeImpl, ReferenceImprovedGreedy,
-    ReferencePathRemover, ReferenceXyImprover, XyiImpl,
+    EngineConfig, ReferenceImprovedGreedy, ReferencePathRemover, ReferenceXyImprover,
 };
 use pamr::sim::testutil;
 use rand::rngs::SmallRng;
@@ -118,31 +119,24 @@ fn all_engines_agree_on_64x64_uniform() {
 }
 
 #[test]
-fn campaign_summary_is_byte_identical_with_every_selector_flipped() {
-    // The §6.4 acceptance contract, strongest form: flip *all four*
-    // process-global selectors to their references at once and demand the
-    // same rendered bytes. The other tests in this binary pick their
-    // engines explicitly, so the flips cannot leak into them.
+fn campaign_summary_is_byte_identical_with_every_engine_flipped() {
+    // The §6.4 acceptance contract, strongest form: run the whole campaign
+    // on `EngineConfig::REFERENCE` — every engine on its full-scan oracle
+    // at once — and demand the same rendered bytes as the all-`Live` run.
+    // The engine selection is pinned per campaign worker, so nothing leaks
+    // into the other tests in this binary.
     let mesh = pamr::sim::paper_mesh();
     let model = pamr::sim::paper_model();
     let (trials, seed) = (1, 0x5CA_11D6);
-    assert_eq!(pr::implementation(), PrImpl::Banded);
-    assert_eq!(xyi::implementation(), XyiImpl::Queued);
-    assert_eq!(ig::implementation(), IgImpl::Indexed);
-    assert_eq!(precompute::implementation(), PrecomputeImpl::Cached);
-    let fast = pamr::sim::summary::Summary::run(&mesh, &model, trials, seed).render_report();
-    pr::set_implementation(PrImpl::Reference);
-    xyi::set_implementation(XyiImpl::Reference);
-    ig::set_implementation(IgImpl::Reference);
-    precompute::set_implementation(PrecomputeImpl::Rebuild);
-    let reference = pamr::sim::summary::Summary::run(&mesh, &model, trials, seed).render_report();
-    pr::set_implementation(PrImpl::Banded);
-    xyi::set_implementation(XyiImpl::Queued);
-    ig::set_implementation(IgImpl::Indexed);
-    precompute::set_implementation(PrecomputeImpl::Cached);
+    let fast =
+        pamr::sim::summary::Summary::run_with(&mesh, &model, trials, seed, EngineConfig::LIVE)
+            .render_report();
+    let reference =
+        pamr::sim::summary::Summary::run_with(&mesh, &model, trials, seed, EngineConfig::REFERENCE)
+            .render_report();
     assert!(!fast.is_empty());
     assert_eq!(
         fast, reference,
-        "campaign summary diverged with every selector on its reference"
+        "campaign summary diverged with every engine on its reference"
     );
 }

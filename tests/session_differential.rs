@@ -43,6 +43,7 @@ fn run_script(cs: &CommSet, mode: RepairMode, seed: u64) -> RoutingSession {
     let config = SessionConfig {
         heuristic: HeuristicKind::Xyi,
         repair: mode,
+        ..Default::default()
     };
     let mut session = RoutingSession::new(*cs.mesh(), PowerModel::kim_horowitz(), config);
     let mut rng = SmallRng::seed_from_u64(seed);

@@ -15,15 +15,16 @@
 //! 2. shrinking property tests over randomized instances (replay any
 //!    failure with `PAMR_PROPTEST_SEED=<seed>`);
 //! 3. a whole-campaign run with both engines switched behind
-//!    [`HeuristicKind::Xyi`] / [`HeuristicKind::Ig`] via
-//!    `xyi::set_implementation` / `ig::set_implementation`, asserting the
-//!    rendered summary report byte for byte.
+//!    [`HeuristicKind::Xyi`] / [`HeuristicKind::Ig`] via an explicit
+//!    [`EngineConfig`], asserting the rendered summary report byte for
+//!    byte.
 //!
 //! [`HeuristicKind::Xyi`]: pamr_routing::HeuristicKind::Xyi
 //! [`HeuristicKind::Ig`]: pamr_routing::HeuristicKind::Ig
+//! [`EngineConfig`]: pamr_routing::EngineConfig
 
 use pamr::prelude::*;
-use pamr::routing::{ig, xyi, IgImpl, ReferenceImprovedGreedy, ReferenceXyImprover, XyiImpl};
+use pamr::routing::{EngineConfig, EngineSel, ReferenceImprovedGreedy, ReferenceXyImprover};
 use pamr::sim::testutil;
 use proptest::prelude::*;
 
@@ -149,20 +150,25 @@ fn campaign_summary_is_byte_identical_across_engines() {
     // The §6.4 acceptance contract: a seeded campaign rendered through the
     // rewritten engines and through the reference oracles must print the
     // same bytes. Both engines are swapped at once behind
-    // `HeuristicKind::Xyi` / `HeuristicKind::Ig` with the process-global
-    // selectors — the other tests in this binary pick their engine
-    // explicitly, so the flips cannot leak into them.
+    // `HeuristicKind::Xyi` / `HeuristicKind::Ig` with an explicit
+    // `EngineConfig` pinned onto every campaign worker, so nothing leaks
+    // into the other tests in this binary.
     let mesh = pamr::sim::paper_mesh();
     let model = pamr::sim::paper_model();
     let (trials, seed) = (1, 0x1D1FF);
-    assert_eq!(xyi::implementation(), XyiImpl::Queued);
-    assert_eq!(ig::implementation(), IgImpl::Indexed);
-    let fast = pamr::sim::summary::Summary::run(&mesh, &model, trials, seed).render_report();
-    xyi::set_implementation(XyiImpl::Reference);
-    ig::set_implementation(IgImpl::Reference);
-    let reference = pamr::sim::summary::Summary::run(&mesh, &model, trials, seed).render_report();
-    xyi::set_implementation(XyiImpl::Queued);
-    ig::set_implementation(IgImpl::Indexed);
+    let fast =
+        pamr::sim::summary::Summary::run_with(&mesh, &model, trials, seed, EngineConfig::LIVE)
+            .render_report();
+    let reference = pamr::sim::summary::Summary::run_with(
+        &mesh,
+        &model,
+        trials,
+        seed,
+        EngineConfig::LIVE
+            .with_xyi(EngineSel::Reference)
+            .with_ig(EngineSel::Reference),
+    )
+    .render_report();
     assert!(!fast.is_empty());
     assert_eq!(
         fast, reference,
